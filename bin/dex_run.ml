@@ -1,0 +1,138 @@
+(* dex_run — command-line driver for the DeX simulation.
+
+   Subcommands:
+     list               show the eight benchmark applications
+     run                run one application (app x variant x nodes)
+     sweep              run one application across node counts
+     profile            run with the page-fault profiler attached *)
+
+open Cmdliner
+module A = Dex_apps.App_common
+
+let variant_conv =
+  let parse = function
+    | "baseline" -> Ok A.Baseline
+    | "initial" -> Ok A.Initial
+    | "optimized" -> Ok A.Optimized
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (A.variant_name v))
+
+let app_arg =
+  let doc = "Application name (GRP, KMN, BT, EP, FT, BLK, BFS or BP)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let nodes_arg =
+  let doc = "Number of nodes in the simulated rack." in
+  Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~docv:"NODES" ~doc)
+
+let variant_arg =
+  let doc = "Variant: baseline, initial or optimized." in
+  Arg.(
+    value
+    & opt variant_conv A.Optimized
+    & info [ "v"; "variant" ] ~docv:"VARIANT" ~doc)
+
+let lookup name =
+  match Dex_apps.Apps.find name with
+  | entry -> entry
+  | exception Not_found ->
+      Format.eprintf "unknown application %S; try `dex_run list'@." name;
+      exit 2
+
+let list_cmd =
+  let run () =
+    Format.printf "%-5s %-12s %s@." "APP" "THREADS" "DESCRIPTION";
+    List.iter
+      (fun e ->
+        Format.printf "%-5s %-12s %s@." e.Dex_apps.Apps.name
+          e.Dex_apps.Apps.conversion.A.multithread e.Dex_apps.Apps.descr)
+      Dex_apps.Apps.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark applications")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run app nodes variant =
+    let entry = lookup app in
+    let r = entry.Dex_apps.Apps.run ~nodes ~variant () in
+    Format.printf "%a@." A.pp_result r;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one application on the simulated rack")
+    Term.(const run $ app_arg $ nodes_arg $ variant_arg)
+
+let sweep_cmd =
+  let run app =
+    let entry = lookup app in
+    let base = entry.Dex_apps.Apps.run ~nodes:1 ~variant:A.Baseline () in
+    Format.printf "%-10s %-10s %10s %10s %8s@." "NODES" "VARIANT" "TIME(ms)"
+      "SPEEDUP" "FAULTS";
+    Format.printf "%-10d %-10s %10.2f %10.2f %8d@." 1 "baseline"
+      (Dex_sim.Time_ns.to_ms_f base.A.sim_time)
+      1.0 base.A.faults;
+    List.iter
+      (fun nodes ->
+        List.iter
+          (fun variant ->
+            let r = entry.Dex_apps.Apps.run ~nodes ~variant () in
+            Format.printf "%-10d %-10s %10.2f %10.2f %8d@." nodes
+              (A.variant_name variant)
+              (Dex_sim.Time_ns.to_ms_f r.A.sim_time)
+              (float_of_int base.A.sim_time /. float_of_int r.A.sim_time)
+              r.A.faults)
+          [ A.Initial; A.Optimized ])
+      [ 1; 2; 4; 8 ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run one application at 1..8 nodes, initial and optimized")
+    Term.(const run $ app_arg)
+
+let profile_cmd =
+  let run nodes =
+    (* A focused contended workload with the profiler attached. *)
+    let cl = Dex_core.Dex.cluster ~nodes () in
+    let events = ref [] in
+    let alloc = ref None in
+    let module P = Dex_core.Process in
+    ignore
+      (Dex_core.Dex.run cl (fun proc main ->
+           alloc := Some (P.allocator proc);
+           let trace = Dex_profile.Trace.attach (P.coherence proc) in
+           let hot = P.malloc main ~bytes:8 ~tag:"hot_flag" in
+           let cold = P.memalign main ~align:4096 ~bytes:65536 ~tag:"table" in
+           let barrier =
+             Dex_core.Sync.Barrier.create proc ~parties:nodes ()
+           in
+           let threads =
+             List.init nodes (fun node ->
+                 P.spawn proc (fun th ->
+                     P.migrate th node;
+                     Dex_core.Sync.Barrier.await th barrier;
+                     P.read th ~site:"table_scan" cold ~len:65536;
+                     for i = 1 to 40 do
+                       P.store th ~site:"flag_update" hot (Int64.of_int i);
+                       P.compute th ~ns:(Dex_sim.Time_ns.us 15)
+                     done))
+           in
+           List.iter P.join threads;
+           events := Dex_profile.Trace.events trace));
+    Dex_profile.Report.pp_summary ?alloc:!alloc Format.std_formatter !events;
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a contended demo workload under the page-fault profiler")
+    Term.(const run $ nodes_arg)
+
+let main =
+  let doc = "DeX: scaling applications beyond machine boundaries (simulated)" in
+  Cmd.group
+    (Cmd.info "dex_run" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; sweep_cmd; profile_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,41 @@
+(* Quickstart: the one-line conversion DeX promises.
+
+   Four threads are spawned on the origin node of a 4-node rack. Each
+   relocates itself to its own node with a single [migrate] call, works on
+   shared memory as if nothing happened — including taking a mutex whose
+   futex is transparently delegated back to the origin — and migrates
+   home.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Dex_core
+
+let () =
+  let cluster = Dex.cluster ~nodes:4 () in
+  let proc =
+    Dex.run cluster (fun proc main ->
+        let counter = Process.malloc main ~bytes:8 ~tag:"counter" in
+        let mutex = Sync.Mutex.create proc () in
+        let threads =
+          List.init 4 (fun node ->
+              Process.spawn proc (fun th ->
+                  (* The one-line conversion: relocate this thread. *)
+                  Process.migrate th node;
+                  Format.printf "thread %d now runs on node %d@."
+                    (Process.tid th) (Process.location th);
+                  (* Shared memory and pthread-style locking, unchanged. *)
+                  Sync.Mutex.with_lock th mutex (fun () ->
+                      let v = Process.load th counter in
+                      Process.store th counter (Int64.add v 1L));
+                  Process.migrate th (Process.origin proc)))
+        in
+        List.iter Process.join threads;
+        Format.printf "final counter: %Ld (expected 4)@."
+          (Process.load main counter))
+  in
+  Format.printf "simulated time: %a@." Dex_sim.Time_ns.pp (Dex.elapsed cluster);
+  Format.printf "forward migrations: %d@."
+    (List.length
+       (List.filter
+          (fun r -> r.Process.m_direction = `Forward)
+          (Process.migration_log proc)))

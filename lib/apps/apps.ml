@@ -1,0 +1,65 @@
+type entry = {
+  name : string;
+  descr : string;
+  conversion : App_common.conversion;
+  run :
+    nodes:int -> variant:App_common.variant -> unit -> App_common.result;
+}
+
+let all =
+  [
+    {
+      name = "GRP";
+      descr = "string match over an NFS-served text corpus";
+      conversion = Grp.conversion;
+      run = (fun ~nodes ~variant () -> Grp.run ~nodes ~variant ());
+    };
+    {
+      name = "KMN";
+      descr = "k-means clustering of a 3-D point cloud";
+      conversion = Kmn.conversion;
+      run = (fun ~nodes ~variant () -> Kmn.run ~nodes ~variant ());
+    };
+    {
+      name = "BT";
+      descr = "NPB block-tridiagonal solver";
+      conversion = Npb_bt.conversion;
+      run = (fun ~nodes ~variant () -> Npb_bt.run ~nodes ~variant ());
+    };
+    {
+      name = "EP";
+      descr = "NPB embarrassingly parallel kernel";
+      conversion = Ep.conversion;
+      run = (fun ~nodes ~variant () -> Ep.run ~nodes ~variant ());
+    };
+    {
+      name = "FT";
+      descr = "NPB 3-D FFT";
+      conversion = Npb_ft.conversion;
+      run = (fun ~nodes ~variant () -> Npb_ft.run ~nodes ~variant ());
+    };
+    {
+      name = "BLK";
+      descr = "PARSEC blackscholes option pricing";
+      conversion = Blk.conversion;
+      run = (fun ~nodes ~variant () -> Blk.run ~nodes ~variant ());
+    };
+    {
+      name = "BFS";
+      descr = "Polymer breadth-first search on an R-MAT graph";
+      conversion = Bfs.conversion;
+      run = (fun ~nodes ~variant () -> Bfs.run ~nodes ~variant ());
+    };
+    {
+      name = "BP";
+      descr = "Polymer belief propagation";
+      conversion = Bp.conversion;
+      run = (fun ~nodes ~variant () -> Bp.run ~nodes ~variant ());
+    };
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find name =
+  let up = String.uppercase_ascii name in
+  List.find (fun e -> e.name = up) all

@@ -1,0 +1,17 @@
+(** Registry of the paper's eight benchmark applications. *)
+
+type entry = {
+  name : string;
+  descr : string;
+  conversion : App_common.conversion;
+  run :
+    nodes:int -> variant:App_common.variant -> unit -> App_common.result;
+}
+
+val all : entry list
+(** In the paper's Table I order: GRP, KMN, BT, EP, FT, BLK, BFS, BP. *)
+
+val find : string -> entry
+(** Case-insensitive lookup; raises [Not_found]. *)
+
+val names : string list

@@ -1,0 +1,151 @@
+open Dex_core
+module A = App_common
+
+type params = {
+  vertices : int;
+  bytes_per_vertex : int;
+  iterations : int;
+  ns_per_vertex : float;
+  llc_bytes : int;
+  miss_floor : float;
+  flag_chunk : int;
+}
+
+let default_params =
+  {
+    vertices = 1 lsl 17;
+    bytes_per_vertex = 256;
+    iterations = 10;
+    ns_per_vertex = 90.0;
+    llc_bytes = 11 * 1024 * 1024;
+    miss_floor = 0.42;
+    flag_chunk = 1024;
+  }
+
+let conversion =
+  {
+    A.multithread = "Pthread";
+    initial_added = 12;
+    initial_removed = 9;
+    optimized_added = 41;
+    optimized_removed = 12;
+  }
+
+let beliefs_cache : (int * int, float array) Hashtbl.t = Hashtbl.create 4
+
+let host_beliefs p ~seed =
+  match Hashtbl.find_opt beliefs_cache (seed, p.vertices) with
+  | Some b -> Array.copy b
+  | None ->
+      let rng = Dex_sim.Rng.create ~seed in
+      let b = Array.init p.vertices (fun _ -> Dex_sim.Rng.float rng 1.0) in
+      Hashtbl.add beliefs_cache (seed, p.vertices) b;
+      Array.copy b
+
+(* One damped propagation sweep over a ring-structured factor graph. *)
+let relax beliefs ~first ~count =
+  let n = Array.length beliefs in
+  for i = first to first + count - 1 do
+    let l = beliefs.((i + n - 1) mod n) and r = beliefs.((i + 1) mod n) in
+    beliefs.(i) <- (0.7 *. beliefs.(i)) +. (0.15 *. (l +. r))
+  done
+
+let reference_sum p ~seed =
+  let b = host_beliefs p ~seed in
+  for _ = 1 to p.iterations do
+    relax b ~first:0 ~count:p.vertices
+  done;
+  Array.fold_left ( +. ) 0.0 b
+
+let body p ctx main =
+  let threads = ctx.A.threads in
+  let proc = ctx.A.proc in
+  let beliefs = host_beliefs p ~seed:ctx.A.seed in
+  let aligned = ctx.A.variant = A.Optimized in
+  let slab_stride i =
+    let _, count = A.partition ~total:p.vertices ~parts:threads ~index:i in
+    let bytes = count * p.bytes_per_vertex in
+    if aligned then (bytes + 4095) / 4096 * 4096 else bytes
+  in
+  let total_bytes =
+    let sum = ref 0 in
+    for i = 0 to threads - 1 do
+      sum := !sum + slab_stride i
+    done;
+    max !sum 4096
+  in
+  let data_addr =
+    if aligned then
+      Process.memalign main ~align:4096 ~bytes:total_bytes ~tag:"bp.vertex_data"
+    else Process.malloc main ~bytes:total_bytes ~tag:"bp.vertex_data"
+  in
+  let slab_addr i =
+    let off = ref 0 in
+    for j = 0 to i - 1 do
+      off := !off + slab_stride j
+    done;
+    data_addr + !off
+  in
+  let flag_addr =
+    if aligned then Process.memalign main ~align:4096 ~bytes:8 ~tag:"bp.flag"
+    else Process.malloc main ~bytes:8 ~tag:"bp.flag"
+  in
+  let barrier = Sync.Barrier.create proc ~parties:threads () in
+  (* DRAM traffic per sweep: the share of the per-node working set that
+     does not fit the cache hierarchy. *)
+  let miss_fraction =
+    let workset =
+      p.vertices * p.bytes_per_vertex / max 1 ctx.A.nodes
+    in
+    Float.max p.miss_floor
+      (1.0 -. (float_of_int p.llc_bytes /. float_of_int workset))
+  in
+  A.parallel_region ctx (fun i th ->
+      let first, count = A.partition ~total:p.vertices ~parts:threads ~index:i in
+      if count > 0 then begin
+        let my_slab = slab_addr i in
+        let slab_bytes = count * p.bytes_per_vertex in
+        for _iter = 1 to p.iterations do
+          (* Halo from the neighbouring slabs. *)
+          if i > 0 then
+            Process.read th ~site:"bp.halo"
+              (slab_addr (i - 1) + (slab_stride (i - 1) - 8))
+              ~len:8;
+          if i < threads - 1 then
+            Process.read th ~site:"bp.halo" (slab_addr (i + 1)) ~len:8;
+          Process.read th ~site:"bp.sweep_read" my_slab ~len:slab_bytes;
+          (* Message updates: compute plus DRAM streaming through the
+             node's contended memory channels. *)
+          let pos = ref 0 in
+          while !pos < count do
+            let n = min p.flag_chunk (count - !pos) in
+            Process.compute_membound th
+              ~ns:(int_of_float (float_of_int n *. p.ns_per_vertex))
+              ~bytes:
+                (int_of_float
+                   (float_of_int (n * p.bytes_per_vertex * 2) *. miss_fraction));
+            (match ctx.A.variant with
+            | A.Baseline | A.Initial ->
+                (* The sweep checks and sets the shared convergence flag
+                   as it goes. *)
+                Process.store th ~site:"bp.flag_update" flag_addr 1L
+            | A.Optimized -> ());
+            pos := !pos + n
+          done;
+          relax beliefs ~first ~count;
+          Process.write th ~site:"bp.sweep_write" my_slab ~len:slab_bytes;
+          (match ctx.A.variant with
+          | A.Optimized ->
+              ignore (Process.fetch_add th ~site:"bp.flag_update" flag_addr 1L)
+          | A.Baseline | A.Initial -> ());
+          Sync.Barrier.await th barrier
+        done
+      end
+      else
+        for _iter = 1 to p.iterations do
+          Sync.Barrier.await th barrier
+        done);
+  A.checksum_of_float (reference_sum p ~seed:ctx.A.seed)
+
+let run ~nodes ~variant ?(params = default_params) ?(seed = 37) () =
+  A.run_app ~name:"BP" ~nodes ~variant ~seed (body params)

@@ -1,0 +1,38 @@
+(** BP — belief propagation on the Polymer graph engine (§V, NUMA-aware).
+
+    Iterative message passing: every iteration streams the whole vertex
+    state (beliefs + edge messages) through the memory system with little
+    locality, making BP memory-bandwidth-bound on a single machine — the
+    paper's CPUs sat underutilized, and spreading the working set across
+    nodes yielded super-linear speedup (3.84× on two nodes) as each node's
+    share starts fitting its cache hierarchy.
+
+    [Initial]'s vertex arrays are packed (slab boundaries shared between
+    neighbouring threads) and a global convergence flag is checked and set
+    throughout the sweep. [Optimized] packs per-node data page-aligned and
+    stages flag updates locally (§V-C). *)
+
+type params = {
+  vertices : int;
+  bytes_per_vertex : int;  (** beliefs + incoming message storage *)
+  iterations : int;
+  ns_per_vertex : float;  (** per-vertex message update compute *)
+  llc_bytes : int;  (** per-node last-level cache *)
+  miss_floor : float;  (** minimum DRAM traffic fraction *)
+  flag_chunk : int;  (** Initial: vertices between flag updates *)
+}
+
+val default_params : params
+
+val conversion : App_common.conversion
+
+val reference_sum : params -> seed:int -> float
+(** Belief sum after the host reference relaxation. *)
+
+val run :
+  nodes:int ->
+  variant:App_common.variant ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  App_common.result

@@ -1,0 +1,34 @@
+(** EP — NPB "embarrassingly parallel" kernel (§V, scientific).
+
+    Generates pairs of uniform deviates, accepts those inside the unit
+    circle (Marsaglia polar method), and tallies the resulting Gaussian
+    pairs into ten concentric annuli. One OpenMP parallel region.
+
+    [Initial] keeps NPB's shared bookkeeping: work batches are claimed from
+    a shared counter and the loop-range parameters live on the same page,
+    so every claim invalidates every node's cached parameters.
+    [Optimized] assigns batches statically and moves the read-only
+    parameters to their own page, which is why the paper's EP improves
+    further even though it already scaled. *)
+
+type params = {
+  pairs : int;
+  batch : int;  (** work-claim granularity *)
+  ns_per_pair : float;
+}
+
+val default_params : params
+
+val conversion : App_common.conversion
+(** OpenMP, one parallel region: 2 lines for the initial port. *)
+
+val reference_tallies : params -> seed:int -> int array
+(** Ground truth annulus counts from a sequential host run. *)
+
+val run :
+  nodes:int ->
+  variant:App_common.variant ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  App_common.result

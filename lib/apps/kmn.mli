@@ -1,0 +1,38 @@
+(** KMN — k-means clustering (§V, "simple data processing").
+
+    Finds cluster centers of a 3-D point cloud by iterating assignment and
+    center-update steps, threads processing contiguous point partitions and
+    meeting at a barrier each iteration (real k-means runs on the host; the
+    cluster only pays simulation costs).
+
+    [Initial] reproduces the original sharing behaviour: threads update the
+    globally shared center accumulators and a global "changed" flag as they
+    sweep their points, so the accumulator and flag pages ricochet between
+    nodes throughout every iteration. [Optimized] stages updates in
+    thread-local buffers and publishes them once per iteration, with the
+    shared structures page-aligned (§V-C). *)
+
+type params = {
+  points : int;
+  clusters : int;
+  iterations : int;  (** fixed iteration count for determinism *)
+  ns_per_point : float;
+      (** assignment cost per point per iteration (distance to every
+          center) *)
+  chunk_points : int;  (** granularity of the Initial variant's updates *)
+}
+
+val default_params : params
+
+val conversion : App_common.conversion
+
+val reference_centers : params -> seed:int -> float array
+(** Ground truth: the centers a sequential host implementation computes. *)
+
+val run :
+  nodes:int ->
+  variant:App_common.variant ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  App_common.result

@@ -1,0 +1,38 @@
+(** BT — NPB block-tridiagonal solver (§V, scientific).
+
+    Time-stepped stencil solver. The paper converts 15 OpenMP parallel
+    regions; we model each timestep as a sequence of region executions in
+    which persistent workers migrate out, solve their grid slab, and
+    migrate back — exercising DeX's cheap repeated migrations.
+
+    [Initial] carries the three sharing patterns the paper's profiler found
+    in NPB: children read the parent's stack variables each region, the
+    read-only loop-range parameters share a page with a frequently written
+    residual norm, and slab boundaries share pages with neighbouring
+    threads. [Optimized] passes stack values as arguments, page-separates
+    the parameters, and page-aligns the slabs. *)
+
+type params = {
+  timesteps : int;
+  regions_per_step : int;  (** distinct region executions per timestep *)
+  cells : int;
+  ns_per_cell : float;
+  update_chunk : int;
+      (** cells between residual-norm updates in the Initial variant *)
+}
+
+val default_params : params
+
+val conversion : App_common.conversion
+(** Table I: OpenMP, 15 parallel regions. *)
+
+val reference_residual : params -> seed:int -> float
+(** Final residual from the sequential host solver. *)
+
+val run :
+  nodes:int ->
+  variant:App_common.variant ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  App_common.result

@@ -1,0 +1,31 @@
+(** FT — NPB 3-D fast Fourier transform (§V, scientific).
+
+    Spectral solver: each iteration performs per-slab FFT passes followed
+    by a global transpose in which every thread reads data most recently
+    written by every other thread. On DeX the transpose turns into a full
+    shuffle of the grid through the consistency protocol each iteration —
+    the communication pattern that keeps FT below single-machine
+    performance at every node count, optimized or not (one of the paper's
+    two non-scaling applications). *)
+
+type params = {
+  grid_bytes : int;
+  iterations : int;
+  ns_per_byte : float;  (** FFT compute per byte per pass *)
+}
+
+val default_params : params
+
+val conversion : App_common.conversion
+(** Table I: OpenMP, 7 parallel regions. *)
+
+val reference_checksum : params -> seed:int -> float
+(** Grid checksum after the host reference transform. *)
+
+val run :
+  nodes:int ->
+  variant:App_common.variant ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  App_common.result

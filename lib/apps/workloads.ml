@@ -1,0 +1,136 @@
+open Dex_sim
+
+let words =
+  [|
+    "the"; "of"; "and"; "history"; "system"; "data"; "node"; "memory";
+    "page"; "thread"; "kernel"; "network"; "graph"; "cluster"; "compute";
+    "protocol"; "distributed"; "machine"; "process"; "table"; "world";
+    "science"; "article"; "century"; "university"; "language"; "region";
+  |]
+
+let text_corpus ?(key_interval = 65536) ~seed ~bytes ~keys () =
+  if bytes <= 0 then invalid_arg "Workloads.text_corpus: bytes";
+  if key_interval <= 0 then invalid_arg "Workloads.text_corpus: key_interval";
+  let rng = Rng.create ~seed in
+  let buf = Buffer.create bytes in
+  let next_key = ref (Rng.int rng key_interval) in
+  let keys = Array.of_list keys in
+  while Buffer.length buf < bytes do
+    if Array.length keys > 0 && Buffer.length buf >= !next_key then begin
+      Buffer.add_string buf keys.(Rng.int rng (Array.length keys));
+      Buffer.add_char buf ' ';
+      next_key := Buffer.length buf + (key_interval / 2) + Rng.int rng key_interval
+    end
+    else begin
+      Buffer.add_string buf words.(Rng.int rng (Array.length words));
+      Buffer.add_char buf (if Rng.int rng 12 = 0 then '\n' else ' ')
+    end
+  done;
+  Bytes.sub (Buffer.to_bytes buf) 0 bytes
+
+let count_occurrences text key =
+  let n = Bytes.length text and k = String.length key in
+  if k = 0 then invalid_arg "Workloads.count_occurrences: empty key";
+  let count = ref 0 in
+  for i = 0 to n - k do
+    let rec matches j = j = k || (Bytes.get text (i + j) = key.[j] && matches (j + 1)) in
+    if matches 0 then incr count
+  done;
+  !count
+
+let points_3d ~seed ~n ~clusters =
+  if n <= 0 || clusters <= 0 then invalid_arg "Workloads.points_3d";
+  let rng = Rng.create ~seed in
+  let centers =
+    Array.init (clusters * 3) (fun _ -> Rng.float rng 1.0)
+  in
+  let pts = Array.make (n * 3) 0.0 in
+  for i = 0 to n - 1 do
+    let c = Rng.int rng clusters in
+    for d = 0 to 2 do
+      let jitter = (Rng.float rng 0.1) -. 0.05 in
+      pts.((i * 3) + d) <- centers.((c * 3) + d) +. jitter
+    done
+  done;
+  pts
+
+type graph = { vertices : int; offsets : int array; targets : int array }
+
+let rmat ~seed ~vertices ~edges =
+  if vertices <= 0 || vertices land (vertices - 1) <> 0 then
+    invalid_arg "Workloads.rmat: vertices must be a positive power of two";
+  if edges <= 0 then invalid_arg "Workloads.rmat: edges";
+  let rng = Rng.create ~seed in
+  let scale =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+    log2 vertices
+  in
+  (* Graph500 parameters (paper: alpha = 0.57, beta = 0.19). *)
+  let a = 0.57 and b = 0.19 and c = 0.19 in
+  let edge () =
+    let src = ref 0 and dst = ref 0 in
+    for _ = 1 to scale do
+      let r = Rng.float rng 1.0 in
+      src := !src * 2;
+      dst := !dst * 2;
+      if r < a then ()
+      else if r < a +. b then incr dst
+      else if r < a +. b +. c then incr src
+      else begin
+        incr src;
+        incr dst
+      end
+    done;
+    (!src, !dst)
+  in
+  let srcs = Array.make edges 0 and dsts = Array.make edges 0 in
+  for i = 0 to edges - 1 do
+    let s, d = edge () in
+    srcs.(i) <- s;
+    dsts.(i) <- d
+  done;
+  (* Build CSR. *)
+  let degree = Array.make vertices 0 in
+  Array.iter (fun s -> degree.(s) <- degree.(s) + 1) srcs;
+  let offsets = Array.make (vertices + 1) 0 in
+  for v = 0 to vertices - 1 do
+    offsets.(v + 1) <- offsets.(v) + degree.(v)
+  done;
+  let cursor = Array.copy offsets in
+  let targets = Array.make edges 0 in
+  for i = 0 to edges - 1 do
+    let s = srcs.(i) in
+    targets.(cursor.(s)) <- dsts.(i);
+    cursor.(s) <- cursor.(s) + 1
+  done;
+  { vertices; offsets; targets }
+
+let options ~seed ~n =
+  if n <= 0 then invalid_arg "Workloads.options";
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ ->
+      let spot = 20.0 +. Rng.float rng 100.0 in
+      let strike = 20.0 +. Rng.float rng 100.0 in
+      let rate = 0.01 +. Rng.float rng 0.05 in
+      let vol = 0.1 +. Rng.float rng 0.5 in
+      let expiry = 0.25 +. Rng.float rng 2.0 in
+      (spot, strike, rate, vol, expiry))
+
+(* Abramowitz & Stegun approximation of the standard normal CDF. *)
+let norm_cdf x =
+  let b1 = 0.319381530 and b2 = -0.356563782 and b3 = 1.781477937 in
+  let b4 = -1.821255978 and b5 = 1.330274429 and p = 0.2316419 in
+  let t = 1.0 /. (1.0 +. (p *. Float.abs x)) in
+  let poly =
+    t *. (b1 +. (t *. (b2 +. (t *. (b3 +. (t *. (b4 +. (t *. b5))))))))
+  in
+  let nd = 1.0 -. (exp (-.(x *. x) /. 2.0) /. sqrt (2.0 *. Float.pi) *. poly) in
+  if x >= 0.0 then nd else 1.0 -. nd
+
+let black_scholes_call (spot, strike, rate, vol, expiry) =
+  let d1 =
+    (log (spot /. strike) +. ((rate +. (vol *. vol /. 2.0)) *. expiry))
+    /. (vol *. sqrt expiry)
+  in
+  let d2 = d1 -. (vol *. sqrt expiry) in
+  (spot *. norm_cdf d1) -. (strike *. exp (-.rate *. expiry) *. norm_cdf d2)

@@ -1,0 +1,38 @@
+(** Deterministic synthetic workload generators.
+
+    Stand-ins for the paper's inputs (8 GB of Wikipedia text, NPB class C
+    problem sizes, PARSEC native options, a 67 M-vertex R-MAT graph): all
+    scaled down to laptop size but with the same statistical character,
+    and fully deterministic for reproducibility. *)
+
+val text_corpus :
+  ?key_interval:int -> seed:int -> bytes:int -> keys:string list -> unit ->
+  Bytes.t
+(** Pseudo-English text of exactly [bytes] bytes with the [keys] embedded
+    at pseudo-random positions, roughly one occurrence every
+    [key_interval] bytes (default 64 KB). *)
+
+val count_occurrences : Bytes.t -> string -> int
+(** Reference string-match implementation. *)
+
+val points_3d : seed:int -> n:int -> clusters:int -> float array
+(** [3*n] coordinates of [n] points sampled around [clusters] cluster
+    centers in the unit cube — k-means has real structure to find. *)
+
+type graph = {
+  vertices : int;
+  offsets : int array;  (** CSR row offsets, length [vertices + 1] *)
+  targets : int array;  (** CSR edge targets *)
+}
+
+val rmat : seed:int -> vertices:int -> edges:int -> graph
+(** R-MAT generator with the Graph500 parameters the paper uses
+    (a = 0.57, b = c = 0.19): skewed degree distribution, deterministic.
+    Self-loops and duplicate edges are kept (as in Graph500); [vertices]
+    must be a power of two. *)
+
+val options : seed:int -> n:int -> (float * float * float * float * float) array
+(** Black-Scholes inputs: (spot, strike, rate, volatility, expiry). *)
+
+val black_scholes_call : float * float * float * float * float -> float
+(** Reference Black-Scholes call-option pricing formula. *)

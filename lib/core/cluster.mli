@@ -1,0 +1,48 @@
+(** A simulated rack of nodes running DeX.
+
+    Owns the discrete-event engine, the InfiniBand fabric, and per-node
+    hardware resources (core pools, memory-bandwidth channels). Processes
+    register message routers; the cluster installs one fabric handler per
+    node that fans incoming messages out to them. *)
+
+type t
+
+val create :
+  ?config:Core_config.t ->
+  ?net:Dex_net.Net_config.t ->
+  ?proto:Dex_proto.Proto_config.t ->
+  ?seed:int ->
+  nodes:int ->
+  unit ->
+  t
+
+val engine : t -> Dex_sim.Engine.t
+
+val fabric : t -> Dex_net.Fabric.t
+
+val config : t -> Core_config.t
+
+val proto_config : t -> Dex_proto.Proto_config.t
+
+val nodes : t -> int
+
+val cores : t -> node:int -> Dex_sim.Resource.Pool.t
+
+val membw : t -> node:int -> Membw.t
+
+val storage : t -> Dex_sim.Resource.Server.t
+(** The shared NAS appliance backing the NFS share every node mounts. *)
+
+val rng : t -> Dex_sim.Rng.t
+
+val fresh_pid : t -> int
+
+val add_router : t -> (Dex_net.Fabric.env -> bool) -> unit
+(** Register a message consumer; routers are tried in registration order
+    and the first returning [true] wins. An unrouted message is an
+    error. *)
+
+val run : t -> unit
+(** Drive the simulation until quiescent. *)
+
+val now : t -> Dex_sim.Time_ns.t

@@ -1,0 +1,19 @@
+module Cluster = Cluster
+module Config = Core_config
+module Process = Process
+module Sync = Sync
+module Membw = Membw
+module Futex = Futex
+
+let cluster = Cluster.create
+
+let run ?origin cl f =
+  let proc = Process.create cl ?origin () in
+  let main = Process.spawn proc ~name:"main" (fun th -> f proc th) in
+  Dex_sim.Engine.spawn (Cluster.engine cl) ~label:"supervisor" (fun () ->
+      Process.join main;
+      Process.shutdown proc);
+  Cluster.run cl;
+  proc
+
+let elapsed = Cluster.now

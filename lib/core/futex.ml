@@ -1,0 +1,26 @@
+open Dex_sim
+
+type t = { engine : Engine.t; queues : (int, unit Waitq.t) Hashtbl.t }
+
+let create engine = { engine; queues = Hashtbl.create 32 }
+
+let queue t addr =
+  match Hashtbl.find_opt t.queues addr with
+  | Some q -> q
+  | None ->
+      let q = Waitq.create () in
+      Hashtbl.add t.queues addr q;
+      q
+
+let wait t ~addr = Waitq.wait t.engine (queue t addr)
+
+let wake t ~addr ~count =
+  let q = queue t addr in
+  let rec go woken =
+    if woken >= count then woken
+    else if Waitq.wake_one q () then go (woken + 1)
+    else woken
+  in
+  go 0
+
+let waiters t ~addr = Waitq.length (queue t addr)

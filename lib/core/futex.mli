@@ -1,0 +1,21 @@
+(** Origin-side futex queues (§III-A).
+
+    Linux's fast user-space mutex underpins every pthread synchronization
+    primitive. In DeX, remote threads' futex system calls are delegated to
+    the origin and executed against these queues in the context of their
+    paired original threads, so synchronization works unmodified regardless
+    of thread location. *)
+
+type t
+
+val create : Dex_sim.Engine.t -> t
+
+val wait : t -> addr:Dex_mem.Page.addr -> unit
+(** Enqueue the calling fiber on the futex at [addr] and block until a
+    wake. The atomic value check against the futex word is the caller's
+    responsibility (it must run in the same engine event). *)
+
+val wake : t -> addr:Dex_mem.Page.addr -> count:int -> int
+(** Wake up to [count] waiters; returns how many were woken. *)
+
+val waiters : t -> addr:Dex_mem.Page.addr -> int

@@ -1,0 +1,650 @@
+open Dex_sim
+open Dex_mem
+module Fabric = Dex_net.Fabric
+module Msg = Dex_net.Msg
+module Coherence = Dex_proto.Coherence
+module M = Core_messages
+
+exception Segfault of { node : int; addr : Page.addr }
+
+type worker_queue = {
+  ops : (M.node_op * (unit -> unit)) Queue.t;
+  signal : unit Waitq.t;
+}
+
+type worker_state = Absent | Creating of unit Waitq.t | Ready of worker_queue
+
+type migration_record = {
+  m_tid : int;
+  m_target : int;
+  m_direction : [ `Forward | `Backward ];
+  m_first_to_node : bool;
+  m_origin_ns : int;
+  m_remote_ns : int;
+  m_breakdown : (string * int) list;
+}
+
+type t = {
+  cluster : Cluster.t;
+  pid : int;
+  origin : int;
+  coh : Coherence.t;
+  alloc : Allocator.t;
+  vmas : Vma_tree.t array;
+  futex : Futex.t;
+  vfs : Vfs.t;
+  stats : Stats.t;
+  mutable next_tid : int;
+  mutable threads : thread list;  (* newest first *)
+  workers : worker_state array;
+  mutable mig_log : migration_record list;  (* newest first *)
+  mutable mmap_next : Page.addr;
+}
+
+and thread = {
+  proc : t;
+  tid : int;
+  thread_name : string;
+  mutable location : int;
+  mutable finished : bool;
+  done_q : unit Waitq.t;
+}
+
+let cluster t = t.cluster
+let pid t = t.pid
+let origin t = t.origin
+let coherence t = t.coh
+let allocator t = t.alloc
+let vma_tree t ~node = t.vmas.(node)
+let stats t = t.stats
+let tid th = th.tid
+let name th = th.thread_name
+let location th = th.location
+let self_process th = th.proc
+let migration_log t = List.rev t.mig_log
+
+let engine t = Cluster.engine t.cluster
+let cfg t = Cluster.config t.cluster
+let fabric t = Cluster.fabric t.cluster
+
+let find_thread t tid =
+  match List.find_opt (fun th -> th.tid = tid) t.threads with
+  | Some th -> th
+  | None -> failwith (Printf.sprintf "Process %d: unknown thread %d" t.pid tid)
+
+(* Replace any stale local view with [vma] (on-demand synchronization). *)
+let install_vma tree vma =
+  ignore (Vma_tree.remove_range tree ~start:vma.Vma.start ~len:vma.Vma.len);
+  Vma_tree.insert tree vma
+
+(* ------------------------------------------------------------------ *)
+(* VMA checking with on-demand synchronization (§III-D).               *)
+
+let rec vma_check th ~addr ~len ~access ~queried =
+  let t = th.proc in
+  let node = th.location in
+  let fail () = raise (Segfault { node; addr }) in
+  let local = Vma_tree.find t.vmas.(node) addr in
+  match local with
+  | Some vma when Perm.allows vma.Vma.perm access ->
+      let e = Vma.end_ vma in
+      if addr + len > e then
+        vma_check th ~addr:e ~len:(addr + len - e) ~access ~queried:false
+  | _ ->
+      if node = t.origin then fail ()
+      else if queried then fail ()
+      else begin
+        (* The local view may be missing or stale: ask the origin. *)
+        Stats.incr t.stats "vma.sync";
+        match
+          Fabric.call (fabric t) ~src:node ~dst:t.origin ~kind:M.kind_vma
+            ~size:64
+            (M.Vma_query { pid = t.pid; addr })
+        with
+        | M.Vma_info (Some vma) ->
+            install_vma t.vmas.(node) vma;
+            vma_check th ~addr ~len ~access ~queried:true
+        | M.Vma_info None -> fail ()
+        | _ -> failwith "Process: unexpected VMA reply"
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Work delegation (§III-A).                                           *)
+
+(* Run [run] in the context of the paired original thread at the origin
+   and return its result. Local threads call straight into the kernel. *)
+let delegate ?(resp_size = 64) th run =
+  let t = th.proc in
+  Engine.delay (engine t) (cfg t).Core_config.syscall;
+  if th.location = t.origin then run ()
+  else begin
+    Stats.incr t.stats "delegation";
+    Fabric.call (fabric t) ~src:th.location ~dst:t.origin
+      ~kind:M.kind_delegate ~size:64
+      (M.Delegate { pid = t.pid; tid = th.tid; resp_size; run })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Memory API.                                                         *)
+
+let alloc_static t ?align ~bytes ~tag () =
+  Allocator.alloc_static t.alloc ?align ~bytes ~tag ()
+
+let malloc th ~bytes ~tag =
+  let t = th.proc in
+  match delegate th (fun () -> M.Ret_int (Allocator.malloc t.alloc ~bytes ~tag))
+  with
+  | M.Ret_int addr -> addr
+  | _ -> assert false
+
+let memalign th ~align ~bytes ~tag =
+  let t = th.proc in
+  match
+    delegate th (fun () ->
+        M.Ret_int (Allocator.memalign t.alloc ~align ~bytes ~tag))
+  with
+  | M.Ret_int addr -> addr
+  | _ -> assert false
+
+let read th ?(site = "?") addr ~len =
+  if len <= 0 then invalid_arg "Process.read: len must be positive";
+  vma_check th ~addr ~len ~access:Perm.Read ~queried:false;
+  Coherence.access_range th.proc.coh ~node:th.location ~tid:th.tid ~site ~addr
+    ~len ~access:Perm.Read ()
+
+let write th ?(site = "?") addr ~len =
+  if len <= 0 then invalid_arg "Process.write: len must be positive";
+  vma_check th ~addr ~len ~access:Perm.Write ~queried:false;
+  Coherence.access_range th.proc.coh ~node:th.location ~tid:th.tid ~site ~addr
+    ~len ~access:Perm.Write ()
+
+let load th ?(site = "?") addr =
+  vma_check th ~addr ~len:8 ~access:Perm.Read ~queried:false;
+  Coherence.load_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+
+let store th ?(site = "?") addr v =
+  vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
+  Coherence.store_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr v
+
+let load32 th ?(site = "?") addr =
+  vma_check th ~addr ~len:4 ~access:Perm.Read ~queried:false;
+  Coherence.load_i32 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+
+let store32 th ?(site = "?") addr v =
+  vma_check th ~addr ~len:4 ~access:Perm.Write ~queried:false;
+  Coherence.store_i32 th.proc.coh ~node:th.location ~tid:th.tid ~site addr v
+
+let load_byte th ?(site = "?") addr =
+  vma_check th ~addr ~len:1 ~access:Perm.Read ~queried:false;
+  Coherence.load_byte th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+
+let store_byte th ?(site = "?") addr v =
+  vma_check th ~addr ~len:1 ~access:Perm.Write ~queried:false;
+  Coherence.store_byte th.proc.coh ~node:th.location ~tid:th.tid ~site addr v
+
+let cas th ?(site = "?") addr ~expected ~desired =
+  vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
+  Coherence.cas_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+    ~expected ~desired
+
+let fetch_add th ?(site = "?") addr delta =
+  vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
+  Coherence.fetch_add_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+    delta
+
+(* ------------------------------------------------------------------ *)
+(* Compute.                                                            *)
+
+let compute th ~ns =
+  if ns < 0 then invalid_arg "Process.compute: negative duration";
+  Resource.Pool.use (Cluster.cores th.proc.cluster ~node:th.location) ns
+
+let compute_membound th ~ns ~bytes =
+  let pool = Cluster.cores th.proc.cluster ~node:th.location in
+  Resource.Pool.acquire pool;
+  Fun.protect
+    ~finally:(fun () -> Resource.Pool.release pool)
+    (fun () ->
+      if ns > 0 then Engine.delay (engine th.proc) ns;
+      if bytes > 0 then
+        Membw.stream (Cluster.membw th.proc.cluster ~node:th.location) ~bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Futex (delegated).                                                  *)
+
+let futex_wait th ~addr ~expected =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.futex_op;
+    (* Atomic check-and-sleep: the value read below and the enqueue happen
+       in the same engine event, so no wakeup can slip in between. *)
+    let v =
+      Coherence.load_i64 t.coh ~node:t.origin ~tid:th.tid ~site:"futex" addr
+    in
+    if v <> expected then M.Ret_bool false
+    else begin
+      Futex.wait t.futex ~addr;
+      M.Ret_bool true
+    end
+  in
+  match delegate th run with M.Ret_bool b -> b | _ -> assert false
+
+let futex_wake th ~addr ~count =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.futex_op;
+    M.Ret_int (Futex.wake t.futex ~addr ~count)
+  in
+  match delegate th run with M.Ret_int n -> n | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* File I/O (delegated to the origin like any stateful service).        *)
+
+let file_open th name =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.file_op;
+    M.Ret_int (Vfs.open_file t.vfs name)
+  in
+  match delegate th run with M.Ret_int fd -> fd | _ -> assert false
+
+let file_read th ~fd ~bytes =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.file_op;
+    let n = Vfs.read t.vfs fd ~bytes in
+    (* The origin pulls the data from the shared storage appliance. *)
+    if n > 0 then Resource.Server.transfer (Cluster.storage t.cluster) ~bytes:n;
+    M.Ret_int n
+  in
+  (* The payload travels back to the caller as the syscall result: big
+     reads ride the RDMA path of the fabric automatically. *)
+  match delegate ~resp_size:(64 + bytes) th run with
+  | M.Ret_int n -> n
+  | _ -> assert false
+
+let file_write th ~fd ~bytes =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.file_op;
+    Vfs.write t.vfs fd ~bytes;
+    Resource.Server.transfer (Cluster.storage t.cluster) ~bytes;
+    M.Ret_unit
+  in
+  match delegate th run with M.Ret_unit -> () | _ -> assert false
+
+let file_seek th ~fd ~pos =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.file_op;
+    Vfs.seek t.vfs fd ~pos;
+    M.Ret_unit
+  in
+  match delegate th run with M.Ret_unit -> () | _ -> assert false
+
+let file_close th ~fd =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.file_op;
+    Vfs.close t.vfs fd;
+    M.Ret_unit
+  in
+  match delegate th run with M.Ret_unit -> () | _ -> assert false
+
+let file_size t name = Vfs.size t.vfs name
+
+(* ------------------------------------------------------------------ *)
+(* Node-wide operations through remote workers.                        *)
+
+let worker_loop t node queue () =
+  let rec go () =
+    match Queue.take_opt queue.ops with
+    | None ->
+        Waitq.wait (engine t) queue.signal;
+        go ()
+    | Some (op, ack) -> (
+        match op with
+        | M.Process_exit ->
+            t.workers.(node) <- Absent;
+            ack ()
+        | M.Vma_shrink { start; len } ->
+            Engine.delay (engine t) (cfg t).Core_config.vma_op;
+            ignore (Vma_tree.remove_range t.vmas.(node) ~start ~len);
+            let first, last = Page.pages_of_range start ~len in
+            ignore (Coherence.zap_range t.coh ~first ~last ~node);
+            ack ();
+            go ()
+        | M.Vma_protect { start; len; perm } ->
+            Engine.delay (engine t) (cfg t).Core_config.vma_op;
+            ignore (Vma_tree.protect_range t.vmas.(node) ~start ~len ~perm);
+            let first, last = Page.pages_of_range start ~len in
+            ignore (Coherence.zap_range t.coh ~first ~last ~node);
+            ack ();
+            go ())
+  in
+  go ()
+
+(* Broadcast a node-wide operation to every live remote worker and join
+   all acknowledgements. Must run at the origin. *)
+let broadcast_node_op t op =
+  let targets = ref [] in
+  Array.iteri
+    (fun node state ->
+      match state with
+      | Ready _ when node <> t.origin -> targets := node :: !targets
+      | Ready _ | Creating _ | Absent -> ())
+    t.workers;
+  match !targets with
+  | [] -> ()
+  | targets ->
+      let pending = ref (List.length targets) in
+      let join = Waitq.create () in
+      List.iter
+        (fun node ->
+          Engine.spawn (engine t) ~label:"node-op" (fun () ->
+              (match
+                 Fabric.call (fabric t) ~src:t.origin ~dst:node
+                   ~kind:M.kind_node_op ~size:96
+                   (M.Node_op { pid = t.pid; op })
+               with
+              | M.Node_op_ack -> ()
+              | _ -> failwith "Process: unexpected node-op reply");
+              decr pending;
+              if !pending = 0 then ignore (Waitq.wake_one join ())))
+        targets;
+      Waitq.wait (engine t) join
+
+(* ------------------------------------------------------------------ *)
+(* VMA-manipulating system calls (origin-side, possibly delegated).     *)
+
+let mmap th ?(perm = Perm.rw) ~len ~tag () =
+  if len <= 0 then invalid_arg "Process.mmap: len must be positive";
+  let t = th.proc in
+  let len = Page.align_up len in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.vma_op;
+    let addr = t.mmap_next in
+    if addr + len > Layout.mmap_base + Layout.mmap_zone_size then
+      failwith "Process.mmap: zone exhausted";
+    (* Guard page between mappings. *)
+    t.mmap_next <- addr + len + Page.size;
+    Vma_tree.insert t.vmas.(t.origin) (Vma.make ~start:addr ~len ~perm ~tag);
+    M.Ret_int addr
+  in
+  match delegate th run with M.Ret_int a -> a | _ -> assert false
+
+let munmap th ~addr ~len =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.vma_op;
+    ignore (Vma_tree.remove_range t.vmas.(t.origin) ~start:addr ~len);
+    let first, last = Page.pages_of_range addr ~len in
+    ignore (Coherence.zap_range t.coh ~first ~last ~node:t.origin);
+    (* Shrinks are broadcast eagerly (§III-D). *)
+    broadcast_node_op t (M.Vma_shrink { start = addr; len });
+    Coherence.forget_range t.coh ~first ~last;
+    M.Ret_unit
+  in
+  match delegate th run with M.Ret_unit -> () | _ -> assert false
+
+let mprotect th ~addr ~len ~perm =
+  let t = th.proc in
+  let run () =
+    Engine.delay (engine t) (cfg t).Core_config.vma_op;
+    ignore (Vma_tree.protect_range t.vmas.(t.origin) ~start:addr ~len ~perm);
+    (* Downgrades must reach every node before the call returns;
+       permissive changes propagate lazily via on-demand sync. *)
+    if not (perm.Perm.read && perm.Perm.write) then begin
+      let first, last = Page.pages_of_range addr ~len in
+      ignore (Coherence.zap_range t.coh ~first ~last ~node:t.origin);
+      broadcast_node_op t (M.Vma_protect { start = addr; len; perm })
+    end;
+    M.Ret_unit
+  in
+  match delegate th run with M.Ret_unit -> () | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Migration (§III-A).                                                 *)
+
+(* Send a migration message and block until the destination handler
+   reconstructs the thread there and resumes us. *)
+let send_and_park t ~src ~dst build =
+  let eng = engine t in
+  let arrived = ref false in
+  let waiter = ref None in
+  let resume () =
+    match !waiter with Some r -> r () | None -> arrived := true
+  in
+  Fabric.send (fabric t) ~src ~dst ~kind:M.kind_migrate
+    ~size:(cfg t).Core_config.context_size (build resume);
+  if not !arrived then Engine.suspend eng (fun r -> waiter := Some r)
+
+let migrate th target =
+  let t = th.proc in
+  let eng = engine t in
+  let c = cfg t in
+  if target < 0 || target >= Cluster.nodes t.cluster then
+    invalid_arg (Printf.sprintf "Process.migrate: bad node %d" target);
+  if target = th.location then ()
+  else begin
+    Engine.delay eng c.Core_config.syscall;
+    if target = t.origin then begin
+      (* Backward migration: collect the remote context and refresh the
+         original thread with it. *)
+      Stats.incr t.stats "migration.backward";
+      let t0 = Engine.now eng in
+      Engine.delay eng c.Core_config.backward_capture;
+      let remote_ns = Engine.now eng - t0 in
+      send_and_park t ~src:th.location ~dst:target (fun resume ->
+          M.Migrate_back { pid = t.pid; tid = th.tid; remote_ns; resume })
+    end
+    else begin
+      (* Forward migration. *)
+      Stats.incr t.stats "migration.forward";
+      let first = t.workers.(target) = Absent in
+      let t0 = Engine.now eng in
+      Engine.delay eng
+        (c.Core_config.context_capture
+        + if first then c.Core_config.first_session_setup else 0);
+      let origin_ns = Engine.now eng - t0 in
+      send_and_park t ~src:th.location ~dst:target (fun resume ->
+          M.Migrate
+            { pid = t.pid; tid = th.tid; first_to_node = first; origin_ns;
+              resume })
+    end
+  end
+
+(* Destination-side reconstruction of a migrated thread. Runs in the
+   fabric handler fiber at the destination node. *)
+let handle_migrate t ~node ~tid ~origin_ns resume =
+  let eng = engine t in
+  let c = cfg t in
+  let th = find_thread t tid in
+  let t0 = Engine.now eng in
+  let breakdown = ref [] in
+  let charge label d =
+    Engine.delay eng d;
+    breakdown := (label, d) :: !breakdown
+  in
+  let built_worker =
+    match t.workers.(node) with
+    | Absent ->
+        let creation_q = Waitq.create () in
+        t.workers.(node) <- Creating creation_q;
+        charge "remote worker" c.Core_config.remote_worker_create;
+        charge "address space" c.Core_config.address_space_init;
+        let queue = { ops = Queue.create (); signal = Waitq.create () } in
+        Engine.spawn eng ~label:"remote-worker" (worker_loop t node queue);
+        t.workers.(node) <- Ready queue;
+        ignore (Waitq.wake_all creation_q ());
+        (* The first remote thread is forked as part of building the
+           worker, with a still-cold address space: cheaper than a full
+           fork from the warm worker. *)
+        charge "thread creation" c.Core_config.thread_create_first;
+        true
+    | Creating q ->
+        (* Another migration is already building the worker; wait. *)
+        Waitq.wait eng q;
+        charge "thread creation" c.Core_config.thread_create;
+        false
+    | Ready _ ->
+        charge "thread creation" c.Core_config.thread_create;
+        false
+  in
+  charge "context setup" c.Core_config.context_install;
+  charge "enqueue" c.Core_config.sched_enqueue;
+  th.location <- node;
+  t.mig_log <-
+    {
+      m_tid = tid;
+      m_target = node;
+      m_direction = `Forward;
+      m_first_to_node = built_worker;
+      m_origin_ns = origin_ns;
+      m_remote_ns = Engine.now eng - t0;
+      m_breakdown = List.rev !breakdown;
+    }
+    :: t.mig_log;
+  resume ()
+
+let handle_migrate_back t ~tid ~remote_ns resume =
+  let eng = engine t in
+  let c = cfg t in
+  let th = find_thread t tid in
+  let t0 = Engine.now eng in
+  Engine.delay eng c.Core_config.backward_update;
+  th.location <- t.origin;
+  t.mig_log <-
+    {
+      m_tid = tid;
+      m_target = t.origin;
+      m_direction = `Backward;
+      m_first_to_node = false;
+      m_origin_ns = Engine.now eng - t0;
+      m_remote_ns = remote_ns;
+      m_breakdown = [ ("context update", c.Core_config.backward_update) ];
+    }
+    :: t.mig_log;
+  resume ()
+
+(* ------------------------------------------------------------------ *)
+(* Message routing.                                                    *)
+
+let router t (env : Fabric.env) =
+  if Coherence.handler t.coh env then true
+  else
+    let msg = env.Fabric.msg in
+    match msg.Msg.payload with
+    | M.Migrate { pid; tid; origin_ns; resume; _ } when pid = t.pid ->
+        handle_migrate t ~node:msg.Msg.dst ~tid ~origin_ns resume;
+        true
+    | M.Migrate_back { pid; tid; remote_ns; resume } when pid = t.pid ->
+        handle_migrate_back t ~tid ~remote_ns resume;
+        true
+    | M.Delegate { pid; resp_size; run; _ } when pid = t.pid ->
+        Engine.delay (engine t) (cfg t).Core_config.delegation_dispatch;
+        env.Fabric.respond ~size:resp_size (run ());
+        true
+    | M.Vma_query { pid; addr } when pid = t.pid ->
+        Engine.delay (engine t) (cfg t).Core_config.vma_op;
+        env.Fabric.respond (M.Vma_info (Vma_tree.find t.vmas.(t.origin) addr));
+        true
+    | M.Node_op { pid; op } when pid = t.pid -> (
+        match t.workers.(msg.Msg.dst) with
+        | Ready queue ->
+            Queue.add (op, fun () -> env.Fabric.respond M.Node_op_ack) queue.ops;
+            ignore (Waitq.wake_one queue.signal ());
+            true
+        | Absent | Creating _ ->
+            (* No worker: the node holds no state for this process. *)
+            env.Fabric.respond M.Node_op_ack;
+            true)
+    | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                          *)
+
+let create cluster ?(origin = 0) () =
+  if origin < 0 || origin >= Cluster.nodes cluster then
+    invalid_arg "Process.create: bad origin";
+  let pid = Cluster.fresh_pid cluster in
+  let seed = Rng.int (Cluster.rng cluster) 1_000_000 in
+  let t =
+    {
+      cluster;
+      pid;
+      origin;
+      coh =
+        Coherence.create ~cfg:(Cluster.proto_config cluster) ~seed ~pid
+          (Cluster.fabric cluster) ~origin;
+      alloc = Allocator.create ();
+      vmas = Array.init (Cluster.nodes cluster) (fun _ -> Vma_tree.create ());
+      futex = Futex.create (Cluster.engine cluster);
+      vfs = Vfs.create ();
+      stats = Stats.create ();
+      next_tid = 0;
+      threads = [];
+      workers = Array.make (Cluster.nodes cluster) Absent;
+      mig_log = [];
+      mmap_next = Layout.mmap_base;
+    }
+  in
+  (* Classic static layout at the origin; remote nodes learn VMAs on
+     demand. *)
+  let tree = t.vmas.(origin) in
+  Vma_tree.insert tree
+    (Vma.make ~start:Layout.text_base ~len:Layout.text_size ~perm:Perm.ro
+       ~tag:"text");
+  Vma_tree.insert tree
+    (Vma.make ~start:Layout.globals_base ~len:Layout.globals_size
+       ~perm:Perm.rw ~tag:"globals");
+  Vma_tree.insert tree
+    (Vma.make ~start:Layout.heap_base ~len:Layout.heap_size ~perm:Perm.rw
+       ~tag:"heap");
+  Cluster.add_router cluster (router t);
+  t
+
+let spawn t ?name:(thread_name = "worker") f =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th =
+    {
+      proc = t;
+      tid;
+      thread_name = Printf.sprintf "%s:%d" thread_name tid;
+      location = t.origin;
+      finished = false;
+      done_q = Waitq.create ();
+    }
+  in
+  t.threads <- th :: t.threads;
+  (* Thread-private VMAs live in the origin's authoritative tree. *)
+  Vma_tree.insert t.vmas.(t.origin)
+    (Vma.make ~start:(Layout.stack_for ~tid) ~len:Layout.stack_size
+       ~perm:Perm.rw
+       ~tag:(Printf.sprintf "stack:%d" tid));
+  Vma_tree.insert t.vmas.(t.origin)
+    (Vma.make ~start:(Layout.tls_for ~tid) ~len:Layout.tls_slot_size
+       ~perm:Perm.rw
+       ~tag:(Printf.sprintf "tls:%d" tid));
+  Engine.spawn (engine t) ~label:th.thread_name (fun () ->
+      Engine.delay (engine t) (cfg t).Core_config.spawn_thread;
+      f th;
+      th.finished <- true;
+      ignore (Waitq.wake_all th.done_q ()));
+  th
+
+let join th =
+  if not th.finished then Waitq.wait (engine th.proc) th.done_q
+
+let shutdown t =
+  (* Join every thread, including ones spawned while we were joining. *)
+  let rec drain () =
+    match List.find_opt (fun th -> not th.finished) t.threads with
+    | Some th ->
+        join th;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  broadcast_node_op t M.Process_exit

@@ -1,0 +1,200 @@
+(** A distributed process: the unit DeX extends across machine boundaries.
+
+    A process is created at its {e origin} node with a classic single-node
+    address-space layout. Threads are spawned locally and may then relocate
+    themselves to any node with one {!migrate} call (§III-A): the execution
+    context is captured, shipped through the messaging layer, and the
+    thread resumes at the destination — on the process's first visit to a
+    node a {e remote worker} is built there first (the dominant cost of a
+    first migration), and later migrations fork cheaply from it.
+
+    Wherever a thread runs, it sees one consistent address space: memory
+    accesses go through the memory consistency protocol, and stateful
+    kernel services (futex, VMA manipulation) are transparently delegated
+    to the paired original thread at the origin. *)
+
+type t
+
+type thread
+
+exception Segfault of { node : int; addr : Dex_mem.Page.addr }
+(** Illegal access: no VMA covers the address (confirmed by the origin) or
+    the VMA forbids the access. Remote threads are terminated exactly as a
+    local segfault would. *)
+
+val create : Cluster.t -> ?origin:int -> unit -> t
+(** Register a new process; [origin] defaults to node 0. *)
+
+val cluster : t -> Cluster.t
+
+val pid : t -> int
+
+val origin : t -> int
+
+val coherence : t -> Dex_proto.Coherence.t
+
+val allocator : t -> Dex_mem.Allocator.t
+
+val vma_tree : t -> node:int -> Dex_mem.Vma_tree.t
+(** Per-node VMA view; the origin's is authoritative. *)
+
+val stats : t -> Dex_sim.Stats.t
+
+(** {1 Threads} *)
+
+val spawn : t -> ?name:string -> (thread -> unit) -> thread
+(** [pthread_create]: start a thread at the origin, running [f] as a
+    fiber. Allocates the thread's stack and TLS VMAs. *)
+
+val join : thread -> unit
+(** Block the calling fiber until the thread's function returns. *)
+
+val tid : thread -> int
+
+val name : thread -> string
+
+val location : thread -> int
+(** The node the thread currently executes on. *)
+
+val self_process : thread -> t
+
+(** {1 Migration} *)
+
+val migrate : thread -> int -> unit
+(** [migrate th node] relocates the calling thread to [node] — the paper's
+    one-line conversion call. Migrating to the current location is a no-op;
+    migrating to the origin is the cheap backward path. *)
+
+type migration_record = {
+  m_tid : int;
+  m_target : int;
+  m_direction : [ `Forward | `Backward ];
+  m_first_to_node : bool;
+  m_origin_ns : int;
+      (** handling cost at the origin node (sender side for forward
+          migrations, receiver side for backward ones) *)
+  m_remote_ns : int;  (** handling cost at the remote node *)
+  m_breakdown : (string * int) list;
+      (** receiving-side phases (Figure 3): remote worker, address space,
+          thread creation, context setup, enqueue *)
+}
+
+val migration_log : t -> migration_record list
+(** All completed migrations, oldest first. *)
+
+(** {1 Memory} *)
+
+val alloc_static :
+  t -> ?align:int -> bytes:int -> tag:string -> unit -> Dex_mem.Page.addr
+(** Static/global program data; no runtime cost (exists at process load). *)
+
+val malloc : thread -> bytes:int -> tag:string -> Dex_mem.Page.addr
+(** Heap allocation (packs objects; the false-sharing-prone default). From
+    a remote thread, the allocation is delegated to the origin. *)
+
+val memalign :
+  thread -> align:int -> bytes:int -> tag:string -> Dex_mem.Page.addr
+(** [posix_memalign]: page-align per-node data to cure false sharing. *)
+
+val mmap :
+  thread -> ?perm:Dex_mem.Perm.t -> len:int -> tag:string -> unit ->
+  Dex_mem.Page.addr
+(** Map a fresh VMA (anonymous mmap). Permissive: not broadcast; remote
+    nodes learn it through on-demand VMA synchronization. *)
+
+val munmap : thread -> addr:Dex_mem.Page.addr -> len:int -> unit
+(** Unmap a range. Shrinking is broadcast eagerly to every remote worker,
+    which zaps local VMAs and page-table entries before the call returns. *)
+
+val mprotect :
+  thread -> addr:Dex_mem.Page.addr -> len:int -> perm:Dex_mem.Perm.t -> unit
+(** Change permissions. Downgrades are broadcast eagerly; upgrades are
+    lazy. *)
+
+val read : thread -> ?site:string -> Dex_mem.Page.addr -> len:int -> unit
+(** Bulk read: fault in every page of the range with read access. *)
+
+val write : thread -> ?site:string -> Dex_mem.Page.addr -> len:int -> unit
+(** Bulk write: acquire exclusive ownership of every page of the range. *)
+
+val load : thread -> ?site:string -> Dex_mem.Page.addr -> int64
+(** Typed DSM read of an 8-byte cell. *)
+
+val store : thread -> ?site:string -> Dex_mem.Page.addr -> int64 -> unit
+(** Typed DSM write of an 8-byte cell. *)
+
+val load32 : thread -> ?site:string -> Dex_mem.Page.addr -> int32
+(** Typed DSM read of a 4-byte cell (4-byte aligned). *)
+
+val store32 : thread -> ?site:string -> Dex_mem.Page.addr -> int32 -> unit
+
+val load_byte : thread -> ?site:string -> Dex_mem.Page.addr -> int
+(** Typed DSM read of a single byte. *)
+
+val store_byte : thread -> ?site:string -> Dex_mem.Page.addr -> int -> unit
+
+val cas :
+  thread ->
+  ?site:string ->
+  Dex_mem.Page.addr ->
+  expected:int64 ->
+  desired:int64 ->
+  bool
+(** Atomic compare-and-swap: acquires exclusive page ownership, then
+    compares and possibly updates in one indivisible step (hardware CAS on
+    an exclusively-owned page). *)
+
+val fetch_add : thread -> ?site:string -> Dex_mem.Page.addr -> int64 -> int64
+(** Atomic fetch-and-add on an 8-byte cell. *)
+
+(** {1 Compute} *)
+
+val compute : thread -> ns:Dex_sim.Time_ns.t -> unit
+(** Occupy one core of the thread's current node for [ns] of CPU work. *)
+
+val compute_membound :
+  thread -> ns:Dex_sim.Time_ns.t -> bytes:int -> unit
+(** CPU work plus [bytes] of memory traffic through the node's contended
+    memory channels. *)
+
+(** {1 Futex (§III-A work delegation)} *)
+
+val futex_wait : thread -> addr:Dex_mem.Page.addr -> expected:int64 -> bool
+(** FUTEX_WAIT: delegated to the origin; atomically re-checks the futex
+    word there and sleeps until woken. Returns [false] on EAGAIN (value
+    mismatch — caller must re-evaluate). *)
+
+val futex_wake : thread -> addr:Dex_mem.Page.addr -> count:int -> int
+(** FUTEX_WAKE: delegated to the origin; returns the number of threads
+    woken. *)
+
+(** {1 File I/O (§III-A work delegation)}
+
+    The file table lives at the origin; remote threads' calls are
+    delegated, and read payloads travel back as the system-call result
+    (large reads ride the fabric's RDMA path). Contents are not simulated,
+    only sizes and cursors — data transfer is charged against the shared
+    storage appliance. *)
+
+val file_open : thread -> string -> int
+(** Open (creating if needed); returns a file descriptor. *)
+
+val file_read : thread -> fd:int -> bytes:int -> int
+(** Read up to [bytes] at the cursor; returns the actual count (0 at
+    EOF). *)
+
+val file_write : thread -> fd:int -> bytes:int -> unit
+
+val file_seek : thread -> fd:int -> pos:int -> unit
+
+val file_close : thread -> fd:int -> unit
+
+val file_size : t -> string -> int option
+(** Size of a file, if it exists (host-side inspection). *)
+
+(** {1 Lifecycle} *)
+
+val shutdown : t -> unit
+(** Join every spawned thread, then broadcast process exit to all remote
+    workers and wait for their teardown. Must be called from a fiber
+    (normally the main thread; {!Dex.run} does it automatically). *)

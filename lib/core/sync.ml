@@ -1,0 +1,167 @@
+module Mutex = struct
+  type t = { addr : Dex_mem.Page.addr }
+
+  let create proc ?(tag = "mutex") () =
+    (* A real pthread_mutex_t is 40 bytes; the futex word leads it. *)
+    { addr = Process.alloc_static proc ~align:8 ~bytes:40 ~tag () }
+
+  let addr t = t.addr
+
+  let try_lock th t =
+    Process.cas th ~site:"mutex.lock" t.addr ~expected:0L ~desired:1L
+
+  let rec lock th t =
+    if not (try_lock th t) then begin
+      (* Contended: sleep in the kernel until the holder wakes us, then
+         compete again (classic futex mutex). *)
+      ignore (Process.futex_wait th ~addr:t.addr ~expected:1L);
+      lock th t
+    end
+
+  let unlock th t =
+    Process.store th ~site:"mutex.unlock" t.addr 0L;
+    ignore (Process.futex_wake th ~addr:t.addr ~count:1)
+
+  let with_lock th t f =
+    lock th t;
+    Fun.protect ~finally:(fun () -> unlock th t) f
+end
+
+module Barrier = struct
+  type t = {
+    parties : int;
+    count_addr : Dex_mem.Page.addr;
+    gen_addr : Dex_mem.Page.addr;
+  }
+
+  let create proc ~parties ?(tag = "barrier") () =
+    if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+    let base = Process.alloc_static proc ~align:8 ~bytes:16 ~tag () in
+    { parties; count_addr = base; gen_addr = base + 8 }
+
+  let await th t =
+    let gen = Process.load th ~site:"barrier.gen" t.gen_addr in
+    let arrived =
+      Int64.to_int (Process.fetch_add th ~site:"barrier.arrive" t.count_addr 1L)
+    in
+    if arrived = t.parties - 1 then begin
+      (* Last arrival: reset and release the generation. *)
+      Process.store th ~site:"barrier.reset" t.count_addr 0L;
+      Process.store th ~site:"barrier.release" t.gen_addr (Int64.add gen 1L);
+      ignore (Process.futex_wake th ~addr:t.gen_addr ~count:max_int)
+    end
+    else begin
+      let rec sleep () =
+        if Process.load th ~site:"barrier.check" t.gen_addr = gen then begin
+          ignore (Process.futex_wait th ~addr:t.gen_addr ~expected:gen);
+          sleep ()
+        end
+      in
+      sleep ()
+    end
+end
+
+module Rwlock = struct
+  (* One state word: -1 = writer holds it, 0 = free, n > 0 = n readers. *)
+  type t = { addr : Dex_mem.Page.addr }
+
+  let create proc ?(tag = "rwlock") () =
+    { addr = Process.alloc_static proc ~align:8 ~bytes:56 ~tag () }
+
+  let rec read_lock th t =
+    let v = Process.load th ~site:"rwlock.rd" t.addr in
+    if v >= 0L then begin
+      if
+        not
+          (Process.cas th ~site:"rwlock.rd" t.addr ~expected:v
+             ~desired:(Int64.add v 1L))
+      then read_lock th t
+    end
+    else begin
+      ignore (Process.futex_wait th ~addr:t.addr ~expected:v);
+      read_lock th t
+    end
+
+  let read_unlock th t =
+    let rec dec () =
+      let v = Process.load th ~site:"rwlock.rdu" t.addr in
+      if v <= 0L then invalid_arg "Rwlock.read_unlock: not read-locked";
+      if
+        not
+          (Process.cas th ~site:"rwlock.rdu" t.addr ~expected:v
+             ~desired:(Int64.sub v 1L))
+      then dec ()
+      else if v = 1L then ignore (Process.futex_wake th ~addr:t.addr ~count:max_int)
+    in
+    dec ()
+
+  let rec write_lock th t =
+    if not (Process.cas th ~site:"rwlock.wr" t.addr ~expected:0L ~desired:(-1L))
+    then begin
+      let v = Process.load th ~site:"rwlock.wr" t.addr in
+      if v <> 0L then ignore (Process.futex_wait th ~addr:t.addr ~expected:v);
+      write_lock th t
+    end
+
+  let write_unlock th t =
+    let v = Process.load th ~site:"rwlock.wru" t.addr in
+    if v <> -1L then invalid_arg "Rwlock.write_unlock: not write-locked";
+    Process.store th ~site:"rwlock.wru" t.addr 0L;
+    ignore (Process.futex_wake th ~addr:t.addr ~count:max_int)
+end
+
+module Semaphore = struct
+  type t = { addr : Dex_mem.Page.addr }
+
+  let create proc ~initial ?(tag = "semaphore") () =
+    if initial < 0 then invalid_arg "Semaphore.create: negative count";
+    let t = { addr = Process.alloc_static proc ~align:8 ~bytes:32 ~tag () } in
+    (* Initialize the count through the origin's coherence layer; creation
+       runs in a fiber (normally the main thread) before any waiter can
+       observe the word. *)
+    Dex_proto.Coherence.store_i64 (Process.coherence proc)
+      ~node:(Process.origin proc) ~tid:(-1) ~site:"sem.init" t.addr
+      (Int64.of_int initial);
+    t
+
+  let post th t =
+    ignore (Process.fetch_add th ~site:"sem.post" t.addr 1L);
+    ignore (Process.futex_wake th ~addr:t.addr ~count:1)
+
+  let rec wait th t =
+    let v = Process.load th ~site:"sem.wait" t.addr in
+    if v > 0L then begin
+      if
+        not
+          (Process.cas th ~site:"sem.wait" t.addr ~expected:v
+             ~desired:(Int64.sub v 1L))
+      then wait th t
+    end
+    else begin
+      ignore (Process.futex_wait th ~addr:t.addr ~expected:v);
+      wait th t
+    end
+
+  let value th t = Int64.to_int (Process.load th ~site:"sem.value" t.addr)
+end
+
+module Condvar = struct
+  type t = { seq_addr : Dex_mem.Page.addr }
+
+  let create proc ?(tag = "condvar") () =
+    { seq_addr = Process.alloc_static proc ~align:8 ~bytes:8 ~tag () }
+
+  let wait th t mutex =
+    let seq = Process.load th ~site:"cond.seq" t.seq_addr in
+    Mutex.unlock th mutex;
+    ignore (Process.futex_wait th ~addr:t.seq_addr ~expected:seq);
+    Mutex.lock th mutex
+
+  let signal th t =
+    ignore (Process.fetch_add th ~site:"cond.signal" t.seq_addr 1L);
+    ignore (Process.futex_wake th ~addr:t.seq_addr ~count:1)
+
+  let broadcast th t =
+    ignore (Process.fetch_add th ~site:"cond.broadcast" t.seq_addr 1L);
+    ignore (Process.futex_wake th ~addr:t.seq_addr ~count:max_int)
+end

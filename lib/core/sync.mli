@@ -1,0 +1,79 @@
+(** Pthread-style synchronization primitives, unmodified on DeX.
+
+    Exactly as on Linux, these are built from an atomic word in shared
+    memory plus futex system calls. The words live in the DSM — so lock
+    acquisition by a remote thread really acquires exclusive ownership of
+    the lock word's page, and futex waits/wakes are delegated to the
+    origin (§III-A). Nothing here knows where a thread runs: the paper's
+    claim that synchronization primitives work as-is. *)
+
+module Mutex : sig
+  type t
+
+  val create : Process.t -> ?tag:string -> unit -> t
+  (** Allocates the lock word on the heap ([tag] defaults to "mutex"). *)
+
+  val addr : t -> Dex_mem.Page.addr
+
+  val lock : Process.thread -> t -> unit
+
+  val try_lock : Process.thread -> t -> bool
+
+  val unlock : Process.thread -> t -> unit
+
+  val with_lock : Process.thread -> t -> (unit -> 'a) -> 'a
+end
+
+module Barrier : sig
+  type t
+
+  val create : Process.t -> parties:int -> ?tag:string -> unit -> t
+
+  val await : Process.thread -> t -> unit
+  (** Block until [parties] threads have arrived; the barrier then resets
+      for the next round (generation-counted, safe for reuse). *)
+end
+
+module Condvar : sig
+  type t
+
+  val create : Process.t -> ?tag:string -> unit -> t
+
+  val wait : Process.thread -> t -> Mutex.t -> unit
+  (** Atomically release the mutex and sleep; re-acquires before
+      returning. Spurious wakeups are possible, guard with a loop. *)
+
+  val signal : Process.thread -> t -> unit
+
+  val broadcast : Process.thread -> t -> unit
+end
+
+module Rwlock : sig
+  type t
+
+  val create : Process.t -> ?tag:string -> unit -> t
+
+  val read_lock : Process.thread -> t -> unit
+  (** Multiple readers may hold the lock; readers block while a writer
+      holds it. Writer-preference is not implemented (readers can starve
+      writers, like the default pthread rwlock). *)
+
+  val read_unlock : Process.thread -> t -> unit
+
+  val write_lock : Process.thread -> t -> unit
+
+  val write_unlock : Process.thread -> t -> unit
+end
+
+module Semaphore : sig
+  type t
+
+  val create : Process.t -> initial:int -> ?tag:string -> unit -> t
+
+  val post : Process.thread -> t -> unit
+
+  val wait : Process.thread -> t -> unit
+
+  val value : Process.thread -> t -> int
+  (** Current count (racy snapshot, like [sem_getvalue]). *)
+end

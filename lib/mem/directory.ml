@@ -1,0 +1,75 @@
+type state = Exclusive of int | Shared of Node_set.t
+
+type entry = { mutable state : state; mutable busy : bool }
+
+type t = { origin : int; pages : entry Radix_tree.t }
+
+let create ~origin = { origin; pages = Radix_tree.create () }
+
+let origin t = t.origin
+
+let entry t p =
+  match Radix_tree.find t.pages p with
+  | Some e -> e
+  | None ->
+      let e = { state = Exclusive t.origin; busy = false } in
+      Radix_tree.set t.pages p e;
+      e
+
+let state t p =
+  match Radix_tree.find t.pages p with
+  | Some e -> e.state
+  | None -> Exclusive t.origin
+
+let is_tracked t p = Radix_tree.mem t.pages p
+
+let set_exclusive t p node = (entry t p).state <- Exclusive node
+
+let set_shared t p readers =
+  if Node_set.is_empty readers then
+    invalid_arg "Directory.set_shared: empty reader set";
+  (entry t p).state <- Shared readers
+
+let add_reader t p node =
+  let e = entry t p in
+  match e.state with
+  | Shared readers -> e.state <- Shared (Node_set.add readers node)
+  | Exclusive owner when owner = node -> ()
+  | Exclusive _ ->
+      invalid_arg "Directory.add_reader: page exclusively owned elsewhere"
+
+let has_valid_copy t p node =
+  match state t p with
+  | Exclusive owner -> owner = node
+  | Shared readers -> Node_set.mem readers node
+
+let try_lock t p =
+  let e = entry t p in
+  if e.busy then false
+  else begin
+    e.busy <- true;
+    true
+  end
+
+let unlock t p =
+  let e = entry t p in
+  if not e.busy then invalid_arg "Directory.unlock: page not locked";
+  e.busy <- false
+
+let locked t p =
+  match Radix_tree.find t.pages p with Some e -> e.busy | None -> false
+
+let forget t p = Radix_tree.remove t.pages p
+
+let tracked_pages t = Radix_tree.length t.pages
+
+let iter t f = Radix_tree.iter t.pages (fun p e -> f p e.state)
+
+let check_invariants t =
+  iter t (fun p -> function
+    | Exclusive node ->
+        if node < 0 then
+          failwith (Printf.sprintf "Directory: bad exclusive owner on %d" p)
+    | Shared readers ->
+        if Node_set.is_empty readers then
+          failwith (Printf.sprintf "Directory: empty reader set on page %d" p))

@@ -1,0 +1,59 @@
+(** Origin-side page ownership directory (§III-B).
+
+    The origin tracks, per page, which nodes currently own it and in which
+    mode — multiple readers or a single writer. Pages never touched by the
+    protocol have no entry and are implicitly owned exclusively by the
+    origin. A per-page [busy] flag serializes in-flight protocol operations:
+    a request hitting a busy page is NACKed and retried by the requester,
+    which is the paper's slow contended-fault path. *)
+
+type state =
+  | Exclusive of int  (** single writer node *)
+  | Shared of Node_set.t  (** read-only copies on these nodes *)
+
+type t
+
+val create : origin:int -> t
+
+val origin : t -> int
+
+val state : t -> Page.vpn -> state
+(** Current ownership; untracked pages are [Exclusive origin]. *)
+
+val is_tracked : t -> Page.vpn -> bool
+(** Whether the protocol has ever touched this page. Untracked pages can be
+    mapped at the origin with a plain minor fault, no protocol needed. *)
+
+val set_exclusive : t -> Page.vpn -> int -> unit
+
+val set_shared : t -> Page.vpn -> Node_set.t -> unit
+(** Raises [Invalid_argument] on an empty reader set. *)
+
+val add_reader : t -> Page.vpn -> int -> unit
+(** Raises [Invalid_argument] if the page is exclusively owned by another
+    node; callers must downgrade first. *)
+
+val has_valid_copy : t -> Page.vpn -> int -> bool
+(** Whether [node] holds an up-to-date copy — used for the
+    grant-ownership-without-data optimization. *)
+
+val try_lock : t -> Page.vpn -> bool
+(** Acquire the per-page busy flag; [false] means an operation is already
+    in flight (caller should NACK). *)
+
+val unlock : t -> Page.vpn -> unit
+(** Raises [Invalid_argument] if the page is not locked. *)
+
+val locked : t -> Page.vpn -> bool
+
+val forget : t -> Page.vpn -> unit
+(** Drop the tracking entry entirely (page unmapped); the page reverts to
+    implicit exclusive-at-origin. *)
+
+val tracked_pages : t -> int
+
+val iter : t -> (Page.vpn -> state -> unit) -> unit
+
+val check_invariants : t -> unit
+(** Test hook: exclusive entries carry a valid node; shared entries are
+    non-empty. *)

@@ -1,0 +1,50 @@
+open Dex_sim
+
+type 'o entry = {
+  access : Perm.access;
+  followers : 'o Waitq.t;
+  conflicters : unit Waitq.t;
+}
+
+type 'o t = {
+  engine : Engine.t;
+  table : (Page.vpn, 'o entry) Hashtbl.t;
+  mutable coalesced : int;
+}
+
+type 'o role = Leader | Follower of 'o | Conflict
+
+let create engine () =
+  { engine; table = Hashtbl.create 64; coalesced = 0 }
+
+let enter t ~vpn ~access =
+  match Hashtbl.find_opt t.table vpn with
+  | None ->
+      Hashtbl.add t.table vpn
+        { access; followers = Waitq.create (); conflicters = Waitq.create () };
+      Leader
+  | Some entry when entry.access = access ->
+      t.coalesced <- t.coalesced + 1;
+      Follower (Waitq.wait t.engine entry.followers)
+  | Some entry ->
+      Waitq.wait t.engine entry.conflicters;
+      Conflict
+
+let finish t ~vpn outcome =
+  match Hashtbl.find_opt t.table vpn with
+  | None -> invalid_arg "Fault_table.finish: no ongoing fault"
+  | Some entry ->
+      Hashtbl.remove t.table vpn;
+      let n = Waitq.wake_all entry.followers outcome in
+      ignore (Waitq.wake_all entry.conflicters ());
+      n
+
+let rec await_idle t ~vpn =
+  match Hashtbl.find_opt t.table vpn with
+  | None -> ()
+  | Some entry ->
+      Waitq.wait t.engine entry.conflicters;
+      await_idle t ~vpn
+
+let ongoing t = Hashtbl.length t.table
+let coalesced_total t = t.coalesced

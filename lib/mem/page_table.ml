@@ -1,0 +1,31 @@
+type t = Perm.access Radix_tree.t
+
+let create () = Radix_tree.create ()
+
+let get t p = Radix_tree.find t p
+
+let allows t p access =
+  match (Radix_tree.find t p, access) with
+  | Some Perm.Write, _ -> true
+  | Some Perm.Read, Perm.Read -> true
+  | Some Perm.Read, Perm.Write | None, _ -> false
+
+let set t p access = Radix_tree.set t p access
+
+let invalidate t p = Radix_tree.remove t p
+
+let downgrade t p =
+  match Radix_tree.find t p with
+  | Some Perm.Write -> Radix_tree.set t p Perm.Read
+  | Some Perm.Read | None -> ()
+
+let zap_range t ~first ~last =
+  let victims =
+    Radix_tree.fold t ~init:[] ~f:(fun p _ acc ->
+        if p >= first && p <= last then p :: acc else acc)
+  in
+  List.iter (Radix_tree.remove t) victims;
+  List.length victims
+
+let count t = Radix_tree.length t
+let iter t f = Radix_tree.iter t f

@@ -1,0 +1,33 @@
+(** Per-node page table for one distributed process.
+
+    Each entry records the strongest access the memory consistency protocol
+    has granted this node for a page: [Read] (shared, read-only copy) or
+    [Write] (exclusive, writable). Absent entries are invalid — touching
+    them traps into the fault handler, exactly like a PTE with the present
+    bit cleared. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> Page.vpn -> Perm.access option
+
+val allows : t -> Page.vpn -> Perm.access -> bool
+(** [allows t p Read] holds for [Read] or [Write] entries; [allows t p
+    Write] only for [Write] entries. *)
+
+val set : t -> Page.vpn -> Perm.access -> unit
+
+val invalidate : t -> Page.vpn -> unit
+(** Drop the entry entirely (ownership revoked). *)
+
+val downgrade : t -> Page.vpn -> unit
+(** [Write] → [Read]; no-op otherwise. *)
+
+val zap_range : t -> first:Page.vpn -> last:Page.vpn -> int
+(** Invalidate every entry in the inclusive page range (VMA shrink);
+    returns how many entries were dropped. *)
+
+val count : t -> int
+
+val iter : t -> (Page.vpn -> Perm.access -> unit) -> unit

@@ -1,0 +1,21 @@
+type access = Read | Write
+
+type t = { read : bool; write : bool }
+
+let rw = { read = true; write = true }
+let ro = { read = true; write = false }
+let none = { read = false; write = false }
+
+let allows t = function Read -> t.read | Write -> t.write
+
+let is_downgrade ~old_perm ~new_perm =
+  (old_perm.read && not new_perm.read)
+  || (old_perm.write && not new_perm.write)
+
+let pp_access fmt = function
+  | Read -> Format.pp_print_string fmt "R"
+  | Write -> Format.pp_print_string fmt "W"
+
+let pp fmt t =
+  Format.fprintf fmt "%c%c" (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')

@@ -1,0 +1,31 @@
+(** Radix tree keyed by virtual page number.
+
+    Mirrors the per-process radix tree DeX uses in the kernel to index page
+    ownership information by virtual page address: four levels of 512-way
+    fan-out cover a 36-bit page-number space (48-bit addresses / 4 KB
+    pages). Lookup and update are O(4); densely clustered keys share
+    interior nodes. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val find : 'a t -> int -> 'a option
+
+val mem : 'a t -> int -> bool
+
+val set : 'a t -> int -> 'a -> unit
+
+val remove : 'a t -> int -> unit
+
+val update : 'a t -> int -> default:(unit -> 'a) -> ('a -> 'a) -> 'a
+(** [update t key ~default f] stores and returns [f v] where [v] is the
+    current binding or [default ()]. *)
+
+val length : 'a t -> int
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** In increasing key order. *)
+
+val fold : 'a t -> init:'b -> f:(int -> 'a -> 'b -> 'b) -> 'b
+(** In increasing key order. *)

@@ -1,0 +1,35 @@
+(** Ordered set of non-overlapping VMAs — the per-node view of an address
+    space's layout.
+
+    The origin holds the authoritative tree; remote nodes hold lazily
+    populated copies refreshed by on-demand VMA synchronization. Removal and
+    permission changes operate on arbitrary page-aligned ranges, splitting
+    VMAs as needed (like [munmap]/[mprotect]). *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> Vma.t -> unit
+(** Raises [Invalid_argument] if the new VMA overlaps an existing one. *)
+
+val find : t -> Page.addr -> Vma.t option
+(** The VMA containing the address, if any. *)
+
+val remove_range : t -> start:Page.addr -> len:int -> Vma.t list
+(** Unmap a range: affected VMAs are truncated or split; returns the VMAs
+    (or fragments) that were removed. [start]/[len] must be page-aligned. *)
+
+val protect_range : t -> start:Page.addr -> len:int -> perm:Perm.t -> Vma.t list
+(** Change permissions over a range, splitting VMAs at the boundaries;
+    returns the resulting VMAs now covering the range. *)
+
+val iter : t -> (Vma.t -> unit) -> unit
+(** In increasing address order. *)
+
+val to_list : t -> Vma.t list
+
+val count : t -> int
+
+val check_invariants : t -> unit
+(** Raises [Failure] if VMAs overlap or are unsorted (test hook). *)

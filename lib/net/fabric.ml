@@ -1,0 +1,150 @@
+open Dex_sim
+
+type t = {
+  engine : Engine.t;
+  cfg : Net_config.t;
+  handlers : handler option array;
+  links : Resource.Server.t array;  (* directed, src * nodes + dst *)
+  send_pools : Resource.Pool.t array;  (* directed, per connection *)
+  recv_pools : Resource.Pool.t array;  (* per node *)
+  sinks : Rdma_sink.t array;  (* per node *)
+  stats : Stats.t;
+}
+
+and env = { msg : Msg.t; respond : ?size:int -> Msg.payload -> unit }
+and handler = t -> env -> unit
+
+let create engine cfg =
+  Net_config.validate cfg;
+  let n = cfg.Net_config.nodes in
+  {
+    engine;
+    cfg;
+    handlers = Array.make n None;
+    links =
+      Array.init (n * n) (fun _ ->
+          Resource.Server.create engine
+            ~bytes_per_us:cfg.Net_config.link_bandwidth_bytes_per_us);
+    send_pools =
+      Array.init (n * n) (fun _ ->
+          Resource.Pool.create engine ~capacity:cfg.Net_config.send_pool_slots);
+    recv_pools =
+      Array.init n (fun _ ->
+          Resource.Pool.create engine ~capacity:cfg.Net_config.recv_pool_slots);
+    sinks =
+      Array.init n (fun _ ->
+          Rdma_sink.create engine ~slots:cfg.Net_config.sink_slots
+            ~copy_ns_per_byte:cfg.Net_config.copy_ns_per_byte);
+    stats = Stats.create ();
+  }
+
+let engine t = t.engine
+let config t = t.cfg
+let node_count t = t.cfg.Net_config.nodes
+
+let check_node t node name =
+  if node < 0 || node >= node_count t then
+    invalid_arg (Printf.sprintf "Fabric.%s: bad node %d" name node)
+
+let set_handler t ~node handler =
+  check_node t node "set_handler";
+  t.handlers.(node) <- Some handler
+
+let no_respond ?size:_ _payload =
+  invalid_arg "Fabric: respond called on a one-way message"
+
+let dispatch t (msg : Msg.t) respond =
+  match t.handlers.(msg.dst) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Fabric: no handler installed on node %d" msg.dst)
+  | Some handler ->
+      Engine.spawn t.engine ~label:("handler:" ^ msg.kind) (fun () ->
+          handler t { msg; respond })
+
+(* Transport [msg] and invoke [deliver] at the destination. Runs in the
+   calling fiber up to the send-side costs, then asynchronously. *)
+let transmit t (msg : Msg.t) deliver =
+  Stats.incr t.stats ("sent." ^ msg.kind);
+  Stats.add t.stats ("bytes." ^ msg.kind) msg.size;
+  if msg.src = msg.dst then begin
+    Stats.incr t.stats "path.loopback";
+    Engine.schedule t.engine ~delay:t.cfg.Net_config.loopback_latency
+      (fun () -> deliver ())
+  end
+  else if msg.size >= t.cfg.Net_config.rdma_threshold then begin
+    (* RDMA path: reserve a sink slot at the destination, RDMA-write, copy
+       out. The caller is blocked through slot reservation and setup, which
+       is where RDMA backpressure bites. *)
+    Stats.incr t.stats "path.rdma";
+    let sink = t.sinks.(msg.dst) in
+    Rdma_sink.acquire sink;
+    Engine.delay t.engine t.cfg.Net_config.rdma_setup;
+    let link = t.links.((msg.src * node_count t) + msg.dst) in
+    Engine.spawn t.engine ~label:"rdma-transfer" (fun () ->
+        Resource.Server.transfer link ~bytes:msg.size;
+        Engine.delay t.engine t.cfg.Net_config.link_latency;
+        Rdma_sink.copy_out_and_release sink ~bytes:msg.size;
+        deliver ())
+  end
+  else begin
+    (* VERB path: grab a DMA-ready send buffer, post, serialize on the
+       link; the buffer is reclaimed once the send completes. *)
+    Stats.incr t.stats "path.verb";
+    let pool = t.send_pools.((msg.src * node_count t) + msg.dst) in
+    Resource.Pool.acquire pool;
+    Engine.delay t.engine t.cfg.Net_config.verb_overhead;
+    let link = t.links.((msg.src * node_count t) + msg.dst) in
+    Engine.spawn t.engine ~label:"verb-transfer" (fun () ->
+        Resource.Server.transfer link ~bytes:msg.size;
+        Resource.Pool.release pool;
+        Engine.delay t.engine t.cfg.Net_config.link_latency;
+        (* Receive-pool slot: consumed for the delivery event, recycled
+           immediately after (receive work request re-posted). *)
+        let recv = t.recv_pools.(msg.dst) in
+        Resource.Pool.acquire recv;
+        Resource.Pool.release recv;
+        deliver ())
+  end
+
+let send t ~src ~dst ~kind ~size payload =
+  check_node t src "send";
+  check_node t dst "send";
+  if size <= 0 then invalid_arg "Fabric.send: size must be positive";
+  let msg = { Msg.src; dst; size; kind; payload } in
+  transmit t msg (fun () -> dispatch t msg no_respond)
+
+let call t ~src ~dst ~kind ~size payload =
+  check_node t src "call";
+  check_node t dst "call";
+  if size <= 0 then invalid_arg "Fabric.call: size must be positive";
+  let msg = { Msg.src; dst; size; kind; payload } in
+  (* The reply may not be delivered before we suspend: response delivery is
+     always a separate engine event, and the check/suspend below runs
+     atomically within the calling fiber's current event. *)
+  let arrived = ref None in
+  let waiter = ref None in
+  let responded = ref false in
+  let respond ?(size = 64) reply =
+    if !responded then invalid_arg "Fabric: respond called twice";
+    responded := true;
+    let rmsg =
+      { Msg.src = dst; dst = src; size; kind = kind ^ ".resp"; payload = reply }
+    in
+    transmit t rmsg (fun () ->
+        match !waiter with
+        | Some resume -> resume reply
+        | None -> arrived := Some reply)
+  in
+  transmit t msg (fun () -> dispatch t msg respond);
+  match !arrived with
+  | Some reply -> reply
+  | None -> Engine.suspend t.engine (fun resume -> waiter := Some resume)
+
+let stats t = t.stats
+
+let send_pool_waits t =
+  Array.fold_left (fun acc p -> acc + Resource.Pool.waits p) 0 t.send_pools
+
+let sink_waits t =
+  Array.fold_left (fun acc s -> acc + Rdma_sink.exhaustion_waits s) 0 t.sinks

@@ -1,0 +1,58 @@
+(** The inter-node messaging layer (§III-E of the paper).
+
+    Nodes are fully connected (InfiniBand RC through a switch). Small control
+    messages travel on the VERB path: the sender takes a DMA-ready buffer
+    from the per-connection send pool (blocking when the pool is exhausted),
+    the message is serialized onto the link — a FIFO bandwidth server per
+    directed node pair — and delivered into the destination's receive pool.
+    Messages of {!Net_config.rdma_threshold} bytes or more use the RDMA path:
+    a slot of the destination's {!Rdma_sink} is reserved (backpressure when
+    full), data is RDMA-written, then copied once to its final destination.
+
+    Message handlers run in their own fiber at the destination and may
+    block; receive-pool buffers are recycled as soon as the delivery event
+    has been processed, before the handler body runs, exactly like DeX
+    reposts receive work requests after consuming the completion event. *)
+
+type t
+
+type env = {
+  msg : Msg.t;
+  respond : ?size:int -> Msg.payload -> unit;
+      (** Reply to an RPC ({!call}); at most one call per message. [size]
+          defaults to a small control message. Responding to a one-way
+          {!send} raises. *)
+}
+
+type handler = t -> env -> unit
+
+val create : Dex_sim.Engine.t -> Net_config.t -> t
+
+val engine : t -> Dex_sim.Engine.t
+
+val config : t -> Net_config.t
+
+val node_count : t -> int
+
+val set_handler : t -> node:int -> handler -> unit
+(** Install the message dispatcher of [node]. Replaces any previous one. *)
+
+val send : t -> src:int -> dst:int -> kind:string -> size:int -> Msg.payload -> unit
+(** One-way message. Blocks the calling fiber only for the local send-side
+    costs (buffer-pool acquisition and posting); transport and delivery
+    proceed asynchronously. *)
+
+val call :
+  t -> src:int -> dst:int -> kind:string -> size:int -> Msg.payload -> Msg.payload
+(** RPC: send a request and block the calling fiber until the handler at
+    [dst] responds. *)
+
+val stats : t -> Dex_sim.Stats.t
+(** Live counters: per-kind message counts and bytes, verb/rdma path counts,
+    pool-exhaustion waits. *)
+
+val send_pool_waits : t -> int
+(** Total send-buffer-pool exhaustion events across all connections. *)
+
+val sink_waits : t -> int
+(** Total RDMA-sink exhaustion events across all nodes. *)

@@ -1,0 +1,13 @@
+type payload = ..
+type payload += Ping of int | Pong of int
+
+type t = {
+  src : int;
+  dst : int;
+  size : int;
+  kind : string;
+  payload : payload;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "[%s %d->%d %dB]" t.kind t.src t.dst t.size

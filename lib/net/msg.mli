@@ -1,0 +1,19 @@
+(** Messages carried by the fabric.
+
+    Payloads are an extensible variant so that higher layers (coherence
+    protocol, migration, delegation) declare their own constructors without
+    the fabric depending on them. *)
+
+type payload = ..
+
+type payload += Ping of int | Pong of int  (** used by tests and examples *)
+
+type t = {
+  src : int;  (** sending node *)
+  dst : int;  (** destination node *)
+  size : int;  (** wire size in bytes *)
+  kind : string;  (** statistics class, e.g. ["page_req"] *)
+  payload : payload;
+}
+
+val pp : Format.formatter -> t -> unit

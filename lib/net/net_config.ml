@@ -1,0 +1,41 @@
+type t = {
+  nodes : int;
+  link_latency : Dex_sim.Time_ns.t;
+  link_bandwidth_bytes_per_us : float;
+  verb_overhead : Dex_sim.Time_ns.t;
+  rdma_setup : Dex_sim.Time_ns.t;
+  rdma_threshold : int;
+  send_pool_slots : int;
+  recv_pool_slots : int;
+  sink_slots : int;
+  copy_ns_per_byte : float;
+  loopback_latency : Dex_sim.Time_ns.t;
+}
+
+let default ?(nodes = 8) () =
+  {
+    nodes;
+    (* ~1.5us one-way: NIC + switch + propagation. *)
+    link_latency = Dex_sim.Time_ns.ns 1_500;
+    (* 56 Gbps = 7000 bytes/us. *)
+    link_bandwidth_bytes_per_us = 7_000.0;
+    verb_overhead = Dex_sim.Time_ns.ns 700;
+    rdma_threshold = 2_048;
+    (* Sink negotiation + completion-queue handling. *)
+    rdma_setup = Dex_sim.Time_ns.ns 7_800;
+    send_pool_slots = 128;
+    recv_pool_slots = 256;
+    sink_slots = 64;
+    (* One copy from the sink to the final page, ~10 GB/s. *)
+    copy_ns_per_byte = 0.1;
+    loopback_latency = Dex_sim.Time_ns.ns 300;
+  }
+
+let validate t =
+  if t.nodes <= 0 then invalid_arg "Net_config: nodes must be positive";
+  if t.link_bandwidth_bytes_per_us <= 0.0 then
+    invalid_arg "Net_config: bandwidth must be positive";
+  if t.send_pool_slots <= 0 || t.recv_pool_slots <= 0 || t.sink_slots <= 0 then
+    invalid_arg "Net_config: pool sizes must be positive";
+  if t.rdma_threshold <= 0 then
+    invalid_arg "Net_config: rdma_threshold must be positive"

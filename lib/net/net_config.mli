@@ -1,0 +1,31 @@
+(** Parameters of the simulated InfiniBand fabric.
+
+    Defaults are calibrated against the paper's testbed: Mellanox ConnectX-4
+    through an SX6012 switch, 56 Gbps links, with the messaging layer's
+    measured 13.6 µs end-to-end retrieval time for one 4 KB page. *)
+
+type t = {
+  nodes : int;  (** number of nodes in the rack *)
+  link_latency : Dex_sim.Time_ns.t;
+      (** one-way propagation + switch latency *)
+  link_bandwidth_bytes_per_us : float;  (** per-direction link bandwidth *)
+  verb_overhead : Dex_sim.Time_ns.t;
+      (** software cost to post one VERB send from a pooled buffer *)
+  rdma_setup : Dex_sim.Time_ns.t;
+      (** cost to negotiate an RDMA write into the peer's sink *)
+  rdma_threshold : int;
+      (** messages of at least this many bytes use the RDMA path *)
+  send_pool_slots : int;  (** DMA-mapped send buffers per connection *)
+  recv_pool_slots : int;  (** pre-posted receive buffers per connection *)
+  sink_slots : int;  (** 4 KB slots in each node's RDMA sink *)
+  copy_ns_per_byte : float;
+      (** cost of the sink-to-destination memory copy *)
+  loopback_latency : Dex_sim.Time_ns.t;
+      (** dispatch cost for node-local messages (no fabric involved) *)
+}
+
+val default : ?nodes:int -> unit -> t
+(** [default ()] is the calibrated 8-node configuration. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-sensical parameters. *)

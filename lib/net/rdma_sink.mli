@@ -1,0 +1,25 @@
+(** Per-node RDMA sink.
+
+    DeX cannot RDMA directly into arbitrary application pages (dynamic
+    registration is too expensive), so each connection owns a pre-registered
+    sink of physically contiguous 4 KB chunks: peers RDMA-write into a sink
+    slot and the payload is then copied once to its final destination. The
+    sink is a finite resource; exhaustion backpressures senders. *)
+
+type t
+
+val create : Dex_sim.Engine.t -> slots:int -> copy_ns_per_byte:float -> t
+
+val slots : t -> int
+
+val in_use : t -> int
+
+val exhaustion_waits : t -> int
+(** How many slot acquisitions had to block. *)
+
+val acquire : t -> unit
+(** Reserve one slot, blocking the calling fiber if the sink is full. *)
+
+val copy_out_and_release : t -> bytes:int -> unit
+(** Model the copy from the sink slot to the final destination, then free
+    the slot. Blocks the caller for the copy duration. *)

@@ -1,0 +1,112 @@
+module FE = Dex_proto.Fault_event
+
+type event = FE.t
+
+let count_by key events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = key e in
+      Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let descending l =
+  List.sort (fun (ka, a) (kb, b) -> compare (b, ka) (a, kb)) l
+
+let by_site events =
+  descending (count_by (fun e -> e.FE.site) events)
+
+let by_object alloc events =
+  let name e =
+    match Dex_mem.Allocator.object_at alloc e.FE.addr with
+    | Some (tag, _, _) -> tag
+    | None -> "<unknown>"
+  in
+  descending (count_by name events)
+
+let by_page events = descending (count_by (fun e -> e.FE.addr) events)
+
+let by_thread events =
+  descending (count_by (fun e -> (e.FE.node, e.FE.tid)) events)
+
+let by_kind events = descending (count_by (fun e -> e.FE.kind) events)
+
+let timeline events ~bucket =
+  if bucket <= 0 then invalid_arg "Analysis.timeline: bucket must be positive";
+  count_by (fun e -> e.FE.time / bucket * bucket) events
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let is_fault e = e.FE.kind <> FE.Invalidation
+
+let contended_pages events =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      if is_fault e && e.FE.retries > 0 then begin
+        let n, lat_sum = Option.value (Hashtbl.find_opt tbl e.FE.addr) ~default:(0, 0) in
+        Hashtbl.replace tbl e.FE.addr (n + 1, lat_sum + e.FE.latency)
+      end)
+    events;
+  Hashtbl.fold
+    (fun page (n, lat_sum) acc ->
+      (page, n, float_of_int lat_sum /. float_of_int n) :: acc)
+    tbl []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+let sharing_matrix events =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      if is_fault e then begin
+        let nodes = Option.value (Hashtbl.find_opt tbl e.FE.addr) ~default:[] in
+        if not (List.mem e.FE.node nodes) then
+          Hashtbl.replace tbl e.FE.addr (e.FE.node :: nodes)
+      end)
+    events;
+  Hashtbl.fold
+    (fun page nodes acc -> (page, List.sort compare nodes) :: acc)
+    tbl []
+  |> List.sort (fun (_, a) (_, b) ->
+         compare (List.length b) (List.length a))
+
+let mean_latency events =
+  let n = ref 0 and sum = ref 0 in
+  List.iter
+    (fun e ->
+      if is_fault e then begin
+        incr n;
+        sum := !sum + e.FE.latency
+      end)
+    events;
+  if !n = 0 then 0.0 else float_of_int !sum /. float_of_int !n
+
+type summary = {
+  total_faults : int;
+  reads : int;
+  writes : int;
+  invalidations : int;
+  retried : int;
+  mean_latency_ns : float;
+  hottest_sites : (string * int) list;
+  hottest_objects : (string * int) list;
+}
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let summarize ?alloc events =
+  let kind k = List.length (List.filter (fun e -> e.FE.kind = k) events) in
+  {
+    total_faults = List.length (List.filter is_fault events);
+    reads = kind FE.Read;
+    writes = kind FE.Write;
+    invalidations = kind FE.Invalidation;
+    retried =
+      List.length (List.filter (fun e -> is_fault e && e.FE.retries > 0) events);
+    mean_latency_ns = mean_latency events;
+    hottest_sites = take 5 (by_site (List.filter is_fault events));
+    hottest_objects =
+      (match alloc with
+      | None -> []
+      | Some a -> take 5 (by_object a (List.filter is_fault events)));
+  }

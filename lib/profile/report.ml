@@ -1,0 +1,43 @@
+let pp_compact fmt (s : Analysis.summary) =
+  Format.fprintf fmt
+    "faults=%d (R=%d W=%d inval=%d) retried=%d mean=%.1fus"
+    s.Analysis.total_faults s.Analysis.reads s.Analysis.writes
+    s.Analysis.invalidations s.Analysis.retried
+    (s.Analysis.mean_latency_ns /. 1000.0)
+
+let pp_ranked fmt title rows pp_key =
+  if rows <> [] then begin
+    Format.fprintf fmt "%s:@." title;
+    List.iter
+      (fun (k, n) -> Format.fprintf fmt "  %6d  %a@." n pp_key k)
+      rows
+  end
+
+let pp_summary ?alloc fmt events =
+  let s = Analysis.summarize ?alloc events in
+  Format.fprintf fmt "== DeX page-fault profile ==@.";
+  Format.fprintf fmt "%a@." pp_compact s;
+  pp_ranked fmt "hottest fault sites" s.Analysis.hottest_sites
+    (fun fmt k -> Format.pp_print_string fmt k);
+  pp_ranked fmt "hottest objects" s.Analysis.hottest_objects (fun fmt k ->
+      Format.pp_print_string fmt k);
+  let contended = Analysis.contended_pages events in
+  if contended <> [] then begin
+    Format.fprintf fmt "contended pages (NACK retries):@.";
+    List.iteri
+      (fun i (page, n, lat) ->
+        if i < 5 then
+          Format.fprintf fmt "  %#x: %d retried faults, mean %.1fus@." page n
+            (lat /. 1000.0))
+      contended
+  end;
+  match Analysis.timeline events ~bucket:(Dex_sim.Time_ns.ms 10) with
+  | [] -> ()
+  | buckets ->
+      Format.fprintf fmt "fault frequency (10ms buckets):@.";
+      List.iter
+        (fun (t0, n) ->
+          Format.fprintf fmt "  %8.1fms %s@."
+            (Dex_sim.Time_ns.to_ms_f t0)
+            (String.make (min 60 n) '#'))
+        buckets

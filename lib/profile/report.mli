@@ -1,0 +1,13 @@
+(** Human-readable profiling reports, as printed by DeX's optimization
+    toolchain. *)
+
+val pp_summary :
+  ?alloc:Dex_mem.Allocator.t ->
+  Format.formatter ->
+  Dex_proto.Fault_event.t list ->
+  unit
+(** Full report: totals, kinds, hottest sites/objects, contended pages and
+    fault-frequency timeline. *)
+
+val pp_compact : Format.formatter -> Analysis.summary -> unit
+(** One-paragraph digest. *)

@@ -1,0 +1,47 @@
+type t = {
+  coh : Dex_proto.Coherence.t;
+  mutable events : Dex_proto.Fault_event.t list;  (* newest first *)
+  mutable count : int;
+}
+
+let attach coh =
+  let t = { coh; events = []; count = 0 } in
+  Dex_proto.Coherence.set_tracer coh
+    (Some
+       (fun e ->
+         t.events <- e :: t.events;
+         t.count <- t.count + 1));
+  t
+
+let detach t = Dex_proto.Coherence.set_tracer t.coh None
+
+let events t = List.rev t.events
+
+let count t = t.count
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let kind_name = function
+  | Dex_proto.Fault_event.Read -> "R"
+  | Dex_proto.Fault_event.Write -> "W"
+  | Dex_proto.Fault_event.Invalidation -> "I"
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time_ns,node,tid,kind,site,addr,latency_ns,retries\n";
+  List.iter
+    (fun e ->
+      let open Dex_proto.Fault_event in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%s,%s,%#x,%d,%d\n" e.time e.node e.tid
+           (kind_name e.kind) e.site e.addr e.latency e.retries))
+    (events t);
+  Buffer.contents buf
+
+let save_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

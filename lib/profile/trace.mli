@@ -1,0 +1,29 @@
+(** Page-fault trace collection (§IV-A).
+
+    The kernel side of DeX hands one tuple per consistency-protocol fault
+    to user space through ftrace; here, a trace buffer attaches to a
+    process's coherence layer and accumulates the same records for
+    post-processing. *)
+
+type t
+
+val attach : Dex_proto.Coherence.t -> t
+(** Start collecting; replaces any previously installed tracer. *)
+
+val detach : t -> unit
+(** Stop collecting (the hook is removed). *)
+
+val events : t -> Dex_proto.Fault_event.t list
+(** Collected events, oldest first. *)
+
+val count : t -> int
+
+val clear : t -> unit
+
+val to_csv : t -> string
+(** The raw trace as CSV ([time_ns,node,tid,kind,site,addr,latency_ns,
+    retries]) — the equivalent of the paper's ftrace dump handed to the
+    post-processing tool. *)
+
+val save_csv : t -> string -> unit
+(** Write {!to_csv} to a file. *)

@@ -1,0 +1,486 @@
+open Dex_sim
+open Dex_mem
+module Fabric = Dex_net.Fabric
+module Msg = Dex_net.Msg
+
+type outcome = [ `Done | `Retry ]
+
+type t = {
+  fabric : Fabric.t;
+  engine : Engine.t;
+  origin : int;
+  pid : int;
+  cfg : Proto_config.t;
+  dir : Directory.t;
+  ptables : Page_table.t array;
+  stores : Page_store.t array;
+  ftables : outcome Fault_table.t array;
+  rngs : Rng.t array;  (* per-node backoff jitter *)
+  stats : Stats.t;
+  fault_latencies : Histogram.t;
+  mutable tracer : (Fault_event.t -> unit) option;
+}
+
+let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
+    =
+  let engine = Fabric.engine fabric in
+  let n = Fabric.node_count fabric in
+  if origin < 0 || origin >= n then invalid_arg "Coherence.create: bad origin";
+  let rng = Rng.create ~seed in
+  {
+    fabric;
+    engine;
+    origin;
+    pid;
+    cfg;
+    dir = Directory.create ~origin;
+    ptables = Array.init n (fun _ -> Page_table.create ());
+    stores = Array.init n (fun _ -> Page_store.create ());
+    ftables = Array.init n (fun _ -> Fault_table.create engine ());
+    rngs = Array.init n (fun _ -> Rng.split rng);
+    stats = Stats.create ();
+    fault_latencies = Histogram.create ();
+    tracer = None;
+  }
+
+let origin t = t.origin
+let pid t = t.pid
+let cfg t = t.cfg
+let node_count t = Array.length t.ptables
+let page_table t ~node = t.ptables.(node)
+let page_store t ~node = t.stores.(node)
+let directory t = t.dir
+let fault_table t ~node = t.ftables.(node)
+let stats t = t.stats
+let fault_latencies t = t.fault_latencies
+let set_tracer t tracer = t.tracer <- tracer
+
+let emit t event = match t.tracer with None -> () | Some f -> f event
+
+(* Only ship real bytes for pages the typed API materialized; the wire
+   cost of a full page is charged regardless (see grant sizes). *)
+let snapshot_if_materialized store vpn =
+  if Page_store.mem store vpn then Some (Page_store.snapshot store vpn)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Origin side: ownership decisions.                                   *)
+
+(* Ask [target] to surrender its copy of [vpn]; returns the page data if
+   [want_data] and the target had it materialized. *)
+let revoke_rpc t ~target ~vpn ~mode ~want_data =
+  Stats.incr t.stats
+    (match mode with
+    | Messages.Invalidate -> "revoke.invalidate"
+    | Messages.Downgrade -> "revoke.downgrade");
+  match
+    Fabric.call t.fabric ~src:t.origin ~dst:target
+      ~kind:Messages.kind_revoke ~size:t.cfg.Proto_config.ctl_msg_size
+      (Messages.Revoke { pid = t.pid; vpn; mode; want_data })
+  with
+  | Messages.Revoke_ack { data; _ } -> data
+  | _ -> failwith "Coherence: unexpected revoke reply"
+
+(* Apply a revocation to the origin's own page table. The origin's page
+   store is never dropped: it is the staging copy that grants snapshot
+   from, and every flow that could leave it stale re-installs fresh data
+   (reclaim_from_owner) before the next snapshot. *)
+let revoke_local t ~vpn ~mode =
+  match mode with
+  | Messages.Invalidate -> Page_table.invalidate t.ptables.(t.origin) vpn
+  | Messages.Downgrade -> Page_table.downgrade t.ptables.(t.origin) vpn
+
+(* Revoke [vpn] from every node in [targets] in parallel, joining before
+   returning. Used to invalidate all readers ahead of a write grant. *)
+let revoke_parallel t targets ~vpn =
+  match targets with
+  | [] -> ()
+  | _ ->
+      let pending = ref (List.length targets) in
+      let join = Waitq.create () in
+      List.iter
+        (fun target ->
+          Engine.spawn t.engine ~label:"revoke" (fun () ->
+              ignore
+                (revoke_rpc t ~target ~vpn ~mode:Messages.Invalidate
+                   ~want_data:false);
+              decr pending;
+              if !pending = 0 then ignore (Waitq.wake_one join ())))
+        targets;
+      Waitq.wait t.engine join
+
+(* Pull fresh page data back to the origin from the current exclusive
+   owner, downgrading or invalidating its copy. *)
+let reclaim_from_owner t ~owner ~vpn ~mode =
+  if owner = t.origin then revoke_local t ~vpn ~mode
+  else begin
+    let data = revoke_rpc t ~target:owner ~vpn ~mode ~want_data:true in
+    Option.iter (Page_store.install t.stores.(t.origin) vpn) data
+  end
+
+(* The core ownership transition. Must run at the origin; may block on
+   revocations. Returns [`Nack] when the page is busy. *)
+let origin_grant t ~requester ~vpn ~access =
+  if not (Directory.try_lock t.dir vpn) then begin
+    Stats.incr t.stats "grant.nack";
+    `Nack
+  end
+  else begin
+    (* The origin itself may have a fault in flight on this page (granted
+       but not yet retired); revoking its copy underneath it would lose
+       the pending update. Remote owners get the same protection in their
+       Revoke handler. *)
+    if requester <> t.origin then
+      Fault_table.await_idle t.ftables.(t.origin) ~vpn;
+    let had_copy = Directory.has_valid_copy t.dir vpn requester in
+    (match (access, Directory.state t.dir vpn) with
+    | Perm.Read, Directory.Exclusive owner when owner = requester -> ()
+    | Perm.Read, Directory.Exclusive owner ->
+        reclaim_from_owner t ~owner ~vpn ~mode:Messages.Downgrade;
+        (* The origin mediated the transfer, so it now holds a valid copy
+           alongside the old owner and the requester. *)
+        Directory.set_shared t.dir vpn
+          (Node_set.of_list [ owner; t.origin; requester ])
+    | Perm.Read, Directory.Shared _ -> Directory.add_reader t.dir vpn requester
+    | Perm.Write, Directory.Exclusive owner when owner = requester -> ()
+    | Perm.Write, Directory.Exclusive owner ->
+        reclaim_from_owner t ~owner ~vpn ~mode:Messages.Invalidate;
+        Directory.set_exclusive t.dir vpn requester
+    | Perm.Write, Directory.Shared readers ->
+        let victims =
+          List.filter
+            (fun n -> n <> requester && n <> t.origin)
+            (Node_set.to_list readers)
+        in
+        revoke_parallel t victims ~vpn;
+        if Node_set.mem readers t.origin && requester <> t.origin then
+          revoke_local t ~vpn ~mode:Messages.Invalidate;
+        Directory.set_exclusive t.dir vpn requester);
+    let wire_data =
+      ((not had_copy) || not t.cfg.Proto_config.grant_without_data)
+      && requester <> t.origin
+    in
+    let data =
+      if wire_data then snapshot_if_materialized t.stores.(t.origin) vpn
+      else None
+    in
+    Directory.unlock t.dir vpn;
+    Stats.incr t.stats (if wire_data then "grant.data" else "grant.nodata");
+    `Grant (data, wire_data)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Node side: fault handling.                                          *)
+
+let backoff t ~node ~attempt =
+  let base = t.cfg.Proto_config.backoff_base in
+  let cap = t.cfg.Proto_config.backoff_cap in
+  let d = min cap (base * (1 lsl min attempt 6)) in
+  (* +/- 25% deterministic jitter to avoid lockstep retries. *)
+  let jitter = Rng.int t.rngs.(node) (max 1 (d / 2)) - (d / 4) in
+  Engine.delay t.engine (max 1 (d + jitter))
+
+(* One protocol attempt as the fault leader. *)
+let request_once t ~node ~vpn ~access =
+  if node = t.origin then begin
+    Engine.delay t.engine t.cfg.Proto_config.local_op;
+    match origin_grant t ~requester:node ~vpn ~access with
+    | `Nack -> `Nack
+    | `Grant _ ->
+        Page_table.set t.ptables.(node) vpn access;
+        `Granted
+  end
+  else begin
+    match
+      Fabric.call t.fabric ~src:node ~dst:t.origin
+        ~kind:Messages.kind_page_request ~size:t.cfg.Proto_config.ctl_msg_size
+        (Messages.Page_request { pid = t.pid; vpn; access })
+    with
+    | Messages.Page_nack _ -> `Nack
+    | Messages.Page_grant { data; _ } ->
+        Option.iter (Page_store.install t.stores.(node) vpn) data;
+        Page_table.set t.ptables.(node) vpn access;
+        `Granted
+    | _ -> failwith "Coherence: unexpected page reply"
+  end
+
+let kind_of_access = function
+  | Perm.Read -> Fault_event.Read
+  | Perm.Write -> Fault_event.Write
+
+(* Ensure [node] may perform [access] on [vpn]; the full fault handler. *)
+let ensure t ~node ~tid ~site ~vpn ~access =
+  let pt = t.ptables.(node) in
+  if Page_table.allows pt vpn access then ()
+  else begin
+    let t0 = Engine.now t.engine in
+    let retries = ref 0 in
+    let was_leader = ref false in
+    let rec loop () =
+      if Page_table.allows pt vpn access then ()
+      else if node = t.origin && not (Directory.is_tracked t.dir vpn) then begin
+        (* Cold anonymous page at the origin: plain minor fault, the
+           protocol is not involved. *)
+        Engine.delay t.engine t.cfg.Proto_config.local_op;
+        Page_table.set pt vpn access;
+        Stats.incr t.stats "fault.minor"
+      end
+      else begin
+        Engine.delay t.engine t.cfg.Proto_config.fault_entry;
+        match Fault_table.enter t.ftables.(node) ~vpn ~access with
+        | Fault_table.Follower _ when t.cfg.Proto_config.coalesce_faults ->
+            Stats.incr t.stats "fault.coalesced";
+            Engine.delay t.engine t.cfg.Proto_config.follower_resume;
+            loop ()
+        | Fault_table.Follower _ ->
+            (* Coalescing disabled (ablation): each concurrent fault runs
+               its own protocol request, and — as in the paper's
+               description of stock Linux — the prepared page is simply
+               discarded because the PTE changed under it. *)
+            Stats.incr t.stats "fault.duplicate";
+            if node <> t.origin then
+              ignore
+                (Fabric.call t.fabric ~src:node ~dst:t.origin
+                   ~kind:Messages.kind_page_request
+                   ~size:t.cfg.Proto_config.ctl_msg_size
+                   (Messages.Page_request { pid = t.pid; vpn; access }))
+            else Engine.delay t.engine t.cfg.Proto_config.local_op;
+            loop ()
+        | Fault_table.Conflict -> loop ()
+        | Fault_table.Leader -> (
+            was_leader := true;
+            match request_once t ~node ~vpn ~access with
+            | `Granted ->
+                Engine.delay t.engine t.cfg.Proto_config.pte_update;
+                ignore (Fault_table.finish t.ftables.(node) ~vpn `Done)
+            | `Nack ->
+                Stats.incr t.stats "fault.retry";
+                incr retries;
+                ignore (Fault_table.finish t.ftables.(node) ~vpn `Retry);
+                backoff t ~node ~attempt:!retries;
+                loop ())
+      end
+    in
+    loop ();
+    if !was_leader then begin
+      let latency = Engine.now t.engine - t0 in
+      Stats.incr t.stats
+        (match access with
+        | Perm.Read -> "fault.read"
+        | Perm.Write -> "fault.write");
+      Histogram.add t.fault_latencies latency;
+      emit t
+        {
+          Fault_event.time = t0;
+          node;
+          tid;
+          kind = kind_of_access access;
+          site;
+          addr = Page.base_of_page vpn;
+          latency;
+          retries = !retries;
+        }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public access API.                                                  *)
+
+let check_node t node name =
+  if node < 0 || node >= node_count t then
+    invalid_arg (Printf.sprintf "Coherence.%s: bad node %d" name node)
+
+let access_range t ~node ~tid ?(site = "?") ~addr ~len ~access () =
+  check_node t node "access_range";
+  let first, last = Page.pages_of_range addr ~len in
+  for vpn = first to last do
+    ensure t ~node ~tid ~site ~vpn ~access
+  done
+
+let load_i64 t ~node ~tid ?(site = "?") addr =
+  check_node t node "load_i64";
+  let vpn = Page.page_of_addr addr in
+  ensure t ~node ~tid ~site ~vpn ~access:Perm.Read;
+  Page_store.read_i64 t.stores.(node) vpn ~offset:(Page.offset_in_page addr)
+
+let store_i64 t ~node ~tid ?(site = "?") addr v =
+  check_node t node "store_i64";
+  let vpn = Page.page_of_addr addr in
+  ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
+  Page_store.write_i64 t.stores.(node) vpn ~offset:(Page.offset_in_page addr) v
+
+(* 32-bit and byte accessors share a page with their 64-bit neighbours;
+   the protocol is oblivious to the width. Stored little-endian within the
+   containing 8-byte cell for simplicity. *)
+let load_i32 t ~node ~tid ?(site = "?") addr =
+  check_node t node "load_i32";
+  if addr land 3 <> 0 then invalid_arg "Coherence.load_i32: misaligned";
+  let vpn = Page.page_of_addr addr in
+  ensure t ~node ~tid ~site ~vpn ~access:Perm.Read;
+  let base = addr land lnot 7 in
+  let cell =
+    Page_store.read_i64 t.stores.(node) vpn ~offset:(Page.offset_in_page base)
+  in
+  let shift = (addr land 4) * 8 in
+  Int64.to_int32 (Int64.shift_right_logical cell shift)
+
+let store_i32 t ~node ~tid ?(site = "?") addr v =
+  check_node t node "store_i32";
+  if addr land 3 <> 0 then invalid_arg "Coherence.store_i32: misaligned";
+  let vpn = Page.page_of_addr addr in
+  ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
+  let base = addr land lnot 7 in
+  let offset = Page.offset_in_page base in
+  let cell = Page_store.read_i64 t.stores.(node) vpn ~offset in
+  let shift = (addr land 4) * 8 in
+  let mask = Int64.shift_left 0xFFFF_FFFFL shift in
+  let v64 =
+    Int64.shift_left (Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL) shift
+  in
+  Page_store.write_i64 t.stores.(node) vpn ~offset
+    (Int64.logor (Int64.logand cell (Int64.lognot mask)) v64)
+
+let load_byte t ~node ~tid ?(site = "?") addr =
+  check_node t node "load_byte";
+  let vpn = Page.page_of_addr addr in
+  ensure t ~node ~tid ~site ~vpn ~access:Perm.Read;
+  Page_store.read_byte t.stores.(node) vpn ~offset:(Page.offset_in_page addr)
+
+let store_byte t ~node ~tid ?(site = "?") addr v =
+  check_node t node "store_byte";
+  let vpn = Page.page_of_addr addr in
+  ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
+  Page_store.write_byte t.stores.(node) vpn ~offset:(Page.offset_in_page addr) v
+
+let cas_i64 t ~node ~tid ?(site = "?") addr ~expected ~desired =
+  check_node t node "cas_i64";
+  let vpn = Page.page_of_addr addr in
+  ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
+  (* Exclusive ownership held; no simulation event can interleave between
+     the read and the conditional write below. *)
+  let offset = Page.offset_in_page addr in
+  let current = Page_store.read_i64 t.stores.(node) vpn ~offset in
+  if current = expected then begin
+    Page_store.write_i64 t.stores.(node) vpn ~offset desired;
+    true
+  end
+  else false
+
+let fetch_add_i64 t ~node ~tid ?(site = "?") addr delta =
+  check_node t node "fetch_add_i64";
+  let vpn = Page.page_of_addr addr in
+  ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
+  let offset = Page.offset_in_page addr in
+  let current = Page_store.read_i64 t.stores.(node) vpn ~offset in
+  Page_store.write_i64 t.stores.(node) vpn ~offset (Int64.add current delta);
+  current
+
+let zap_range t ~first ~last ~node =
+  check_node t node "zap_range";
+  let n = Page_table.zap_range t.ptables.(node) ~first ~last in
+  for vpn = first to last do
+    Page_store.drop t.stores.(node) vpn
+  done;
+  n
+
+let forget_range t ~first ~last =
+  for vpn = first to last do
+    Directory.forget t.dir vpn
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Message handler.                                                    *)
+
+let handler t (env : Fabric.env) =
+  let msg = env.Fabric.msg in
+  match msg.Msg.payload with
+  | Messages.Page_request { pid; vpn; access } when pid = t.pid ->
+      if msg.Msg.dst <> t.origin then
+        failwith "Coherence: page request addressed to a non-origin node";
+      Engine.delay t.engine t.cfg.Proto_config.origin_handler;
+      (match origin_grant t ~requester:msg.Msg.src ~vpn ~access with
+      | `Nack ->
+          env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+            (Messages.Page_nack { pid = t.pid; vpn })
+      | `Grant (data, wire_data) ->
+          let size =
+            if wire_data then t.cfg.Proto_config.page_msg_size
+            else t.cfg.Proto_config.ctl_msg_size
+          in
+          env.Fabric.respond ~size (Messages.Page_grant { pid = t.pid; vpn; data }));
+      true
+  | Messages.Revoke { pid; vpn; mode; want_data } when pid = t.pid ->
+      let node = msg.Msg.dst in
+      (* A fault in flight on this page must complete before the
+         revocation applies, or PTE updates would interleave. *)
+      Fault_table.await_idle t.ftables.(node) ~vpn;
+      Engine.delay t.engine t.cfg.Proto_config.invalidate_handler;
+      let data =
+        if want_data then snapshot_if_materialized t.stores.(node) vpn
+        else None
+      in
+      (match mode with
+      | Messages.Invalidate ->
+          Page_table.invalidate t.ptables.(node) vpn;
+          Page_store.drop t.stores.(node) vpn
+      | Messages.Downgrade -> Page_table.downgrade t.ptables.(node) vpn);
+      emit t
+        {
+          Fault_event.time = Engine.now t.engine;
+          node;
+          tid = -1;
+          kind = Fault_event.Invalidation;
+          site = "";
+          addr = Page.base_of_page vpn;
+          latency = 0;
+          retries = 0;
+        };
+      let size =
+        if want_data then t.cfg.Proto_config.page_msg_size
+        else t.cfg.Proto_config.ctl_msg_size
+      in
+      env.Fabric.respond ~size (Messages.Revoke_ack { pid = t.pid; vpn; data });
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (tests).                                         *)
+
+let check_invariants t =
+  Directory.check_invariants t.dir;
+  Directory.iter t.dir (fun vpn state ->
+      match state with
+      | Directory.Exclusive owner ->
+          Array.iteri
+            (fun node pt ->
+              match Page_table.get pt vpn with
+              | Some Perm.Write when node <> owner ->
+                  failwith
+                    (Printf.sprintf
+                       "Coherence: node %d has Write PTE on page %d owned by \
+                        %d"
+                       node vpn owner)
+              | Some Perm.Read when node <> owner ->
+                  failwith
+                    (Printf.sprintf
+                       "Coherence: node %d has Read PTE on page %d \
+                        exclusively owned by %d"
+                       node vpn owner)
+              | _ -> ())
+            t.ptables
+      | Directory.Shared readers ->
+          Array.iteri
+            (fun node pt ->
+              match Page_table.get pt vpn with
+              | Some Perm.Write ->
+                  failwith
+                    (Printf.sprintf
+                       "Coherence: node %d has Write PTE on shared page %d"
+                       node vpn)
+              | Some Perm.Read when not (Node_set.mem readers node) ->
+                  failwith
+                    (Printf.sprintf
+                       "Coherence: node %d has stale Read PTE on page %d" node
+                       vpn)
+              | _ -> ())
+            t.ptables)

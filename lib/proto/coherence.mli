@@ -1,0 +1,134 @@
+(** The page-level memory consistency protocol (§III-B, §III-C).
+
+    Multiple-reader / single-writer, read-replicate write-invalidate,
+    sequential consistency. The origin tracks per-page ownership in a
+    {!Dex_mem.Directory}; every node keeps a {!Dex_mem.Page_table} of the
+    access levels it has been granted, a {!Dex_mem.Page_store} of real page
+    contents (for typed accesses), and a {!Dex_mem.Fault_table} that
+    coalesces concurrent faults with a leader/follower scheme.
+
+    Fault walk-through for a remote node: access checks the local page
+    table; on a miss the thread traps, enters the fault table (leader or
+    coalesced follower), and the leader RPCs [Page_request] to the origin.
+    The origin serializes protocol operations per page with a busy flag —
+    requests racing an in-flight operation are NACKed and the requester
+    backs off exponentially (the paper's slow contended path, ~158.8 µs on
+    average vs ~19.3 µs uncontended). To satisfy a read, the origin
+    downgrades an exclusive owner (pulling fresh data back); to satisfy a
+    write it revokes every other copy in parallel. Ownership is granted
+    without page data whenever the requester already holds an up-to-date
+    copy (read → write upgrades). *)
+
+type t
+
+val create :
+  ?cfg:Proto_config.t ->
+  ?seed:int ->
+  ?pid:int ->
+  Dex_net.Fabric.t ->
+  origin:int ->
+  t
+(** One protocol instance per distributed process; [pid] disambiguates the
+    wire messages of multiple processes sharing a fabric (default 0). The
+    caller must route fabric messages to {!handler}. *)
+
+val pid : t -> int
+
+val origin : t -> int
+
+val cfg : t -> Proto_config.t
+
+val node_count : t -> int
+
+val handler : t -> Dex_net.Fabric.env -> bool
+(** Process a protocol message addressed to this process; returns [false]
+    if the payload belongs to another subsystem. Must be called from the
+    fabric handler of the destination node. *)
+
+val access_range :
+  t ->
+  node:int ->
+  tid:int ->
+  ?site:string ->
+  addr:Dex_mem.Page.addr ->
+  len:int ->
+  access:Dex_mem.Perm.access ->
+  unit ->
+  unit
+(** Touch every page of [addr, addr+len) with the given access from [node],
+    faulting (and blocking the calling fiber) as the protocol requires.
+    Bulk variant used for large application arrays: page contents are not
+    materialized, only ownership and timing are tracked. *)
+
+val load_i64 :
+  t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int64
+(** Typed DSM read: acquires read access to the page, then reads the real
+    bytes from the node's page store. Address must be 8-byte aligned. *)
+
+val store_i64 :
+  t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int64 -> unit
+(** Typed DSM write: acquires exclusive access, then updates the node's
+    page store. *)
+
+val load_i32 :
+  t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int32
+(** Typed 4-byte read (4-byte aligned). *)
+
+val store_i32 :
+  t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int32 -> unit
+
+val load_byte : t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int
+(** Typed single-byte read. *)
+
+val store_byte :
+  t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int -> unit
+
+val cas_i64 :
+  t ->
+  node:int ->
+  tid:int ->
+  ?site:string ->
+  Dex_mem.Page.addr ->
+  expected:int64 ->
+  desired:int64 ->
+  bool
+(** Atomic compare-and-swap: exclusive ownership is acquired first, then
+    the compare-and-update runs without any intervening simulation event —
+    the analogue of a hardware CAS against an exclusively held cache
+    line/page. *)
+
+val fetch_add_i64 :
+  t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int64 -> int64
+(** Atomic fetch-and-add; returns the previous value. *)
+
+val page_table : t -> node:int -> Dex_mem.Page_table.t
+
+val page_store : t -> node:int -> Dex_mem.Page_store.t
+
+val directory : t -> Dex_mem.Directory.t
+
+val fault_table : t -> node:int -> [ `Done | `Retry ] Dex_mem.Fault_table.t
+
+val zap_range :
+  t -> first:Dex_mem.Page.vpn -> last:Dex_mem.Page.vpn -> node:int -> int
+(** Drop every page-table entry of [node] in the range (VMA shrink);
+    returns the number of zapped entries. Page stores are dropped too. *)
+
+val forget_range : t -> first:Dex_mem.Page.vpn -> last:Dex_mem.Page.vpn -> unit
+(** Clear directory tracking for an unmapped range. Call only after every
+    node's page-table entries in the range have been zapped. *)
+
+val set_tracer : t -> (Fault_event.t -> unit) option -> unit
+(** Install the page-fault profiler hook; leaders emit one event per
+    protocol fault, revocations emit [Invalidation] events. *)
+
+val stats : t -> Dex_sim.Stats.t
+
+val fault_latencies : t -> Dex_sim.Histogram.t
+(** Latency of every protocol fault (leaders only), origin and remote. *)
+
+val check_invariants : t -> unit
+(** Directory/page-table consistency: at most one exclusive owner; a node
+    has a Write PTE iff the directory says it is the exclusive owner; Read
+    PTEs only on shared readers or the exclusive owner. Call only when the
+    simulation is quiescent. *)

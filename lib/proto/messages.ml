@@ -1,0 +1,20 @@
+type revoke_mode = Invalidate | Downgrade
+
+type Dex_net.Msg.payload +=
+  | Page_request of {
+      pid : int;
+      vpn : Dex_mem.Page.vpn;
+      access : Dex_mem.Perm.access;
+    }
+  | Page_grant of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
+  | Page_nack of { pid : int; vpn : Dex_mem.Page.vpn }
+  | Revoke of {
+      pid : int;
+      vpn : Dex_mem.Page.vpn;
+      mode : revoke_mode;
+      want_data : bool;
+    }
+  | Revoke_ack of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
+
+let kind_page_request = "page_req"
+let kind_revoke = "revoke"

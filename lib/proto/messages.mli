@@ -1,0 +1,29 @@
+(** Wire messages of the memory consistency protocol. *)
+
+type revoke_mode =
+  | Invalidate  (** drop the copy entirely (a writer is coming) *)
+  | Downgrade  (** keep a read-only copy (a reader is coming) *)
+
+type Dex_net.Msg.payload +=
+  | Page_request of {
+      pid : int;
+      vpn : Dex_mem.Page.vpn;
+      access : Dex_mem.Perm.access;
+    }
+      (** node → origin: fault on [vpn]; requester is the message source *)
+  | Page_grant of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
+      (** origin → node: ownership granted; [data] carries page contents
+          when the requester lacked a valid copy and the page is
+          materialized *)
+  | Page_nack of { pid : int; vpn : Dex_mem.Page.vpn }
+      (** origin → node: page busy, back off and retry *)
+  | Revoke of {
+      pid : int;
+      vpn : Dex_mem.Page.vpn;
+      mode : revoke_mode;
+      want_data : bool;
+    }  (** origin → owner: surrender ownership *)
+  | Revoke_ack of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
+
+val kind_page_request : string
+val kind_revoke : string

@@ -1,0 +1,30 @@
+type t = {
+  fault_entry : Dex_sim.Time_ns.t;
+  follower_resume : Dex_sim.Time_ns.t;
+  pte_update : Dex_sim.Time_ns.t;
+  origin_handler : Dex_sim.Time_ns.t;
+  invalidate_handler : Dex_sim.Time_ns.t;
+  local_op : Dex_sim.Time_ns.t;
+  backoff_base : Dex_sim.Time_ns.t;
+  backoff_cap : Dex_sim.Time_ns.t;
+  ctl_msg_size : int;
+  page_msg_size : int;
+  coalesce_faults : bool;
+  grant_without_data : bool;
+}
+
+let default =
+  {
+    fault_entry = Dex_sim.Time_ns.ns 3_400;
+    follower_resume = Dex_sim.Time_ns.ns 600;
+    pte_update = Dex_sim.Time_ns.ns 1_300;
+    origin_handler = Dex_sim.Time_ns.ns 2_100;
+    invalidate_handler = Dex_sim.Time_ns.ns 1_000;
+    local_op = Dex_sim.Time_ns.ns 900;
+    backoff_base = Dex_sim.Time_ns.us 60;
+    backoff_cap = Dex_sim.Time_ns.us 600;
+    ctl_msg_size = 64;
+    page_msg_size = 4096 + 64;
+    coalesce_faults = true;
+    grant_without_data = true;
+  }

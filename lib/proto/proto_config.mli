@@ -1,0 +1,35 @@
+(** Cost model of the memory consistency protocol.
+
+    Calibrated so that, together with {!Dex_net.Net_config.default}, an
+    uncontended remote fault with page data lands on the paper's measured
+    numbers: 13.6 µs for the messaging layer to retrieve one 4 KB page and
+    ~19.3 µs for the whole fast-path fault; contended faults that lose the
+    directory race back off and land around 158.8 µs on average. *)
+
+type t = {
+  fault_entry : Dex_sim.Time_ns.t;
+      (** trap + fault-handler entry + fault-table insertion *)
+  follower_resume : Dex_sim.Time_ns.t;
+      (** cost for a coalesced follower to resume with the updated PTE *)
+  pte_update : Dex_sim.Time_ns.t;
+      (** serialized PTE update + fault-table completion *)
+  origin_handler : Dex_sim.Time_ns.t;
+      (** directory lookup and ownership decision at the origin *)
+  invalidate_handler : Dex_sim.Time_ns.t;
+      (** revoking ownership at a node: PTE zap + ack *)
+  local_op : Dex_sim.Time_ns.t;
+      (** origin-local protocol operation (no network) *)
+  backoff_base : Dex_sim.Time_ns.t;
+      (** first retry delay after a NACK *)
+  backoff_cap : Dex_sim.Time_ns.t;  (** retry delay ceiling *)
+  ctl_msg_size : int;  (** wire size of control messages *)
+  page_msg_size : int;  (** wire size of a grant carrying page data *)
+  coalesce_faults : bool;
+      (** leader/follower coalescing (§III-C); disable for ablation — every
+          thread then runs its own protocol request *)
+  grant_without_data : bool;
+      (** skip the page payload when the requester holds a valid copy
+          (§III-B); disable for ablation — every grant then ships 4 KB *)
+}
+
+val default : t

@@ -1,0 +1,25 @@
+(** Data-affinity migration: relocate the computation near its data.
+
+    The paper's conclusion proposes exactly this use of DeX's relocation
+    capability. Given the address ranges a thread is about to work on,
+    {!best_node} consults the ownership directory and picks the node
+    already holding the most pages — migrating there turns would-be
+    remote faults into local hits. *)
+
+val owned_pages :
+  Dex_proto.Coherence.t ->
+  ranges:(Dex_mem.Page.addr * int) list ->
+  int array
+(** Per-node count of pages of the given [(addr, len)] ranges that each
+    node can currently access without a protocol fault (shared readers
+    count for every holder; untracked pages count for the origin). *)
+
+val best_node :
+  Dex_proto.Coherence.t -> ranges:(Dex_mem.Page.addr * int) list -> int
+(** The node holding the most pages of the ranges (ties break toward the
+    lowest node id). *)
+
+val migrate_to_data :
+  Dex_core.Process.thread -> ranges:(Dex_mem.Page.addr * int) list -> int
+(** Migrate the calling thread to {!best_node} (no-op when already
+    there); returns the chosen node. *)

@@ -1,0 +1,49 @@
+open Dex_core
+
+type t = {
+  proc : Process.t;
+  policy : Placement.t;
+  requests : (int, int) Hashtbl.t;  (* tid -> target node *)
+  rng : Dex_sim.Rng.t;
+}
+
+let create proc ~policy =
+  {
+    proc;
+    policy;
+    requests = Hashtbl.create 16;
+    rng = Dex_sim.Rng.split (Cluster.rng (Process.cluster proc));
+  }
+
+let policy t = t.policy
+
+let request t ~tid ~node =
+  let cluster = Process.cluster t.proc in
+  if node < 0 || node >= Cluster.nodes cluster then
+    invalid_arg "Balancer.request: bad node";
+  Hashtbl.replace t.requests tid node
+
+let rebalance t ~tids =
+  let cluster = Process.cluster t.proc in
+  let total = List.length tids in
+  List.iteri
+    (fun index tid ->
+      let node =
+        Placement.choose t.policy cluster ~rng:t.rng ~index ~total
+      in
+      request t ~tid ~node)
+    tids
+
+let checkpoint t th =
+  let tid = Process.tid th in
+  match Hashtbl.find_opt t.requests tid with
+  | None -> false
+  | Some node ->
+      Hashtbl.remove t.requests tid;
+      if node = Process.location th then false
+      else begin
+        Process.migrate th node;
+        true
+      end
+
+let pending t = Hashtbl.length t.requests

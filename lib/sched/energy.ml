@@ -1,0 +1,56 @@
+open Dex_core
+
+type profile = { idle_watts : float; core_watts : float }
+
+let xeon_profile = { idle_watts = 60.0; core_watts = 10.5 }
+let efficiency_profile = { idle_watts = 8.0; core_watts = 2.5 }
+
+let busy_core_seconds cluster ~node =
+  float_of_int
+    (Dex_sim.Resource.Pool.busy_core_ns (Cluster.cores cluster ~node))
+  /. 1e9
+
+let check_profiles cluster profiles =
+  if Array.length profiles <> Cluster.nodes cluster then
+    invalid_arg "Energy: one profile per node required"
+
+let joules cluster ~profiles =
+  check_profiles cluster profiles;
+  let elapsed_s = Dex_sim.Time_ns.to_s_f (Cluster.now cluster) in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun node p ->
+      total :=
+        !total
+        +. (p.idle_watts *. elapsed_s)
+        +. (p.core_watts *. busy_core_seconds cluster ~node))
+    profiles;
+  !total
+
+let cheapest_node cluster ~profiles =
+  check_profiles cluster profiles;
+  let best = ref 0 in
+  Array.iteri
+    (fun node p ->
+      if p.core_watts < profiles.(!best).core_watts then best := node)
+    profiles;
+  ignore cluster;
+  !best
+
+let pp_report ~profiles fmt cluster =
+  check_profiles cluster profiles;
+  let elapsed_s = Dex_sim.Time_ns.to_s_f (Cluster.now cluster) in
+  Format.fprintf fmt "node  busy core-s  utilization  energy (J)@.";
+  Array.iteri
+    (fun node p ->
+      let busy = busy_core_seconds cluster ~node in
+      let cores =
+        float_of_int
+          (Dex_sim.Resource.Pool.capacity (Cluster.cores cluster ~node))
+      in
+      let util =
+        if elapsed_s > 0.0 then 100.0 *. busy /. (cores *. elapsed_s) else 0.0
+      in
+      Format.fprintf fmt "%4d  %11.6f  %10.1f%%  %10.4f@." node busy util
+        ((p.idle_watts *. elapsed_s) +. (p.core_watts *. busy)))
+    profiles

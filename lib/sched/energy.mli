@@ -1,0 +1,36 @@
+(** Energy accounting over heterogeneous power profiles.
+
+    The third scenario of the paper's conclusion: "saving energy by using
+    nodes with heterogeneous power profiles". Nodes accumulate
+    core-nanoseconds of busy time in their core pools; combined with a
+    per-node power profile this yields the energy a run consumed and lets
+    placement prefer efficient nodes. *)
+
+type profile = {
+  idle_watts : float;  (** drawn whenever the node is powered *)
+  core_watts : float;  (** additional draw per busy core *)
+}
+
+val xeon_profile : profile
+(** A server-class profile (the testbed's Xeon Silver class). *)
+
+val efficiency_profile : profile
+(** A low-power node (e.g. an embedded/ARM board in a heterogeneous
+    rack). *)
+
+val busy_core_seconds : Dex_core.Cluster.t -> node:int -> float
+(** Core-seconds of simulated CPU time node [node] has consumed. *)
+
+val joules :
+  Dex_core.Cluster.t -> profiles:profile array -> float
+(** Total energy of the run so far: for every node, idle power over the
+    elapsed simulated time plus per-core power over its busy
+    core-seconds. [profiles] must have one entry per node. *)
+
+val cheapest_node : Dex_core.Cluster.t -> profiles:profile array -> int
+(** The node whose *marginal* cost of one more busy core is lowest —
+    where an energy-aware scheduler should place the next thread. *)
+
+val pp_report :
+  profiles:profile array -> Format.formatter -> Dex_core.Cluster.t -> unit
+(** Per-node utilization and energy table. *)

@@ -1,0 +1,14 @@
+open Dex_core
+
+let run th ~node f =
+  let home = Process.location th in
+  Process.migrate th node;
+  Fun.protect ~finally:(fun () -> Process.migrate th home) f
+
+let run_on_least_loaded th f =
+  let cluster = Process.cluster (Process.self_process th) in
+  let rng = Cluster.rng cluster in
+  let node =
+    Placement.choose Placement.Least_loaded cluster ~rng ~index:0 ~total:1
+  in
+  (run th ~node f, node)

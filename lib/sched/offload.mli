@@ -1,0 +1,14 @@
+(** Computation offloading: run a function on another node and come back.
+
+    The second scenario of the paper's conclusion — accelerate a piece of
+    computation by relocating to a better-suited node (more idle cores, a
+    faster accelerator) for its duration. *)
+
+val run : Dex_core.Process.thread -> node:int -> (unit -> 'a) -> 'a
+(** [run th ~node f] migrates to [node], runs [f], migrates back to where
+    the thread was, and returns [f]'s result. The return migration happens
+    even if [f] raises. *)
+
+val run_on_least_loaded : Dex_core.Process.thread -> (unit -> 'a) -> 'a * int
+(** Offload to the node with the most idle cores at call time; returns the
+    result and the chosen node. *)

@@ -1,0 +1,33 @@
+open Dex_core
+
+type t = Round_robin | Least_loaded | Random | Pin of int
+
+let choose t cluster ~rng ~index ~total =
+  let nodes = Cluster.nodes cluster in
+  match t with
+  | Round_robin ->
+      if total <= 0 then invalid_arg "Placement.choose: total";
+      index * nodes / total
+  | Least_loaded ->
+      let best = ref 0 and best_idle = ref min_int in
+      for node = 0 to nodes - 1 do
+        let pool = Cluster.cores cluster ~node in
+        let idle =
+          Dex_sim.Resource.Pool.capacity pool - Dex_sim.Resource.Pool.in_use pool
+        in
+        if idle > !best_idle then begin
+          best := node;
+          best_idle := idle
+        end
+      done;
+      !best
+  | Random -> Dex_sim.Rng.int rng nodes
+  | Pin node ->
+      if node < 0 || node >= nodes then invalid_arg "Placement.choose: bad pin";
+      node
+
+let pp fmt = function
+  | Round_robin -> Format.pp_print_string fmt "round-robin"
+  | Least_loaded -> Format.pp_print_string fmt "least-loaded"
+  | Random -> Format.pp_print_string fmt "random"
+  | Pin n -> Format.fprintf fmt "pin:%d" n

@@ -1,0 +1,20 @@
+(** Thread placement policies.
+
+    The paper's evaluation places threads by hand ("we blindly inserted
+    the migration triggers and set destinations"); its conclusion sketches
+    letting OS schedulers or user-space libraries drive migration instead.
+    This module provides those policies: where should the next worker
+    go? *)
+
+type t =
+  | Round_robin  (** worker [i] of [n] to node [i * nodes / n] *)
+  | Least_loaded
+      (** the node with the most idle cores at decision time *)
+  | Random  (** uniform over nodes (seeded, deterministic) *)
+  | Pin of int  (** everything to one node *)
+
+val choose :
+  t -> Dex_core.Cluster.t -> rng:Dex_sim.Rng.t -> index:int -> total:int -> int
+(** Pick a destination node for worker [index] of [total]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Priority queue of simulated events.
+
+    Events are ordered by (time, sequence number): two events scheduled for
+    the same instant fire in insertion order, which keeps whole-simulation
+    runs deterministic. *)
+
+type t
+
+val create : unit -> t
+(** [create ()] is an empty queue. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val push : t -> time:Time_ns.t -> seq:int -> (unit -> unit) -> unit
+(** [push q ~time ~seq thunk] enqueues [thunk] to fire at [time]; [seq] breaks
+    ties between events at the same instant (lower fires first). *)
+
+val pop : t -> (Time_ns.t * (unit -> unit)) option
+(** [pop q] removes and returns the earliest event, or [None] if empty. *)
+
+val peek_time : t -> Time_ns.t option
+(** [peek_time q] is the firing time of the earliest event without removing
+    it. *)

@@ -1,0 +1,90 @@
+type t = { mutable data : int array; mutable size : int }
+
+let create () = { data = Array.make 16 0; size = 0 }
+
+let add t v =
+  if t.size = Array.length t.data then begin
+    let data = Array.make (2 * t.size) 0 in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1
+
+let count t = t.size
+
+let mean t =
+  if t.size = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      sum := !sum +. float_of_int t.data.(i)
+    done;
+    !sum /. float_of_int t.size
+  end
+
+let check_nonempty t name =
+  if t.size = 0 then invalid_arg ("Histogram." ^ name ^ ": empty")
+
+let min_value t =
+  check_nonempty t "min_value";
+  let m = ref t.data.(0) in
+  for i = 1 to t.size - 1 do
+    if t.data.(i) < !m then m := t.data.(i)
+  done;
+  !m
+
+let max_value t =
+  check_nonempty t "max_value";
+  let m = ref t.data.(0) in
+  for i = 1 to t.size - 1 do
+    if t.data.(i) > !m then m := t.data.(i)
+  done;
+  !m
+
+let sorted t = Array.sub t.data 0 t.size |> fun a -> Array.sort compare a; a
+
+let percentile t p =
+  check_nonempty t "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: out of range";
+  let a = sorted t in
+  (* Classic nearest-rank definition: smallest value with at least p% of the
+     samples at or below it. *)
+  let rank =
+    max 0 (int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) - 1)
+  in
+  a.(rank)
+
+let stddev t =
+  if t.size < 2 then 0.0
+  else begin
+    let m = mean t in
+    let sum = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      let d = float_of_int t.data.(i) -. m in
+      sum := !sum +. (d *. d)
+    done;
+    sqrt (!sum /. float_of_int t.size)
+  end
+
+let to_list t = Array.to_list (Array.sub t.data 0 t.size)
+
+let buckets t ~width =
+  if width <= 0 then invalid_arg "Histogram.buckets: width must be positive";
+  let tbl = Hashtbl.create 16 in
+  for i = 0 to t.size - 1 do
+    let b = t.data.(i) / width * width in
+    let cur = Option.value (Hashtbl.find_opt tbl b) ~default:0 in
+    Hashtbl.replace tbl b (cur + 1)
+  done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_summary fmt t =
+  if t.size = 0 then Format.fprintf fmt "n=0"
+  else
+    Format.fprintf fmt "n=%d mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus"
+      t.size (mean t /. 1000.0)
+      (Time_ns.to_us_f (percentile t 50.0))
+      (Time_ns.to_us_f (percentile t 99.0))
+      (Time_ns.to_us_f (max_value t))

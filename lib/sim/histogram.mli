@@ -1,0 +1,39 @@
+(** Value accumulator with summary statistics.
+
+    Used to record latency samples (in nanoseconds) and report means,
+    percentiles and extrema for the evaluation harness. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** [add t v] records one sample. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** [mean t] is 0.0 when empty. *)
+
+val min_value : t -> int
+(** Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> int
+(** Raises [Invalid_argument] when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [\[0,100\]] (nearest-rank). Raises
+    [Invalid_argument] when empty. *)
+
+val stddev : t -> float
+
+val to_list : t -> int list
+(** Samples in insertion order. *)
+
+val buckets : t -> width:int -> (int * int) list
+(** [buckets t ~width] is the sample distribution as
+    [(bucket_start, count)] pairs for non-empty fixed-[width] buckets,
+    sorted by bucket start; useful to exhibit bimodality. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: count / mean / p50 / p99 / max, in µs. *)

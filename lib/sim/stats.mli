@@ -1,0 +1,20 @@
+(** Named counters for instrumenting simulator components. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** [incr t name] adds 1 to counter [name], creating it at 0 first. *)
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** [get t name] is 0 for unknown counters. *)
+
+val to_list : t -> (string * int) list
+(** Counters sorted by name. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Simulated time, in integer nanoseconds.
+
+    All simulated durations and instants in DeX are plain [int] nanoseconds;
+    63-bit integers give ~292 years of simulated range, far beyond any run. *)
+
+type t = int
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val s : int -> t
+(** [s n] is [n] seconds. *)
+
+val of_us_f : float -> t
+(** [of_us_f x] converts a fractional microsecond duration, rounding to the
+    nearest nanosecond. *)
+
+val to_us_f : t -> float
+(** [to_us_f t] is [t] expressed in microseconds. *)
+
+val to_ms_f : t -> float
+(** [to_ms_f t] is [t] expressed in milliseconds. *)
+
+val to_s_f : t -> float
+(** [to_s_f t] is [t] expressed in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp] prints a duration with an adaptive unit (ns, µs, ms or s). *)

@@ -1,0 +1,23 @@
+The CLI lists the paper's eight applications:
+
+  $ ../../bin/dex_run.exe list
+  APP   THREADS      DESCRIPTION
+  GRP   Pthread      string match over an NFS-served text corpus
+  KMN   Pthread      k-means clustering of a 3-D point cloud
+  BT    OpenMP (15)  NPB block-tridiagonal solver
+  EP    OpenMP (1)   NPB embarrassingly parallel kernel
+  FT    OpenMP (7)   NPB 3-D FFT
+  BLK   Pthread      PARSEC blackscholes option pricing
+  BFS   Pthread      Polymer breadth-first search on an R-MAT graph
+  BP    Pthread      Polymer belief propagation
+
+Unknown applications are rejected:
+
+  $ ../../bin/dex_run.exe run NOPE
+  unknown application "NOPE"; try `dex_run list'
+  [2]
+
+A run is deterministic, so its output is stable:
+
+  $ ../../bin/dex_run.exe run EP -n 2 -v initial
+  EP/initial nodes=2 threads=16 time=27.30ms faults=18 retries=0 checksum=21459923

@@ -1,0 +1,794 @@
+(* Tests for the DeX core: thread migration, work delegation, futexes,
+   synchronization primitives, VMA synchronization and the public API. *)
+
+open Dex_sim
+open Dex_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let us = Time_ns.us
+
+let in_us ns = Time_ns.to_us_f ns
+
+(* ------------------------------------------------------------------ *)
+(* Quickstart: distribute threads, shared counter, migrate back.       *)
+
+let test_quickstart_distributed_counter () =
+  let cl = Dex.cluster ~nodes:4 () in
+  let final = ref 0L in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let counter = Process.malloc main ~bytes:8 ~tag:"counter" in
+        let threads =
+          List.init 4 (fun i ->
+              Process.spawn proc (fun th ->
+                  Process.migrate th i;
+                  ignore (Process.fetch_add th counter 1L);
+                  Process.migrate th (Process.origin proc)))
+        in
+        List.iter Process.join threads;
+        final := Process.load main counter)
+  in
+  Alcotest.(check int64) "all increments arrived" 4L !final;
+  (* Three forward migrations (node 0 is a no-op) and three backward. *)
+  let log = Process.migration_log proc in
+  let fwd = List.filter (fun r -> r.Process.m_direction = `Forward) log in
+  let bwd = List.filter (fun r -> r.Process.m_direction = `Backward) log in
+  check_int "forward migrations" 3 (List.length fwd);
+  check_int "backward migrations" 3 (List.length bwd)
+
+(* ------------------------------------------------------------------ *)
+(* Table II shape: first/second forward and backward migration.        *)
+
+let test_migration_latencies () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let proc =
+    Dex.run cl (fun proc main ->
+        ignore proc;
+        Process.migrate main 1;
+        Process.migrate main 0;
+        Process.migrate main 1;
+        Process.migrate main 0)
+  in
+  match Process.migration_log proc with
+  | [ f1; b1; f2; b2 ] ->
+      check_bool "first forward flagged" true f1.Process.m_first_to_node;
+      check_bool "second forward not first" false f2.Process.m_first_to_node;
+      (* Paper Table II: 1st forward 12.1us origin / 800us remote; 2nd
+         forward 6.6us / 230us; backward ~24.7us end to end. *)
+      check_bool
+        (Printf.sprintf "1st fwd origin ~12us (got %.1f)"
+           (in_us f1.Process.m_origin_ns))
+        true
+        (f1.Process.m_origin_ns > us 10 && f1.Process.m_origin_ns < us 14);
+      check_bool
+        (Printf.sprintf "1st fwd remote ~800us (got %.1f)"
+           (in_us f1.Process.m_remote_ns))
+        true
+        (f1.Process.m_remote_ns > us 770 && f1.Process.m_remote_ns < us 830);
+      check_bool
+        (Printf.sprintf "2nd fwd origin ~6.6us (got %.1f)"
+           (in_us f2.Process.m_origin_ns))
+        true
+        (f2.Process.m_origin_ns > us 5 && f2.Process.m_origin_ns < us 8);
+      check_bool
+        (Printf.sprintf "2nd fwd remote ~230us (got %.1f)"
+           (in_us f2.Process.m_remote_ns))
+        true
+        (f2.Process.m_remote_ns > us 220 && f2.Process.m_remote_ns < us 240);
+      let bwd_total r = r.Process.m_origin_ns + r.Process.m_remote_ns in
+      check_bool
+        (Printf.sprintf "backward ~22us handling (got %.1f)"
+           (in_us (bwd_total b1)))
+        true
+        (bwd_total b1 > us 18 && bwd_total b1 < us 28);
+      check_bool "2nd backward similar" true
+        (abs (bwd_total b2 - bwd_total b1) < us 2);
+      (* Figure 3: remote-worker construction dominates the first forward
+         migration and is absent from the second. *)
+      check_int "remote worker cost in 1st breakdown" (us 620)
+        (List.assoc "remote worker" f1.Process.m_breakdown);
+      check_bool "no remote worker in 2nd" true
+        (not (List.mem_assoc "remote worker" f2.Process.m_breakdown))
+  | log -> Alcotest.failf "unexpected migration log length %d" (List.length log)
+
+let test_migrate_validation () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun _proc main ->
+         (match Process.migrate main 7 with
+         | () -> Alcotest.fail "expected rejection"
+         | exception Invalid_argument _ -> ());
+         (* migrating to the current node is a no-op *)
+         Process.migrate main 0))
+
+(* ------------------------------------------------------------------ *)
+(* DSM through the public API + on-demand VMA sync.                    *)
+
+let test_remote_sees_origin_data_and_vma_sync () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let got = ref 0L in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let cell = Process.malloc main ~bytes:8 ~tag:"cell" in
+        Process.store main cell 1234L;
+        let th =
+          Process.spawn proc (fun th ->
+              Process.migrate th 1;
+              (* First touch from node 1: heap VMA unknown there, pulled
+                 on demand from the origin. *)
+              got := Process.load th cell)
+        in
+        Process.join th)
+  in
+  Alcotest.(check int64) "remote read" 1234L !got;
+  check_bool "on-demand VMA sync happened" true
+    (Stats.get (Process.stats proc) "vma.sync" >= 1)
+
+let expect_segfault f =
+  let cl = Dex.cluster ~nodes:2 () in
+  match Dex.run cl f with
+  | _ -> Alcotest.fail "expected segfault"
+  | exception Engine.Fiber_failure (_, Process.Segfault _) -> ()
+
+let test_segfault_unmapped_origin () =
+  expect_segfault (fun _proc main -> Process.read main 0x50 ~len:8)
+
+let test_segfault_unmapped_remote () =
+  expect_segfault (fun _proc main ->
+      Process.migrate main 1;
+      (* The origin confirms there is no VMA here: remote thread dies. *)
+      Process.read main 0x50 ~len:8)
+
+let test_segfault_write_to_readonly () =
+  expect_segfault (fun _proc main ->
+      let addr = Process.mmap main ~perm:Dex_mem.Perm.ro ~len:4096 ~tag:"ro" () in
+      Process.write main addr ~len:8)
+
+(* ------------------------------------------------------------------ *)
+(* munmap / mprotect broadcast.                                        *)
+
+let test_munmap_broadcast_kills_remote_access () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let before = ref 0L in
+  let reached_after = ref false in
+  (match
+     Dex.run cl (fun proc main ->
+         let region = Process.mmap main ~len:(4 * 4096) ~tag:"scratch" () in
+         Process.store main region 7L;
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               before := Process.load th region;
+               (* Wait for the origin to unmap, then touch again. *)
+               Engine.delay (Cluster.engine cl) (Time_ns.ms 2);
+               reached_after := true;
+               ignore (Process.load th region))
+         in
+         Engine.delay (Cluster.engine cl) (Time_ns.ms 1);
+         Process.munmap main ~addr:region ~len:(4 * 4096);
+         Process.join th)
+   with
+  | _ -> Alcotest.fail "expected segfault after munmap"
+  | exception Engine.Fiber_failure (_, Process.Segfault _) -> ());
+  Alcotest.(check int64) "read before unmap fine" 7L !before;
+  check_bool "remote reached the post-unmap access" true !reached_after
+
+let test_mprotect_downgrade_broadcast () =
+  expect_segfault (fun _proc main ->
+      let region = Process.mmap main ~len:4096 ~tag:"data" () in
+      Process.write main region ~len:4096;
+      Process.mprotect main ~addr:region ~len:4096 ~perm:Dex_mem.Perm.ro;
+      (* Reads still fine, writes now fault. *)
+      Process.read main region ~len:4096;
+      Process.write main region ~len:8)
+
+(* ------------------------------------------------------------------ *)
+(* Work delegation.                                                    *)
+
+let test_remote_malloc_is_delegated () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let th =
+          Process.spawn proc (fun th ->
+              Process.migrate th 1;
+              let a = Process.malloc th ~bytes:64 ~tag:"remote-buf" in
+              Process.store th a 1L)
+        in
+        Process.join th;
+        ignore main)
+  in
+  check_bool "delegations recorded" true
+    (Stats.get (Process.stats proc) "delegation" >= 1)
+
+let test_futex_eagain () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun _proc main ->
+         let w = Process.malloc main ~bytes:8 ~tag:"futexword" in
+         Process.store main w 5L;
+         (* Value mismatch: must return EAGAIN instead of sleeping. *)
+         check_bool "EAGAIN" false (Process.futex_wait main ~addr:w ~expected:99L)))
+
+let test_futex_wake_across_nodes () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let woken_at = ref 0 in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let w = Process.malloc main ~bytes:8 ~tag:"futexword" in
+         Process.store main w 0L;
+         let sleeper =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               check_bool "slept and woken" true
+                 (Process.futex_wait th ~addr:w ~expected:0L);
+               woken_at := Engine.now (Cluster.engine cl))
+         in
+         Engine.delay (Cluster.engine cl) (Time_ns.ms 1);
+         Process.store main w 1L;
+         ignore (Process.futex_wake main ~addr:w ~count:1);
+         Process.join sleeper));
+  check_bool "woken after the wake, not before" true (!woken_at >= Time_ns.ms 1)
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization primitives across nodes.                            *)
+
+let test_mutex_mutual_exclusion () =
+  let cl = Dex.cluster ~nodes:4 () in
+  let in_cs = ref false in
+  let overlaps = ref 0 in
+  let final = ref 0L in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let m = Sync.Mutex.create proc () in
+         let counter = Process.malloc main ~bytes:8 ~tag:"shared" in
+         let worker node th =
+           Process.migrate th node;
+           for _ = 1 to 10 do
+             Sync.Mutex.lock th m;
+             if !in_cs then incr overlaps;
+             in_cs := true;
+             (* Non-atomic read-modify-write: only safe under the lock. *)
+             let v = Process.load th counter in
+             Process.compute th ~ns:(us 3);
+             Process.store th counter (Int64.add v 1L);
+             in_cs := false;
+             Sync.Mutex.unlock th m
+           done
+         in
+         let threads =
+           List.init 4 (fun i -> Process.spawn proc (worker (i mod 4)))
+         in
+         List.iter Process.join threads;
+         final := Process.load main counter))
+  ;
+  check_int "no critical-section overlap" 0 !overlaps;
+  Alcotest.(check int64) "no lost updates" 40L !final
+
+let test_barrier_rounds () =
+  let cl = Dex.cluster ~nodes:4 () in
+  let parties = 8 in
+  let rounds = 5 in
+  let arrived = Array.make rounds 0 in
+  let violations = ref 0 in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let b = Sync.Barrier.create proc ~parties () in
+         let threads =
+           List.init parties (fun i ->
+               Process.spawn proc (fun th ->
+                   Process.migrate th (i mod 4);
+                   for r = 0 to rounds - 1 do
+                     (* stagger arrivals *)
+                     Process.compute th ~ns:(us ((i * 7) + 1));
+                     arrived.(r) <- arrived.(r) + 1;
+                     Sync.Barrier.await th b;
+                     (* After the barrier, everyone must have arrived. *)
+                     if arrived.(r) <> parties then incr violations
+                   done))
+         in
+         List.iter Process.join threads));
+  check_int "barrier never released early" 0 !violations
+
+let test_condvar_producer_consumer () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let consumed = ref 0L in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let m = Sync.Mutex.create proc () in
+         let cv = Sync.Condvar.create proc () in
+         let data = Process.malloc main ~bytes:8 ~tag:"mailbox" in
+         let consumer =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               Sync.Mutex.lock th m;
+               while Process.load th data = 0L do
+                 Sync.Condvar.wait th cv m
+               done;
+               consumed := Process.load th data;
+               Sync.Mutex.unlock th m)
+         in
+         Engine.delay (Cluster.engine cl) (Time_ns.ms 1);
+         Sync.Mutex.lock main m;
+         Process.store main data 42L;
+         Sync.Condvar.signal main cv;
+         Sync.Mutex.unlock main m;
+         Process.join consumer));
+  Alcotest.(check int64) "consumer got the value" 42L !consumed
+
+(* ------------------------------------------------------------------ *)
+(* Hardware resources.                                                 *)
+
+let test_core_pool_limits_node () =
+  let cl = Dex.cluster ~nodes:1 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let threads =
+           List.init 16 (fun _ ->
+               Process.spawn proc (fun th -> Process.compute th ~ns:(us 100)))
+         in
+         List.iter Process.join threads));
+  (* 16 threads of 100us on 8 cores: two waves, plus thread start costs. *)
+  let total = Dex.elapsed cl in
+  check_bool
+    (Printf.sprintf "two waves on 8 cores (got %.0fus)" (in_us total))
+    true
+    (total >= us 218 && total < us 260)
+
+let test_membw_contention_slows_streams () =
+  let run streams =
+    let cl = Dex.cluster ~nodes:1 () in
+    ignore
+      (Dex.run cl (fun proc main ->
+           ignore main;
+           let threads =
+             List.init streams (fun _ ->
+                 Process.spawn proc (fun th ->
+                     Process.compute_membound th ~ns:0 ~bytes:3_000_000))
+           in
+           List.iter Process.join threads));
+    Dex.elapsed cl
+  in
+  let t1 = run 1 and t4 = run 4 in
+  let ratio = float_of_int t4 /. float_of_int t1 in
+  (* 4 streams move 4x the data and pay a contention penalty on top. *)
+  check_bool (Printf.sprintf "contention penalty (ratio %.2f)" ratio) true
+    (ratio > 4.5)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent migration paths.                                         *)
+
+let test_concurrent_first_migrations_share_worker () =
+  (* Two threads migrate to a brand-new node at the same time: exactly one
+     builds the remote worker (the other waits in the Creating state). *)
+  let cl = Dex.cluster ~nodes:2 () in
+  let proc =
+    Dex.run cl (fun proc main ->
+        ignore main;
+        let threads =
+          List.init 2 (fun _ ->
+              Process.spawn proc (fun th -> Process.migrate th 1))
+        in
+        List.iter Process.join threads)
+  in
+  let fwd =
+    List.filter
+      (fun r -> r.Process.m_direction = `Forward)
+      (Process.migration_log proc)
+  in
+  check_int "two forward migrations" 2 (List.length fwd);
+  check_int "exactly one built the worker" 1
+    (List.length (List.filter (fun r -> r.Process.m_first_to_node) fwd));
+  (* The non-builder waited for worker construction, so its remote-side
+     cost is dominated by the wait, not a second worker build. *)
+  List.iter
+    (fun r ->
+      if not r.Process.m_first_to_node then
+        check_bool "follower paid no worker-build phase" true
+          (not (List.mem_assoc "remote worker" r.Process.m_breakdown)))
+    fwd
+
+let test_migration_to_third_node () =
+  (* A thread hops 0 -> 1 -> 2 -> 0; memory stays consistent throughout. *)
+  let cl = Dex.cluster ~nodes:3 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let cell = Process.malloc main ~bytes:8 ~tag:"cell" in
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               Process.store th cell 1L;
+               Process.migrate th 2;
+               check_int "direct hop" 2 (Process.location th);
+               Alcotest.(check int64) "sees own write" 1L (Process.load th cell);
+               Process.store th cell 2L;
+               Process.migrate th 0)
+         in
+         Process.join th;
+         Alcotest.(check int64) "final value at origin" 2L
+           (Process.load main cell)))
+
+(* ------------------------------------------------------------------ *)
+(* File I/O delegation.                                                *)
+
+let test_file_io_local_and_remote () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let fd = Process.file_open main "input.dat" in
+        Process.file_write main ~fd ~bytes:10_000;
+        Process.file_close main ~fd;
+        let th =
+          Process.spawn proc (fun th ->
+              Process.migrate th 1;
+              (* Remote read: delegated to the origin's file table. *)
+              let fd = Process.file_open th "input.dat" in
+              check_int "full read" 10_000
+                (Process.file_read th ~fd ~bytes:20_000);
+              check_int "EOF" 0 (Process.file_read th ~fd ~bytes:100);
+              Process.file_seek th ~fd ~pos:9_000;
+              check_int "after seek" 1_000
+                (Process.file_read th ~fd ~bytes:4_096);
+              Process.file_close th ~fd)
+        in
+        Process.join th)
+  in
+  Alcotest.(check (option int)) "size recorded" (Some 10_000)
+    (Process.file_size proc "input.dat");
+  check_bool "remote file ops were delegated" true
+    (Stats.get (Process.stats proc) "delegation" >= 4)
+
+let test_file_io_large_read_uses_rdma () =
+  (* A big delegated read's payload travels back as the syscall result and
+     must ride the fabric's RDMA path. *)
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let fd = Process.file_open main "big.bin" in
+         Process.file_write main ~fd ~bytes:(1 lsl 20);
+         Process.file_close main ~fd;
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               let fd = Process.file_open th "big.bin" in
+               ignore (Process.file_read th ~fd ~bytes:(1 lsl 20));
+               Process.file_close th ~fd)
+         in
+         Process.join th));
+  check_bool "rdma path used" true
+    (Stats.get (Dex_net.Fabric.stats (Cluster.fabric cl)) "path.rdma" >= 1)
+
+let test_file_bad_fd () =
+  let cl = Dex.cluster ~nodes:1 () in
+  match
+    Dex.run cl (fun _proc main ->
+        ignore (Process.file_read main ~fd:99 ~bytes:10))
+  with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Engine.Fiber_failure (_, Invalid_argument _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock / Semaphore across nodes.                                    *)
+
+let test_rwlock_readers_parallel_writers_exclusive () =
+  let cl = Dex.cluster ~nodes:4 () in
+  let max_readers = ref 0 in
+  let writer_overlap = ref 0 in
+  let readers_now = ref 0 in
+  let writer_in = ref false in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let rw = Sync.Rwlock.create proc () in
+         let readers =
+           List.init 6 (fun i ->
+               Process.spawn proc (fun th ->
+                   Process.migrate th (i mod 4);
+                   for _ = 1 to 5 do
+                     Sync.Rwlock.read_lock th rw;
+                     incr readers_now;
+                     if !writer_in then incr writer_overlap;
+                     max_readers := max !max_readers !readers_now;
+                     Process.compute th ~ns:(us 10);
+                     decr readers_now;
+                     Sync.Rwlock.read_unlock th rw
+                   done))
+         in
+         let writers =
+           List.init 2 (fun i ->
+               Process.spawn proc (fun th ->
+                   Process.migrate th ((i + 1) mod 4);
+                   for _ = 1 to 5 do
+                     Sync.Rwlock.write_lock th rw;
+                     if !readers_now > 0 || !writer_in then incr writer_overlap;
+                     writer_in := true;
+                     Process.compute th ~ns:(us 10);
+                     writer_in := false;
+                     Sync.Rwlock.write_unlock th rw
+                   done))
+         in
+         List.iter Process.join (readers @ writers)));
+  check_int "writers never overlap anyone" 0 !writer_overlap;
+  check_bool "readers actually ran in parallel" true (!max_readers >= 2)
+
+let test_semaphore_bounds_concurrency () =
+  let cl = Dex.cluster ~nodes:4 () in
+  let inside = ref 0 in
+  let peak = ref 0 in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let sem = Sync.Semaphore.create proc ~initial:3 () in
+         let threads =
+           List.init 8 (fun i ->
+               Process.spawn proc (fun th ->
+                   Process.migrate th (i mod 4);
+                   Sync.Semaphore.wait th sem;
+                   incr inside;
+                   peak := max !peak !inside;
+                   Process.compute th ~ns:(us 20);
+                   decr inside;
+                   Sync.Semaphore.post th sem))
+         in
+         List.iter Process.join threads));
+  check_bool "at most three inside" true (!peak <= 3);
+  check_bool "some concurrency achieved" true (!peak >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol ablation flags keep results correct.                       *)
+
+let test_no_coalescing_still_correct () =
+  let proto =
+    { Dex_proto.Proto_config.default with coalesce_faults = false }
+  in
+  let cl = Dex.cluster ~nodes:2 ~proto () in
+  let total = ref 0L in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let cell = Process.malloc main ~bytes:8 ~tag:"cell" in
+        let start = Sync.Barrier.create proc ~parties:6 () in
+        let threads =
+          List.init 6 (fun _ ->
+              Process.spawn proc (fun th ->
+                  Process.migrate th 1;
+                  (* all six fault on the cold page simultaneously *)
+                  Sync.Barrier.await th start;
+                  for _ = 1 to 10 do
+                    ignore (Process.fetch_add th cell 1L);
+                    Process.compute th ~ns:(us 3)
+                  done))
+        in
+        List.iter Process.join threads;
+        total := Process.load main cell)
+  in
+  Alcotest.(check int64) "no lost updates without coalescing" 60L !total;
+  check_bool "duplicate requests happened" true
+    (Stats.get
+       (Dex_proto.Coherence.stats (Process.coherence proc))
+       "fault.duplicate"
+    >= 1)
+
+let test_no_nodata_grants_still_correct () =
+  let proto =
+    { Dex_proto.Proto_config.default with grant_without_data = false }
+  in
+  let cl = Dex.cluster ~nodes:3 ~proto () in
+  let final = ref 0L in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let cell = Process.malloc main ~bytes:8 ~tag:"cell" in
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               ignore (Process.load th cell);
+               Process.store th cell 77L;
+               Process.migrate th 2;
+               ignore (Process.load th cell))
+         in
+         Process.join th;
+         final := Process.load main cell));
+  Alcotest.(check int64) "value survives full-data grants" 77L !final
+
+let test_width_accessors_through_api () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let cell = Process.malloc main ~bytes:16 ~tag:"mixed" in
+         Process.store32 main cell 0x0BADCAFEl;
+         Process.store_byte main (cell + 8) 0x7F;
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               Alcotest.(check int32) "i32 across nodes" 0x0BADCAFEl
+                 (Process.load32 th cell);
+               check_int "byte across nodes" 0x7F
+                 (Process.load_byte th (cell + 8));
+               Process.store32 th (cell + 4) 0x1234l)
+         in
+         Process.join th;
+         Alcotest.(check int32) "remote i32 write visible" 0x1234l
+           (Process.load32 main (cell + 4))))
+
+(* ------------------------------------------------------------------ *)
+(* Multiple processes sharing one cluster (pid-disambiguated wires).   *)
+
+let test_two_processes_isolated () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let procs = [ Process.create cl (); Process.create cl () ] in
+  let results = Array.make 2 0L in
+  List.iteri
+    (fun i proc ->
+      let main =
+        Process.spawn proc ~name:"main" (fun main ->
+            let cell = Process.malloc main ~bytes:8 ~tag:"cell" in
+            let threads =
+              List.init 3 (fun _ ->
+                  Process.spawn proc (fun th ->
+                      Process.migrate th 1;
+                      for _ = 1 to 5 do
+                        ignore (Process.fetch_add th cell 1L);
+                        Process.compute th ~ns:(us ((i * 3) + 2))
+                      done))
+            in
+            List.iter Process.join threads;
+            results.(i) <- Process.load main cell)
+      in
+      Engine.spawn (Cluster.engine cl) ~label:"supervisor" (fun () ->
+          Process.join main;
+          Process.shutdown proc))
+    procs;
+  Cluster.run cl;
+  Alcotest.(check int64) "process 0 isolated" 15L results.(0);
+  Alcotest.(check int64) "process 1 isolated" 15L results.(1);
+  (* Same heap addresses in both processes, yet no cross-talk: the wire
+     messages are pid-disambiguated and each process has its own
+     directory. *)
+  List.iter
+    (fun proc -> Dex_proto.Coherence.check_invariants (Process.coherence proc))
+    procs
+
+(* ------------------------------------------------------------------ *)
+(* Migration fuzzing: random hop/compute/store programs vs a model.    *)
+
+let prop_migration_fuzz =
+  QCheck.Test.make ~name:"random migrate/store programs match a host model"
+    ~count:15
+    QCheck.(
+      pair small_int
+        (list_of_size Gen.(5 -- 30)
+           (triple (int_bound 3) (int_bound 3) (int_bound 100))))
+    (fun (seed, steps) ->
+      (* [steps]: (thread, action-node, value). Each of 4 threads owns its
+         own cell (single writer per address); threads hop between nodes
+         and update their cell from wherever they are. *)
+      let cl = Dex.cluster ~nodes:4 ~seed () in
+      let model = Array.make 4 0L in
+      let final = Array.make 4 0L in
+      let proc =
+        Dex.run cl (fun proc main ->
+             let cells =
+               Array.init 4 (fun i ->
+                   Process.malloc main ~bytes:8
+                     ~tag:(Printf.sprintf "cell%d" i))
+             in
+             let per_thread = Array.make 4 [] in
+             List.iter
+               (fun (t, node, v) ->
+                 per_thread.(t) <- (node, v) :: per_thread.(t))
+               steps;
+             let threads =
+               List.init 4 (fun t ->
+                   Process.spawn proc (fun th ->
+                       List.iter
+                         (fun (node, v) ->
+                           Process.migrate th node;
+                           let prev = Process.load th cells.(t) in
+                           Process.store th cells.(t)
+                             (Int64.add prev (Int64.of_int v));
+                           Process.compute th ~ns:(us ((v mod 7) + 1)))
+                         (List.rev per_thread.(t))))
+             in
+             List.iter
+               (fun (t, _, v) -> model.(t) <- Int64.add model.(t) (Int64.of_int v))
+               steps;
+             List.iter Process.join threads;
+             for t = 0 to 3 do
+               final.(t) <- Process.load main cells.(t)
+             done)
+      in
+      Dex_proto.Coherence.check_invariants (Process.coherence proc);
+      final = model)
+
+let () =
+  Alcotest.run "dex_core"
+    [
+      ( "migration",
+        [
+          Alcotest.test_case "quickstart distributed counter" `Quick
+            test_quickstart_distributed_counter;
+          Alcotest.test_case "Table II latencies" `Quick
+            test_migration_latencies;
+          Alcotest.test_case "validation" `Quick test_migrate_validation;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "remote data + VMA sync" `Quick
+            test_remote_sees_origin_data_and_vma_sync;
+          Alcotest.test_case "segfault unmapped (origin)" `Quick
+            test_segfault_unmapped_origin;
+          Alcotest.test_case "segfault unmapped (remote)" `Quick
+            test_segfault_unmapped_remote;
+          Alcotest.test_case "segfault read-only write" `Quick
+            test_segfault_write_to_readonly;
+          Alcotest.test_case "munmap broadcast" `Quick
+            test_munmap_broadcast_kills_remote_access;
+          Alcotest.test_case "mprotect downgrade" `Quick
+            test_mprotect_downgrade_broadcast;
+        ] );
+      ( "delegation",
+        [
+          Alcotest.test_case "remote malloc" `Quick
+            test_remote_malloc_is_delegated;
+          Alcotest.test_case "futex EAGAIN" `Quick test_futex_eagain;
+          Alcotest.test_case "futex wake across nodes" `Quick
+            test_futex_wake_across_nodes;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "mutex mutual exclusion" `Quick
+            test_mutex_mutual_exclusion;
+          Alcotest.test_case "barrier rounds" `Quick test_barrier_rounds;
+          Alcotest.test_case "condvar producer/consumer" `Quick
+            test_condvar_producer_consumer;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "core pool limits" `Quick
+            test_core_pool_limits_node;
+          Alcotest.test_case "memory bandwidth contention" `Quick
+            test_membw_contention_slows_streams;
+        ] );
+      ( "migration_concurrency",
+        [
+          Alcotest.test_case "concurrent first migrations" `Quick
+            test_concurrent_first_migrations_share_worker;
+          Alcotest.test_case "third-node hop" `Quick
+            test_migration_to_third_node;
+        ] );
+      ( "file_io",
+        [
+          Alcotest.test_case "local and remote" `Quick
+            test_file_io_local_and_remote;
+          Alcotest.test_case "large read uses RDMA" `Quick
+            test_file_io_large_read_uses_rdma;
+          Alcotest.test_case "bad fd" `Quick test_file_bad_fd;
+        ] );
+      ( "sync_extra",
+        [
+          Alcotest.test_case "rwlock semantics" `Quick
+            test_rwlock_readers_parallel_writers_exclusive;
+          Alcotest.test_case "semaphore bounds" `Quick
+            test_semaphore_bounds_concurrency;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "no coalescing still correct" `Quick
+            test_no_coalescing_still_correct;
+          Alcotest.test_case "no no-data grants still correct" `Quick
+            test_no_nodata_grants_still_correct;
+        ] );
+      ( "typed_widths",
+        [
+          Alcotest.test_case "i32/byte through the API" `Quick
+            test_width_accessors_through_api;
+        ] );
+      ( "multi_process",
+        [
+          Alcotest.test_case "two processes isolated" `Quick
+            test_two_processes_isolated;
+        ] );
+      ("fuzz", List.map QCheck_alcotest.to_alcotest [ prop_migration_fuzz ]);
+    ]

@@ -1,0 +1,152 @@
+(* Tests for the lazy-release-consistency baseline DSM: lock-protected
+   visibility, diff propagation, concurrent same-page writers, and the
+   stale-read behaviour that distinguishes it from DeX's sequential
+   consistency. *)
+
+open Dex_sim
+open Dex_proto
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let setup ?(nodes = 4) () =
+  let engine = Engine.create () in
+  let fabric =
+    Dex_net.Fabric.create engine (Dex_net.Net_config.default ~nodes ())
+  in
+  let lrc = Lrc.create fabric ~origin:0 in
+  for node = 0 to nodes - 1 do
+    Dex_net.Fabric.set_handler fabric ~node (fun _ env ->
+        if not (Lrc.handler lrc env) then failwith "test_lrc: unrouted")
+  done;
+  (engine, lrc)
+
+let addr0 = Dex_mem.Layout.heap_base
+
+let run_fiber engine f =
+  Engine.spawn engine f;
+  Engine.run_until_quiescent engine
+
+let test_release_acquire_visibility () =
+  let engine, lrc = setup () in
+  let seen = ref 0L in
+  run_fiber engine (fun () ->
+      Lrc.acquire lrc ~node:1 ~tid:0 ~lock:0;
+      Lrc.write_i64 lrc ~node:1 ~tid:0 addr0 42L;
+      Lrc.release lrc ~node:1 ~tid:0 ~lock:0;
+      Lrc.acquire lrc ~node:2 ~tid:1 ~lock:0;
+      seen := Lrc.read_i64 lrc ~node:2 ~tid:1 addr0;
+      Lrc.release lrc ~node:2 ~tid:1 ~lock:0);
+  check_i64 "reader inside the lock sees the write" 42L !seen
+
+let test_stale_read_without_acquire () =
+  (* The relaxed-model trap the paper warns about: a reader that skips the
+     acquire keeps its stale cached copy. *)
+  let engine, lrc = setup () in
+  let before = ref (-1L) and after_sync = ref (-1L) in
+  run_fiber engine (fun () ->
+      (* Node 2 caches the page first (value 0). *)
+      ignore (Lrc.read_i64 lrc ~node:2 ~tid:1 addr0);
+      Lrc.acquire lrc ~node:1 ~tid:0 ~lock:0;
+      Lrc.write_i64 lrc ~node:1 ~tid:0 addr0 7L;
+      Lrc.release lrc ~node:1 ~tid:0 ~lock:0;
+      (* Racy read: still stale. *)
+      before := Lrc.read_i64 lrc ~node:2 ~tid:1 addr0;
+      (* Proper synchronization: now visible. *)
+      Lrc.acquire lrc ~node:2 ~tid:1 ~lock:0;
+      after_sync := Lrc.read_i64 lrc ~node:2 ~tid:1 addr0;
+      Lrc.release lrc ~node:2 ~tid:1 ~lock:0);
+  check_i64 "racy read is stale" 0L !before;
+  check_i64 "synchronized read is fresh" 7L !after_sync
+
+let test_concurrent_writers_same_page_no_pingpong () =
+  (* Two nodes write different words of the same page under different
+     locks: legal in LRC, and both updates survive (no false sharing). *)
+  let engine, lrc = setup () in
+  let a = ref 0L and b = ref 0L in
+  run_fiber engine (fun () ->
+      Lrc.acquire lrc ~node:1 ~tid:0 ~lock:1;
+      Lrc.acquire lrc ~node:2 ~tid:1 ~lock:2;
+      Lrc.write_i64 lrc ~node:1 ~tid:0 addr0 100L;
+      Lrc.write_i64 lrc ~node:2 ~tid:1 (addr0 + 8) 200L;
+      Lrc.release lrc ~node:1 ~tid:0 ~lock:1;
+      Lrc.release lrc ~node:2 ~tid:1 ~lock:2;
+      Lrc.acquire lrc ~node:3 ~tid:2 ~lock:1;
+      Lrc.release lrc ~node:3 ~tid:2 ~lock:1;
+      Lrc.acquire lrc ~node:3 ~tid:2 ~lock:2;
+      a := Lrc.read_i64 lrc ~node:3 ~tid:2 addr0;
+      b := Lrc.read_i64 lrc ~node:3 ~tid:2 (addr0 + 8);
+      Lrc.release lrc ~node:3 ~tid:2 ~lock:2);
+  check_i64 "first writer's word survives" 100L !a;
+  check_i64 "second writer's word survives" 200L !b
+
+let test_lock_mutual_exclusion () =
+  let engine, lrc = setup () in
+  let in_cs = ref false in
+  let overlaps = ref 0 in
+  for node = 1 to 3 do
+    Engine.spawn engine (fun () ->
+        for _ = 1 to 5 do
+          Lrc.acquire lrc ~node ~tid:node ~lock:9;
+          if !in_cs then incr overlaps;
+          in_cs := true;
+          Engine.delay engine (Time_ns.us 15);
+          in_cs := false;
+          Lrc.release lrc ~node ~tid:node ~lock:9
+        done)
+  done;
+  Engine.run_until_quiescent engine;
+  check_int "no critical-section overlap" 0 !overlaps
+
+let test_diffs_cheaper_than_pages () =
+  let engine, lrc = setup () in
+  run_fiber engine (fun () ->
+      Lrc.acquire lrc ~node:1 ~tid:0 ~lock:0;
+      (* Three words dirty on one page: the flush is a diff, not 4 KB. *)
+      Lrc.write_i64 lrc ~node:1 ~tid:0 addr0 1L;
+      Lrc.write_i64 lrc ~node:1 ~tid:0 (addr0 + 8) 2L;
+      Lrc.write_i64 lrc ~node:1 ~tid:0 (addr0 + 16) 3L;
+      Lrc.release lrc ~node:1 ~tid:0 ~lock:0);
+  let st = Lrc.stats lrc in
+  check_int "one diff message" 1 (Stats.get st "lrc.diff");
+  check_int "36 bytes of diff payload" 36 (Stats.get st "lrc.diff_bytes");
+  check_bool "well under a page" true (Stats.get st "lrc.diff_bytes" < 4096)
+
+let test_homes_spread_over_nodes () =
+  let _, lrc = setup ~nodes:4 () in
+  let homes =
+    List.sort_uniq compare (List.init 8 (fun i -> Lrc.home_of lrc i))
+  in
+  check_int "all nodes serve as homes" 4 (List.length homes)
+
+let test_own_writes_visible_before_release () =
+  let engine, lrc = setup () in
+  let v = ref 0L in
+  run_fiber engine (fun () ->
+      Lrc.acquire lrc ~node:1 ~tid:0 ~lock:0;
+      Lrc.write_i64 lrc ~node:1 ~tid:0 addr0 5L;
+      v := Lrc.read_i64 lrc ~node:1 ~tid:0 addr0;
+      Lrc.release lrc ~node:1 ~tid:0 ~lock:0);
+  check_i64 "program order respected locally" 5L !v
+
+let () =
+  Alcotest.run "dex_lrc"
+    [
+      ( "lrc",
+        [
+          Alcotest.test_case "release/acquire visibility" `Quick
+            test_release_acquire_visibility;
+          Alcotest.test_case "stale read without acquire" `Quick
+            test_stale_read_without_acquire;
+          Alcotest.test_case "concurrent same-page writers" `Quick
+            test_concurrent_writers_same_page_no_pingpong;
+          Alcotest.test_case "lock mutual exclusion" `Quick
+            test_lock_mutual_exclusion;
+          Alcotest.test_case "diffs cheaper than pages" `Quick
+            test_diffs_cheaper_than_pages;
+          Alcotest.test_case "homes spread" `Quick test_homes_spread_over_nodes;
+          Alcotest.test_case "own writes visible" `Quick
+            test_own_writes_visible_before_release;
+        ] );
+    ]

@@ -1,0 +1,568 @@
+(* Tests for the virtual-memory substrate: page arithmetic, radix tree,
+   VMA tree, page tables, ownership directory, page store, fault table and
+   allocator. *)
+
+open Dex_mem
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Page arithmetic *)
+
+let test_page_arith () =
+  check_int "page of 0" 0 (Page.page_of_addr 0);
+  check_int "page of 4095" 0 (Page.page_of_addr 4095);
+  check_int "page of 4096" 1 (Page.page_of_addr 4096);
+  check_int "base" 8192 (Page.base_of_page 2);
+  check_int "offset" 123 (Page.offset_in_page (8192 + 123));
+  check_int "align up" 8192 (Page.align_up 4097);
+  check_int "align up aligned" 4096 (Page.align_up 4096);
+  check_int "align down" 4096 (Page.align_down 8191);
+  check_bool "aligned" true (Page.is_aligned 8192);
+  check_bool "unaligned" false (Page.is_aligned 8193)
+
+let test_page_ranges () =
+  let first, last = Page.pages_of_range 4000 ~len:200 in
+  check_int "straddles boundary first" 0 first;
+  check_int "straddles boundary last" 1 last;
+  check_int "count single" 1 (Page.count_pages 0 ~len:4096);
+  check_int "count straddle" 2 (Page.count_pages 4095 ~len:2);
+  Alcotest.check_raises "zero len"
+    (Invalid_argument "Page.pages_of_range: len must be positive") (fun () ->
+      ignore (Page.pages_of_range 0 ~len:0))
+
+let prop_page_range_count =
+  QCheck.Test.make ~name:"page range count matches enumeration" ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 100_000))
+    (fun (addr, len) ->
+      let first, last = Page.pages_of_range addr ~len in
+      Page.count_pages addr ~len = last - first + 1
+      && first = addr / 4096
+      && last = (addr + len - 1) / 4096)
+
+(* ------------------------------------------------------------------ *)
+(* Radix tree *)
+
+let test_radix_basic () =
+  let t = Radix_tree.create () in
+  check_bool "initially absent" false (Radix_tree.mem t 42);
+  Radix_tree.set t 42 "a";
+  Radix_tree.set t 43 "b";
+  Radix_tree.set t 42 "a2";
+  Alcotest.(check (option string)) "get" (Some "a2") (Radix_tree.find t 42);
+  check_int "length counts keys once" 2 (Radix_tree.length t);
+  Radix_tree.remove t 42;
+  check_bool "removed" false (Radix_tree.mem t 42);
+  check_int "length after remove" 1 (Radix_tree.length t);
+  Radix_tree.remove t 42 (* idempotent *);
+  check_int "double remove" 1 (Radix_tree.length t)
+
+let test_radix_sparse_keys () =
+  let t = Radix_tree.create () in
+  let keys = [ 0; 1; 511; 512; 513; 1 lsl 20; (1 lsl 36) - 1 ] in
+  List.iteri (fun i k -> Radix_tree.set t k i) keys;
+  List.iteri
+    (fun i k ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "key %d" k)
+        (Some i) (Radix_tree.find t k))
+    keys;
+  Alcotest.check_raises "key out of range"
+    (Invalid_argument "Radix_tree.set: key 68719476736 out of range")
+    (fun () -> Radix_tree.set t (1 lsl 36) 0)
+
+let test_radix_iter_sorted () =
+  let t = Radix_tree.create () in
+  List.iter (fun k -> Radix_tree.set t k ()) [ 77; 3; 512; 100_000; 4 ];
+  let keys = ref [] in
+  Radix_tree.iter t (fun k () -> keys := k :: !keys);
+  Alcotest.(check (list int)) "ascending order" [ 3; 4; 77; 512; 100_000 ]
+    (List.rev !keys)
+
+let test_radix_update () =
+  let t = Radix_tree.create () in
+  let v = Radix_tree.update t 5 ~default:(fun () -> 0) (fun x -> x + 1) in
+  check_int "default then f" 1 v;
+  let v = Radix_tree.update t 5 ~default:(fun () -> 0) (fun x -> x + 1) in
+  check_int "update existing" 2 v
+
+let prop_radix_model =
+  QCheck.Test.make ~name:"radix tree behaves like a hashtable" ~count:200
+    QCheck.(list (pair (int_bound 10_000) (option (int_bound 100))))
+    (fun ops ->
+      let t = Radix_tree.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Some v ->
+              Radix_tree.set t k v;
+              Hashtbl.replace model k v
+          | None ->
+              Radix_tree.remove t k;
+              Hashtbl.remove model k)
+        ops;
+      Hashtbl.length model = Radix_tree.length t
+      && Hashtbl.fold
+           (fun k v ok -> ok && Radix_tree.find t k = Some v)
+           model true)
+
+(* ------------------------------------------------------------------ *)
+(* VMA tree *)
+
+let page = 4096
+
+let vma start pages perm tag =
+  Vma.make ~start:(start * page) ~len:(pages * page) ~perm ~tag
+
+let test_vma_tree_find () =
+  let t = Vma_tree.create () in
+  Vma_tree.insert t (vma 10 5 Perm.rw "heap");
+  Vma_tree.insert t (vma 100 2 Perm.ro "text");
+  (match Vma_tree.find t (12 * page) with
+  | Some v -> Alcotest.(check string) "tag" "heap" v.Vma.tag
+  | None -> Alcotest.fail "expected heap vma");
+  check_bool "gap is unmapped" true (Vma_tree.find t (50 * page) = None);
+  check_bool "before first" true (Vma_tree.find t 0 = None);
+  check_bool "end exclusive" true (Vma_tree.find t (15 * page) = None)
+
+let test_vma_tree_overlap_rejected () =
+  let t = Vma_tree.create () in
+  Vma_tree.insert t (vma 10 5 Perm.rw "a");
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Vma_tree.insert: overlapping VMA") (fun () ->
+      Vma_tree.insert t (vma 14 2 Perm.rw "b"));
+  (* Adjacent is fine. *)
+  Vma_tree.insert t (vma 15 2 Perm.rw "c");
+  check_int "two vmas" 2 (Vma_tree.count t)
+
+let test_vma_tree_remove_splits () =
+  let t = Vma_tree.create () in
+  Vma_tree.insert t (vma 10 10 Perm.rw "big");
+  let removed = Vma_tree.remove_range t ~start:(13 * page) ~len:(2 * page) in
+  check_int "one removed fragment" 1 (List.length removed);
+  Vma_tree.check_invariants t;
+  check_int "split into two" 2 (Vma_tree.count t);
+  check_bool "hole unmapped" true (Vma_tree.find t (13 * page) = None);
+  check_bool "left intact" true (Vma_tree.find t (10 * page) <> None);
+  check_bool "right intact" true (Vma_tree.find t (16 * page) <> None)
+
+let test_vma_tree_remove_spanning () =
+  let t = Vma_tree.create () in
+  Vma_tree.insert t (vma 10 2 Perm.rw "a");
+  Vma_tree.insert t (vma 12 2 Perm.rw "b");
+  Vma_tree.insert t (vma 20 2 Perm.rw "c");
+  let removed = Vma_tree.remove_range t ~start:(11 * page) ~len:(2 * page) in
+  check_int "two fragments removed" 2 (List.length removed);
+  Vma_tree.check_invariants t;
+  (* a truncated to one page, b truncated to one page, c untouched. *)
+  check_int "three vmas remain" 3 (Vma_tree.count t);
+  check_bool "removed middle" true (Vma_tree.find t (11 * page) = None);
+  check_bool "b tail remains" true (Vma_tree.find t (13 * page) <> None)
+
+let test_vma_tree_protect () =
+  let t = Vma_tree.create () in
+  Vma_tree.insert t (vma 10 4 Perm.rw "a");
+  let changed =
+    Vma_tree.protect_range t ~start:(11 * page) ~len:(2 * page) ~perm:Perm.ro
+  in
+  check_int "one changed" 1 (List.length changed);
+  Vma_tree.check_invariants t;
+  check_int "split into three" 3 (Vma_tree.count t);
+  (match Vma_tree.find t (11 * page) with
+  | Some v -> check_bool "downgraded" true (v.Vma.perm = Perm.ro)
+  | None -> Alcotest.fail "vma missing");
+  match Vma_tree.find t (10 * page) with
+  | Some v -> check_bool "left unchanged" true (v.Vma.perm = Perm.rw)
+  | None -> Alcotest.fail "vma missing"
+
+let prop_vma_tree_invariant =
+  (* Random mixes of insert/remove keep the tree sorted and disjoint. *)
+  QCheck.Test.make ~name:"vma tree stays disjoint under random ops" ~count:200
+    QCheck.(
+      list
+        (pair bool (pair (int_range 0 200) (int_range 1 20))))
+    (fun ops ->
+      let t = Vma_tree.create () in
+      List.iter
+        (fun (is_insert, (start, pages)) ->
+          if is_insert then
+            try Vma_tree.insert t (vma start pages Perm.rw "x")
+            with Invalid_argument _ -> ()
+          else
+            ignore
+              (Vma_tree.remove_range t ~start:(start * page)
+                 ~len:(pages * page)))
+        ops;
+      Vma_tree.check_invariants t;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Page table *)
+
+let test_page_table () =
+  let pt = Page_table.create () in
+  check_bool "invalid initially" false (Page_table.allows pt 7 Perm.Read);
+  Page_table.set pt 7 Perm.Read;
+  check_bool "read ok" true (Page_table.allows pt 7 Perm.Read);
+  check_bool "write needs write" false (Page_table.allows pt 7 Perm.Write);
+  Page_table.set pt 7 Perm.Write;
+  check_bool "write ok" true (Page_table.allows pt 7 Perm.Write);
+  check_bool "write implies read" true (Page_table.allows pt 7 Perm.Read);
+  Page_table.downgrade pt 7;
+  check_bool "downgraded" false (Page_table.allows pt 7 Perm.Write);
+  Page_table.invalidate pt 7;
+  check_bool "invalidated" false (Page_table.allows pt 7 Perm.Read);
+  Page_table.downgrade pt 7 (* no-op on absent *)
+
+let test_page_table_zap_range () =
+  let pt = Page_table.create () in
+  for p = 10 to 20 do
+    Page_table.set pt p Perm.Write
+  done;
+  let n = Page_table.zap_range pt ~first:12 ~last:15 in
+  check_int "zapped" 4 n;
+  check_int "remaining" 7 (Page_table.count pt);
+  check_bool "outside intact" true (Page_table.allows pt 11 Perm.Write);
+  check_bool "inside gone" false (Page_table.allows pt 13 Perm.Read)
+
+(* ------------------------------------------------------------------ *)
+(* Directory *)
+
+let test_directory_default_origin () =
+  let d = Directory.create ~origin:0 in
+  (match Directory.state d 99 with
+  | Directory.Exclusive 0 -> ()
+  | _ -> Alcotest.fail "untracked pages belong to the origin");
+  check_int "nothing tracked" 0 (Directory.tracked_pages d)
+
+let test_directory_transitions () =
+  let d = Directory.create ~origin:0 in
+  Directory.set_shared d 5 (Node_set.of_list [ 0; 2 ]);
+  Directory.add_reader d 5 3;
+  (match Directory.state d 5 with
+  | Directory.Shared readers ->
+      Alcotest.(check (list int)) "readers" [ 0; 2; 3 ]
+        (Node_set.to_list readers)
+  | _ -> Alcotest.fail "expected shared");
+  Directory.set_exclusive d 5 2;
+  (match Directory.state d 5 with
+  | Directory.Exclusive 2 -> ()
+  | _ -> Alcotest.fail "expected exclusive 2");
+  check_bool "valid copy at writer" true (Directory.has_valid_copy d 5 2);
+  check_bool "no copy elsewhere" false (Directory.has_valid_copy d 5 0);
+  Alcotest.check_raises "add_reader under exclusive"
+    (Invalid_argument "Directory.add_reader: page exclusively owned elsewhere")
+    (fun () -> Directory.add_reader d 5 1);
+  Directory.check_invariants d
+
+let test_directory_busy_lock () =
+  let d = Directory.create ~origin:0 in
+  check_bool "lock" true (Directory.try_lock d 9);
+  check_bool "second lock NACKed" false (Directory.try_lock d 9);
+  check_bool "locked" true (Directory.locked d 9);
+  Directory.unlock d 9;
+  check_bool "relock after unlock" true (Directory.try_lock d 9);
+  Directory.unlock d 9;
+  Alcotest.check_raises "double unlock"
+    (Invalid_argument "Directory.unlock: page not locked") (fun () ->
+      Directory.unlock d 9)
+
+let prop_directory_invariants =
+  QCheck.Test.make ~name:"directory invariants under random transitions"
+    ~count:300
+    QCheck.(list (pair (int_bound 50) (pair bool (int_bound 7))))
+    (fun ops ->
+      let d = Directory.create ~origin:0 in
+      List.iter
+        (fun (p, (exclusive, node)) ->
+          if exclusive then Directory.set_exclusive d p node
+          else
+            match Directory.state d p with
+            | Directory.Shared _ -> Directory.add_reader d p node
+            | Directory.Exclusive owner ->
+                Directory.set_shared d p (Node_set.of_list [ owner; node ]))
+        ops;
+      Directory.check_invariants d;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Node set *)
+
+let test_node_set () =
+  let s = Node_set.of_list [ 3; 1; 4; 1 ] in
+  check_int "cardinal dedups" 3 (Node_set.cardinal s);
+  check_bool "mem" true (Node_set.mem s 4);
+  check_bool "not mem" false (Node_set.mem s 0);
+  let s = Node_set.remove s 4 in
+  Alcotest.(check (list int)) "sorted list" [ 1; 3 ] (Node_set.to_list s);
+  check_bool "empty" true (Node_set.is_empty Node_set.empty);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Node_set: node id out of range") (fun () ->
+      ignore (Node_set.add Node_set.empty 63))
+
+(* ------------------------------------------------------------------ *)
+(* Page store *)
+
+let test_page_store_rw () =
+  let ps = Page_store.create () in
+  check_int "zero page" 0 (Page_store.read_byte ps 3 ~offset:100);
+  Page_store.write_i64 ps 3 ~offset:8 0x1122334455667788L;
+  Alcotest.(check int64) "read back" 0x1122334455667788L
+    (Page_store.read_i64 ps 3 ~offset:8);
+  Page_store.write_byte ps 3 ~offset:0 0xAB;
+  check_int "byte" 0xAB (Page_store.read_byte ps 3 ~offset:0);
+  check_int "materialized" 1 (Page_store.materialized ps)
+
+let test_page_store_ship () =
+  let a = Page_store.create () and b = Page_store.create () in
+  Page_store.write_i64 a 7 ~offset:0 42L;
+  let data = Page_store.snapshot a 7 in
+  Page_store.install b 7 data;
+  Alcotest.(check int64) "installed" 42L (Page_store.read_i64 b 7 ~offset:0);
+  (* Snapshot is a copy: later writes at the source don't leak. *)
+  Page_store.write_i64 a 7 ~offset:0 43L;
+  Alcotest.(check int64) "no aliasing" 42L (Page_store.read_i64 b 7 ~offset:0);
+  Page_store.drop b 7;
+  check_int "dropped" 0 (Page_store.materialized b)
+
+let test_page_store_bounds () =
+  let ps = Page_store.create () in
+  Alcotest.check_raises "offset out of page"
+    (Invalid_argument "Page_store.read_i64: offset out of page") (fun () ->
+      ignore (Page_store.read_i64 ps 0 ~offset:4090));
+  Alcotest.check_raises "misaligned"
+    (Invalid_argument "Page_store.read_i64: misaligned offset") (fun () ->
+      ignore (Page_store.read_i64 ps 0 ~offset:4))
+
+(* ------------------------------------------------------------------ *)
+(* Fault table *)
+
+let test_fault_table_coalescing () =
+  let e = Dex_sim.Engine.create () in
+  let ft = Fault_table.create e () in
+  let outcomes = ref [] in
+  for i = 1 to 3 do
+    Dex_sim.Engine.spawn e (fun () ->
+        match Fault_table.enter ft ~vpn:9 ~access:Perm.Read with
+        | Fault_table.Leader ->
+            Dex_sim.Engine.delay e 1000;
+            let followers = Fault_table.finish ft ~vpn:9 "done" in
+            outcomes := Printf.sprintf "leader%d/%d" i followers :: !outcomes
+        | Fault_table.Follower o ->
+            outcomes := Printf.sprintf "follower%d:%s" i o :: !outcomes
+        | Fault_table.Conflict -> Alcotest.fail "unexpected conflict")
+  done;
+  Dex_sim.Engine.run_until_quiescent e;
+  Alcotest.(check (list string))
+    "one leader, two followers"
+    [ "follower2:done"; "follower3:done"; "leader1/2" ]
+    (List.sort compare !outcomes);
+  check_int "coalesced counter" 2 (Fault_table.coalesced_total ft)
+
+let test_fault_table_conflict () =
+  let e = Dex_sim.Engine.create () in
+  let ft = Fault_table.create e () in
+  let events = ref [] in
+  Dex_sim.Engine.spawn e (fun () ->
+      match Fault_table.enter ft ~vpn:9 ~access:Perm.Read with
+      | Fault_table.Leader ->
+          Dex_sim.Engine.delay e 1000;
+          ignore (Fault_table.finish ft ~vpn:9 ());
+          events := "leader-done" :: !events
+      | _ -> Alcotest.fail "expected leader");
+  Dex_sim.Engine.spawn e (fun () ->
+      match Fault_table.enter ft ~vpn:9 ~access:Perm.Write with
+      | Fault_table.Conflict -> events := "conflict-retry" :: !events
+      | _ -> Alcotest.fail "expected conflict");
+  Dex_sim.Engine.run_until_quiescent e;
+  Alcotest.(check (list string))
+    "conflicter woken after leader"
+    [ "leader-done"; "conflict-retry" ]
+    (List.rev !events)
+
+let test_fault_table_independent_pages () =
+  let e = Dex_sim.Engine.create () in
+  let ft = Fault_table.create e () in
+  Dex_sim.Engine.spawn e (fun () ->
+      (match Fault_table.enter ft ~vpn:1 ~access:Perm.Read with
+      | Fault_table.Leader -> ()
+      | _ -> Alcotest.fail "expected leader p1");
+      (match Fault_table.enter ft ~vpn:2 ~access:Perm.Read with
+      | Fault_table.Leader -> ()
+      | _ -> Alcotest.fail "expected leader p2");
+      check_int "two ongoing" 2 (Fault_table.ongoing ft);
+      ignore (Fault_table.finish ft ~vpn:1 ());
+      ignore (Fault_table.finish ft ~vpn:2 ());
+      check_int "none ongoing" 0 (Fault_table.ongoing ft));
+  Dex_sim.Engine.run_until_quiescent e
+
+let test_fault_table_finish_without_enter () =
+  let e = Dex_sim.Engine.create () in
+  let ft = Fault_table.create e () in
+  Alcotest.check_raises "finish without enter"
+    (Invalid_argument "Fault_table.finish: no ongoing fault") (fun () ->
+      ignore (Fault_table.finish ft ~vpn:5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Allocator / layout *)
+
+let test_allocator_packing () =
+  let a = Allocator.create () in
+  let x = Allocator.malloc a ~bytes:100 ~tag:"x" in
+  let y = Allocator.malloc a ~bytes:100 ~tag:"y" in
+  check_bool "malloc packs on the same page" true
+    (Page.page_of_addr x = Page.page_of_addr y);
+  let z = Allocator.memalign a ~align:4096 ~bytes:100 ~tag:"z" in
+  check_bool "memalign page-aligned" true (Page.is_aligned z);
+  check_bool "memalign isolates" true
+    (Page.page_of_addr z <> Page.page_of_addr y)
+
+let test_allocator_object_registry () =
+  let a = Allocator.create () in
+  let x = Allocator.malloc a ~bytes:256 ~tag:"centers" in
+  (match Allocator.object_at a (x + 128) with
+  | Some ("centers", base, 256) -> check_int "base" x base
+  | _ -> Alcotest.fail "object not found");
+  check_bool "gap has no object" true (Allocator.object_at a (x + 4096) = None)
+
+let test_allocator_static_vs_heap () =
+  let a = Allocator.create () in
+  let g = Allocator.alloc_static a ~bytes:64 ~tag:"flag" () in
+  check_bool "globals segment" true
+    (g >= Layout.globals_base && g < Layout.globals_base + Layout.globals_size);
+  let h = Allocator.malloc a ~bytes:64 ~tag:"buf" in
+  check_bool "heap segment" true
+    (h >= Layout.heap_base && h < Layout.heap_base + Layout.heap_size)
+
+let test_allocator_tls_per_thread () =
+  let a = Allocator.create () in
+  let t0 = Allocator.tls_alloc a ~tid:0 ~bytes:64 ~tag:"counter" in
+  let t1 = Allocator.tls_alloc a ~tid:1 ~bytes:64 ~tag:"counter" in
+  check_bool "different pages per thread" true
+    (Page.page_of_addr t0 <> Page.page_of_addr t1);
+  check_bool "inside slot 0" true
+    (t0 >= Layout.tls_for ~tid:0
+    && t0 < Layout.tls_for ~tid:0 + Layout.tls_slot_size)
+
+let test_layout_stacks_disjoint () =
+  let s0 = Layout.stack_for ~tid:0 and s1 = Layout.stack_for ~tid:1 in
+  check_bool "no overlap" true (s0 + Layout.stack_size <= s1);
+  check_int "stack top" (s0 + Layout.stack_size) (Layout.stack_top ~tid:0);
+  Alcotest.check_raises "tid out of range"
+    (Invalid_argument "Layout: bad thread id") (fun () ->
+      ignore (Layout.stack_for ~tid:Layout.max_threads))
+
+let test_perm_downgrade_table () =
+  let d o n = Perm.is_downgrade ~old_perm:o ~new_perm:n in
+  check_bool "rw->ro downgrades" true (d Perm.rw Perm.ro);
+  check_bool "rw->none downgrades" true (d Perm.rw Perm.none);
+  check_bool "ro->rw permissive" false (d Perm.ro Perm.rw);
+  check_bool "ro->ro unchanged" false (d Perm.ro Perm.ro);
+  check_bool "none->ro permissive" false (d Perm.none Perm.ro)
+
+let test_allocator_exhaustion () =
+  let a = Allocator.create () in
+  Alcotest.check_raises "global segment bounded"
+    (Failure "Allocator: global segment exhausted") (fun () ->
+      for _ = 1 to 100 do
+        ignore
+          (Allocator.alloc_static a ~bytes:(Layout.globals_size / 10)
+             ~tag:"big" ())
+      done);
+  Alcotest.check_raises "TLS block bounded"
+    (Failure "Allocator: TLS block exhausted") (fun () ->
+      for _ = 1 to 100 do
+        ignore
+          (Allocator.tls_alloc a ~tid:0 ~bytes:(Layout.tls_slot_size / 10)
+             ~tag:"big")
+      done)
+
+let test_radix_fold_ordered () =
+  let t = Radix_tree.create () in
+  List.iter (fun k -> Radix_tree.set t k (k * 2)) [ 9; 1; 5 ];
+  let acc = Radix_tree.fold t ~init:[] ~f:(fun k v acc -> (k, v) :: acc) in
+  Alcotest.(check (list (pair int int)))
+    "fold visits in key order" [ (9, 18); (5, 10); (1, 2) ] acc
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "dex_mem"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_page_arith;
+          Alcotest.test_case "ranges" `Quick test_page_ranges;
+        ]
+        @ qsuite [ prop_page_range_count ] );
+      ( "radix_tree",
+        [
+          Alcotest.test_case "basic ops" `Quick test_radix_basic;
+          Alcotest.test_case "sparse keys" `Quick test_radix_sparse_keys;
+          Alcotest.test_case "sorted iteration" `Quick test_radix_iter_sorted;
+          Alcotest.test_case "update" `Quick test_radix_update;
+        ]
+        @ qsuite [ prop_radix_model ] );
+      ( "vma_tree",
+        [
+          Alcotest.test_case "find" `Quick test_vma_tree_find;
+          Alcotest.test_case "overlap rejected" `Quick
+            test_vma_tree_overlap_rejected;
+          Alcotest.test_case "remove splits" `Quick test_vma_tree_remove_splits;
+          Alcotest.test_case "remove spanning" `Quick
+            test_vma_tree_remove_spanning;
+          Alcotest.test_case "protect splits" `Quick test_vma_tree_protect;
+        ]
+        @ qsuite [ prop_vma_tree_invariant ] );
+      ( "page_table",
+        [
+          Alcotest.test_case "access levels" `Quick test_page_table;
+          Alcotest.test_case "zap range" `Quick test_page_table_zap_range;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "origin default" `Quick
+            test_directory_default_origin;
+          Alcotest.test_case "transitions" `Quick test_directory_transitions;
+          Alcotest.test_case "busy lock" `Quick test_directory_busy_lock;
+        ]
+        @ qsuite [ prop_directory_invariants ] );
+      ("node_set", [ Alcotest.test_case "set ops" `Quick test_node_set ]);
+      ( "page_store",
+        [
+          Alcotest.test_case "read/write" `Quick test_page_store_rw;
+          Alcotest.test_case "snapshot/install" `Quick test_page_store_ship;
+          Alcotest.test_case "bounds" `Quick test_page_store_bounds;
+        ] );
+      ( "fault_table",
+        [
+          Alcotest.test_case "leader/follower coalescing" `Quick
+            test_fault_table_coalescing;
+          Alcotest.test_case "access-type conflict" `Quick
+            test_fault_table_conflict;
+          Alcotest.test_case "independent pages" `Quick
+            test_fault_table_independent_pages;
+          Alcotest.test_case "finish without enter" `Quick
+            test_fault_table_finish_without_enter;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "packing vs memalign" `Quick
+            test_allocator_packing;
+          Alcotest.test_case "object registry" `Quick
+            test_allocator_object_registry;
+          Alcotest.test_case "segments" `Quick test_allocator_static_vs_heap;
+          Alcotest.test_case "TLS per thread" `Quick
+            test_allocator_tls_per_thread;
+          Alcotest.test_case "stack layout" `Quick test_layout_stacks_disjoint;
+          Alcotest.test_case "exhaustion" `Quick test_allocator_exhaustion;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "perm downgrade table" `Quick
+            test_perm_downgrade_table;
+          Alcotest.test_case "radix fold ordered" `Quick test_radix_fold_ordered;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Tests for the page-fault profiling toolchain. *)
+
+open Dex_sim
+open Dex_core
+module FE = Dex_proto.Fault_event
+module Trace = Dex_profile.Trace
+module Analysis = Dex_profile.Analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A little application that writes to a shared flag from two nodes (hot
+   site) and streams over a private buffer (cold site). *)
+let run_traced () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let trace = ref None in
+  let proc_ref = ref None in
+  let proc =
+    Dex.run cl (fun proc main ->
+        proc_ref := Some proc;
+        trace := Some (Trace.attach (Process.coherence proc));
+        let flag = Process.malloc main ~bytes:8 ~tag:"shared_flag" in
+        let buf = Process.memalign main ~align:4096 ~bytes:8192 ~tag:"buf" in
+        Process.store main flag 0L;
+        let th =
+          Process.spawn proc (fun th ->
+              Process.migrate th 1;
+              Process.read th ~site:"scan_buf" buf ~len:8192;
+              for i = 1 to 40 do
+                Process.store th ~site:"flag_update" flag (Int64.of_int i);
+                Process.compute th ~ns:(Time_ns.us 25)
+              done;
+              Process.migrate th 0)
+        in
+        for i = 1 to 40 do
+          Process.store main ~site:"flag_update" flag (Int64.of_int (100 + i));
+          Process.compute main ~ns:(Time_ns.us 25)
+        done;
+        Process.join th)
+  in
+  (Option.get !trace, proc)
+
+let test_trace_collects () =
+  let trace, _proc = run_traced () in
+  check_bool "events collected" true (Trace.count trace > 10);
+  let events = Trace.events trace in
+  check_int "events list matches count" (Trace.count trace)
+    (List.length events);
+  (* oldest first *)
+  match events with
+  | a :: b :: _ -> check_bool "sorted by time" true (a.FE.time <= b.FE.time)
+  | _ -> Alcotest.fail "expected events"
+
+let test_by_site_ranks_hot_flag () =
+  let trace, _ = run_traced () in
+  let faults =
+    List.filter (fun e -> e.FE.kind <> FE.Invalidation) (Trace.events trace)
+  in
+  match Analysis.by_site faults with
+  | (site, n) :: _ ->
+      Alcotest.(check string) "hottest site is the shared flag" "flag_update"
+        site;
+      check_bool "many flag faults" true (n >= 5)
+  | [] -> Alcotest.fail "no sites"
+
+let test_by_object_attribution () =
+  let trace, proc = run_traced () in
+  let faults =
+    List.filter (fun e -> e.FE.kind <> FE.Invalidation) (Trace.events trace)
+  in
+  let objs = Analysis.by_object (Process.allocator proc) faults in
+  check_bool "shared_flag attributed" true
+    (List.exists (fun (tag, _) -> tag = "shared_flag") objs);
+  check_bool "buf attributed" true
+    (List.exists (fun (tag, _) -> tag = "buf") objs)
+
+let test_by_thread_and_kind () =
+  let trace, _ = run_traced () in
+  let events = Trace.events trace in
+  let threads = Analysis.by_thread events in
+  check_bool "several (node,tid) buckets" true (List.length threads >= 2);
+  let kinds = Analysis.by_kind events in
+  check_bool "write faults present" true
+    (List.exists (fun (k, _) -> k = FE.Write) kinds);
+  check_bool "invalidations present" true
+    (List.exists (fun (k, _) -> k = FE.Invalidation) kinds)
+
+let test_timeline_buckets () =
+  let trace, _ = run_traced () in
+  let tl = Analysis.timeline (Trace.events trace) ~bucket:(Time_ns.us 50) in
+  check_bool "timeline non-empty" true (tl <> []);
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) tl in
+  check_bool "ascending buckets" true (sorted = tl);
+  Alcotest.check_raises "bad bucket"
+    (Invalid_argument "Analysis.timeline: bucket must be positive") (fun () ->
+      ignore (Analysis.timeline [] ~bucket:0))
+
+let test_contended_pages_found () =
+  let trace, _ = run_traced () in
+  (* The flag page ping-pongs; whether NACK retries occur depends on
+     interleaving, so only check consistency of the report. *)
+  List.iter
+    (fun (_, n, lat) ->
+      check_bool "positive counts" true (n > 0);
+      check_bool "positive latency" true (lat > 0.0))
+    (Analysis.contended_pages (Trace.events trace))
+
+let test_summary_and_report () =
+  let trace, proc = run_traced () in
+  let events = Trace.events trace in
+  let s = Analysis.summarize ~alloc:(Process.allocator proc) events in
+  check_int "reads+writes = total" s.Analysis.total_faults
+    (s.Analysis.reads + s.Analysis.writes);
+  check_bool "mean latency plausible" true (s.Analysis.mean_latency_ns > 0.0);
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Dex_profile.Report.pp_summary ~alloc:(Process.allocator proc) fmt events;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  check_bool "report mentions profile" true
+    (String.length out > 0 && contains out "DeX page-fault profile")
+
+let test_detach_stops_collection () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let trace = Trace.attach (Process.coherence proc) in
+         let cell = Process.malloc main ~bytes:8 ~tag:"cell" in
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               ignore (Process.load th cell))
+         in
+         Process.join th;
+         let n = Trace.count trace in
+         Trace.detach trace;
+         let th2 =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               Process.store th cell 3L)
+         in
+         Process.join th2;
+         check_int "no growth after detach" n (Trace.count trace);
+         Trace.clear trace;
+         check_int "cleared" 0 (Trace.count trace)))
+
+let test_sharing_matrix () =
+  let trace, _ = run_traced () in
+  let matrix = Analysis.sharing_matrix (Trace.events trace) in
+  (match matrix with
+  | (_, sharers) :: _ ->
+      (* the flag page is faulted on by both nodes *)
+      check_bool "hottest page shared by 2+ nodes" true
+        (List.length sharers >= 2)
+  | [] -> Alcotest.fail "empty matrix");
+  (* descending by sharer count *)
+  let counts = List.map (fun (_, s) -> List.length s) matrix in
+  check_bool "sorted descending" true
+    (List.sort (fun a b -> compare b a) counts = counts)
+
+let test_csv_export () =
+  let trace, _ = run_traced () in
+  let csv = Trace.to_csv trace in
+  let lines = String.split_on_char '\n' csv in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check string) "header"
+        "time_ns,node,tid,kind,site,addr,latency_ns,retries" header
+  | [] -> Alcotest.fail "empty csv");
+  (* header + one row per event + trailing newline *)
+  check_int "one row per event"
+    (Trace.count trace + 2)
+    (List.length lines);
+  let path = Filename.temp_file "dex_trace" ".csv" in
+  Trace.save_csv trace path;
+  let size = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  check_int "file written" (String.length csv) size
+
+let () =
+  Alcotest.run "dex_profile"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "trace collects" `Quick test_trace_collects;
+          Alcotest.test_case "by_site ranking" `Quick test_by_site_ranks_hot_flag;
+          Alcotest.test_case "object attribution" `Quick
+            test_by_object_attribution;
+          Alcotest.test_case "by thread/kind" `Quick test_by_thread_and_kind;
+          Alcotest.test_case "timeline" `Quick test_timeline_buckets;
+          Alcotest.test_case "contended pages" `Quick
+            test_contended_pages_found;
+          Alcotest.test_case "summary + report" `Quick test_summary_and_report;
+          Alcotest.test_case "detach" `Quick test_detach_stops_collection;
+          Alcotest.test_case "CSV export" `Quick test_csv_export;
+          Alcotest.test_case "sharing matrix" `Quick test_sharing_matrix;
+        ] );
+    ]

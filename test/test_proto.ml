@@ -1,0 +1,462 @@
+(* Tests for the memory consistency protocol: ownership transitions, data
+   shipping, coalescing, NACK/retry, invariants and consistency properties. *)
+
+open Dex_sim
+open Dex_mem
+open Dex_proto
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+(* One protocol instance over a fresh n-node fabric, message routing
+   installed on every node. *)
+let setup ?(nodes = 4) ?seed () =
+  let engine = Engine.create () in
+  let fabric = Dex_net.Fabric.create engine (Dex_net.Net_config.default ~nodes ()) in
+  let coh = Coherence.create ?seed fabric ~origin:0 in
+  for node = 0 to nodes - 1 do
+    Dex_net.Fabric.set_handler fabric ~node (fun _ env ->
+        if not (Coherence.handler coh env) then
+          failwith "test_proto: unrouted message")
+  done;
+  (engine, coh)
+
+let addr0 = Layout.heap_base
+
+(* Run [f] as a fiber and drive the simulation to quiescence. *)
+let run_fiber engine f =
+  Engine.spawn engine f;
+  Engine.run_until_quiescent engine
+
+let test_remote_read_fetches_data () =
+  let engine, coh = setup () in
+  let seen = ref 0L in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 42L;
+      seen := Coherence.load_i64 coh ~node:1 ~tid:1 addr0);
+  check_i64 "remote read sees origin write" 42L !seen;
+  (match Directory.state (Coherence.directory coh) (Page.page_of_addr addr0) with
+  | Directory.Shared readers ->
+      check_bool "requester is a reader" true (Node_set.mem readers 1)
+  | Directory.Exclusive _ -> Alcotest.fail "expected shared state");
+  Coherence.check_invariants coh
+
+let test_uncontended_fault_latency () =
+  let engine, coh = setup () in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 1L;
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr0));
+  let h = Coherence.fault_latencies coh in
+  check_int "exactly one protocol fault" 1 (Histogram.count h);
+  let lat = Histogram.max_value h in
+  (* Paper: ~19.3us fast path including the 13.6us page retrieval. *)
+  check_bool
+    (Printf.sprintf "fast-path latency ~19us (got %.1fus)"
+       (Time_ns.to_us_f lat))
+    true
+    (lat > Time_ns.us 15 && lat < Time_ns.us 24)
+
+let test_write_invalidates_readers () =
+  let engine, coh = setup () in
+  let final = ref 0L in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 1L;
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr0);
+      ignore (Coherence.load_i64 coh ~node:2 ~tid:2 addr0);
+      Coherence.store_i64 coh ~node:3 ~tid:3 addr0 99L;
+      final := Coherence.load_i64 coh ~node:2 ~tid:2 addr0);
+  check_i64 "reader sees the new value after invalidation" 99L !final;
+  let st = Coherence.stats coh in
+  check_bool "invalidations happened" true (Stats.get st "revoke.invalidate" >= 2);
+  Coherence.check_invariants coh
+
+let test_upgrade_grants_without_data () =
+  let engine, coh = setup () in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 5L;
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr0);
+      (* Read -> Write upgrade: node 1 already holds valid data. *)
+      Coherence.store_i64 coh ~node:1 ~tid:1 addr0 6L);
+  let st = Coherence.stats coh in
+  check_bool "at least one grant without data" true
+    (Stats.get st "grant.nodata" >= 1);
+  (match Directory.state (Coherence.directory coh) (Page.page_of_addr addr0) with
+  | Directory.Exclusive 1 -> ()
+  | _ -> Alcotest.fail "node 1 should own the page exclusively");
+  Coherence.check_invariants coh
+
+let test_write_data_preserved_across_nodes () =
+  (* Values written by different nodes to different offsets of the same
+     page must all survive the ownership ping-pong. *)
+  let engine, coh = setup () in
+  let a = addr0 and b = addr0 + 8 and c = addr0 + 16 in
+  let ra = ref 0L and rb = ref 0L and rc = ref 0L in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 a 10L;
+      Coherence.store_i64 coh ~node:1 ~tid:1 b 11L;
+      Coherence.store_i64 coh ~node:2 ~tid:2 c 12L;
+      ra := Coherence.load_i64 coh ~node:3 ~tid:3 a;
+      rb := Coherence.load_i64 coh ~node:3 ~tid:3 b;
+      rc := Coherence.load_i64 coh ~node:3 ~tid:3 c);
+  check_i64 "offset 0" 10L !ra;
+  check_i64 "offset 8" 11L !rb;
+  check_i64 "offset 16" 12L !rc;
+  Coherence.check_invariants coh
+
+let test_leader_follower_coalescing () =
+  let engine, coh = setup () in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 7L);
+  (* Four threads on node 1 read the same cold page simultaneously. *)
+  for tid = 0 to 3 do
+    Engine.spawn engine (fun () ->
+        ignore (Coherence.load_i64 coh ~node:1 ~tid addr0))
+  done;
+  Engine.run_until_quiescent engine;
+  let st = Coherence.stats coh in
+  check_int "one leader fault" 1 (Stats.get st "fault.read");
+  check_int "three coalesced followers" 3 (Stats.get st "fault.coalesced")
+
+let test_origin_minor_faults_bypass_protocol () =
+  let engine, coh = setup () in
+  run_fiber engine (fun () ->
+      for i = 0 to 9 do
+        Coherence.store_i64 coh ~node:0 ~tid:0 (addr0 + (i * Page.size)) 1L
+      done);
+  let st = Coherence.stats coh in
+  check_int "ten minor faults" 10 (Stats.get st "fault.minor");
+  check_int "no protocol writes" 0 (Stats.get st "fault.write");
+  check_int "no protocol latencies recorded" 0
+    (Histogram.count (Coherence.fault_latencies coh))
+
+let test_access_range_faults_per_page () =
+  let engine, coh = setup () in
+  run_fiber engine (fun () ->
+      Coherence.access_range coh ~node:1 ~tid:0 ~addr:addr0
+        ~len:(10 * Page.size) ~access:Perm.Read ());
+  check_int "one protocol fault per page" 10
+    (Stats.get (Coherence.stats coh) "fault.read");
+  (* Second pass over the same range: all hits, no new faults. *)
+  run_fiber engine (fun () ->
+      Coherence.access_range coh ~node:1 ~tid:0 ~addr:addr0
+        ~len:(10 * Page.size) ~access:Perm.Read ());
+  check_int "no refaults on hits" 10
+    (Stats.get (Coherence.stats coh) "fault.read")
+
+let test_nack_and_retry () =
+  let engine, coh = setup () in
+  let vpn = Page.page_of_addr addr0 in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 1L);
+  (* Hold the directory lock for 100us; the remote fault must retry. *)
+  check_bool "lock taken" true (Directory.try_lock (Coherence.directory coh) vpn);
+  Engine.schedule engine ~delay:(Time_ns.us 100) (fun () ->
+      Directory.unlock (Coherence.directory coh) vpn);
+  let lat = ref 0 in
+  Engine.spawn engine (fun () ->
+      let t0 = Engine.now engine in
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr0);
+      lat := Engine.now engine - t0);
+  Engine.run_until_quiescent engine;
+  check_bool "retries counted" true
+    (Stats.get (Coherence.stats coh) "fault.retry" >= 1);
+  check_bool "contended fault is slow (>100us)" true (!lat > Time_ns.us 100);
+  Coherence.check_invariants coh
+
+let test_concurrent_writers_converge () =
+  let engine, coh = setup ~nodes:3 () in
+  let writes_per_node = 30 in
+  (* Two remote nodes fight over one page; the origin only mediates. *)
+  for node = 1 to 2 do
+    Engine.spawn engine (fun () ->
+        for i = 1 to writes_per_node do
+          Coherence.store_i64 coh ~node ~tid:node addr0
+            (Int64.of_int ((node * 1000) + i));
+          (* a little compute between writes so the two nodes interleave *)
+          Engine.delay engine (Time_ns.us 2)
+        done)
+  done;
+  Engine.run_until_quiescent engine;
+  Coherence.check_invariants coh;
+  let final = ref 0L in
+  run_fiber engine (fun () ->
+      final := Coherence.load_i64 coh ~node:0 ~tid:0 addr0);
+  check_bool "final value is one of the last writes" true
+    (!final = Int64.of_int (1000 + writes_per_node)
+    || !final = Int64.of_int (2000 + writes_per_node));
+  (* Each exclusive transfer amortizes a burst of local writes (and NACK
+     backoff amortizes even more), so the fault count is well below the
+     write count but clearly nonzero. *)
+  check_bool "page ping-pong caused protocol faults" true
+    (Stats.get (Coherence.stats coh) "fault.write" >= 3)
+
+let test_single_writer_monotonic_readers () =
+  (* Sequential consistency smoke test: a single writer publishes an
+     increasing counter; every reader must observe a non-decreasing
+     sequence ending at the final value. *)
+  let engine, coh = setup ~nodes:4 () in
+  let n_writes = 20 in
+  Engine.spawn engine (fun () ->
+      for i = 1 to n_writes do
+        Coherence.store_i64 coh ~node:0 ~tid:0 addr0 (Int64.of_int i);
+        Engine.delay engine (Time_ns.us 30)
+      done);
+  let violations = ref 0 in
+  for node = 1 to 3 do
+    Engine.spawn engine (fun () ->
+        let prev = ref 0L in
+        for _ = 1 to 40 do
+          let v = Coherence.load_i64 coh ~node ~tid:node addr0 in
+          if v < !prev then incr violations;
+          prev := v;
+          Engine.delay engine (Time_ns.us 11)
+        done)
+  done;
+  Engine.run_until_quiescent engine;
+  check_int "no monotonicity violations" 0 !violations;
+  Coherence.check_invariants coh
+
+let prop_sequential_writes_then_read =
+  (* Random single-threaded programs issuing writes from random nodes; a
+     final sweep from one node must read exactly the model values. *)
+  QCheck.Test.make ~name:"random write sequences match a reference memory"
+    ~count:40
+    QCheck.(
+      list_of_size Gen.(1 -- 40)
+        (triple (int_bound 3) (int_bound 15) (int_range 1 1000)))
+    (fun ops ->
+      let engine, coh = setup ~nodes:4 () in
+      let model = Hashtbl.create 16 in
+      let ok = ref true in
+      run_fiber engine (fun () ->
+          List.iter
+            (fun (node, slot, v) ->
+              let addr = addr0 + (slot * 520 * 8) in
+              (* slots spread over pages, some sharing *)
+              Coherence.store_i64 coh ~node ~tid:node addr (Int64.of_int v);
+              Hashtbl.replace model addr (Int64.of_int v))
+            ops;
+          Hashtbl.iter
+            (fun addr v ->
+              let got = Coherence.load_i64 coh ~node:3 ~tid:3 addr in
+              if got <> v then ok := false)
+            model);
+      Coherence.check_invariants coh;
+      !ok)
+
+let prop_single_writer_per_address_monotonic =
+  (* Per-address single-writer, multi-reader: with one designated writer
+     per address publishing increasing values, every reader must observe a
+     non-decreasing sequence at each address — a consequence of sequential
+     consistency that would break under stale reads. *)
+  QCheck.Test.make ~name:"per-address single-writer monotonicity" ~count:20
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, n_addrs) ->
+      let engine, coh = setup ~nodes:4 ~seed () in
+      let addr_of k = addr0 + (k * 192) in
+      (* writers: one per address, on rotating nodes *)
+      for k = 0 to n_addrs - 1 do
+        Engine.spawn engine (fun () ->
+            for i = 1 to 12 do
+              Coherence.store_i64 coh ~node:(k mod 4) ~tid:k (addr_of k)
+                (Int64.of_int i);
+              Engine.delay engine (Time_ns.us 17)
+            done)
+      done;
+      let ok = ref true in
+      (* readers: every node polls every address *)
+      for node = 0 to 3 do
+        Engine.spawn engine (fun () ->
+            let prev = Array.make n_addrs 0L in
+            for _ = 1 to 25 do
+              for k = 0 to n_addrs - 1 do
+                let v =
+                  Coherence.load_i64 coh ~node ~tid:(100 + node) (addr_of k)
+                in
+                if v < prev.(k) then ok := false;
+                prev.(k) <- v
+              done;
+              Engine.delay engine (Time_ns.us 9)
+            done)
+      done;
+      Engine.run_until_quiescent engine;
+      Coherence.check_invariants coh;
+      !ok)
+
+let prop_invariants_under_concurrency =
+  QCheck.Test.make ~name:"directory/PTE invariants under random concurrency"
+    ~count:25
+    QCheck.(
+      pair small_int
+        (list_of_size Gen.(1 -- 20)
+           (triple (int_bound 3) (int_bound 3) bool)))
+    (fun (seed, threads) ->
+      let engine, coh = setup ~nodes:4 ~seed () in
+      List.iteri
+        (fun tid (node, slot, is_write) ->
+          Engine.spawn engine (fun () ->
+              let addr = addr0 + (slot * Page.size) in
+              for i = 1 to 5 do
+                if is_write then
+                  Coherence.store_i64 coh ~node ~tid addr (Int64.of_int i)
+                else ignore (Coherence.load_i64 coh ~node ~tid addr);
+                Engine.delay engine (Time_ns.us 3)
+              done))
+        threads;
+      Engine.run_until_quiescent engine;
+      Coherence.check_invariants coh;
+      true)
+
+let test_no_lost_updates_origin_race () =
+  (* Regression: a remote write request arriving while the origin has a
+     granted-but-not-retired fault on the same page must wait for the
+     origin's pending read-modify-write, or the update is lost. *)
+  let engine, coh = setup ~nodes:4 () in
+  let per_thread = 25 in
+  let host_calls = ref 0 in
+  for node = 0 to 3 do
+    for t = 0 to 1 do
+      Engine.spawn engine (fun () ->
+          for _ = 1 to per_thread do
+            incr host_calls;
+            ignore
+              (Coherence.fetch_add_i64 coh ~node ~tid:((node * 2) + t) addr0
+                 1L);
+            Engine.delay engine (Time_ns.ns (300 * (((node * 2) + t mod 5) + 1)))
+          done)
+    done
+  done;
+  Engine.run_until_quiescent engine;
+  let final = ref 0L in
+  run_fiber engine (fun () -> final := Coherence.load_i64 coh ~node:0 ~tid:0 addr0);
+  Alcotest.(check int64)
+    "every increment retained"
+    (Int64.of_int !host_calls)
+    !final;
+  Coherence.check_invariants coh
+
+let test_width_accessors () =
+  let engine, coh = setup () in
+  run_fiber engine (fun () ->
+      (* Mixed widths within one 8-byte cell survive ownership moves. *)
+      Coherence.store_i32 coh ~node:0 ~tid:0 addr0 0x11223344l;
+      Coherence.store_i32 coh ~node:1 ~tid:1 (addr0 + 4) 0x55667788l;
+      Coherence.store_byte coh ~node:2 ~tid:2 (addr0 + 9) 0xAB;
+      Alcotest.(check int32) "low word" 0x11223344l
+        (Coherence.load_i32 coh ~node:3 ~tid:3 addr0);
+      Alcotest.(check int32) "high word" 0x55667788l
+        (Coherence.load_i32 coh ~node:3 ~tid:3 (addr0 + 4));
+      check_int "byte" 0xAB (Coherence.load_byte coh ~node:3 ~tid:3 (addr0 + 9));
+      (match Coherence.load_i32 coh ~node:0 ~tid:0 (addr0 + 2) with
+      | _ -> Alcotest.fail "expected misalignment rejection"
+      | exception Invalid_argument _ -> ()));
+  Coherence.check_invariants coh
+
+let test_zap_range () =
+  let engine, coh = setup () in
+  run_fiber engine (fun () ->
+      Coherence.access_range coh ~node:1 ~tid:0 ~addr:addr0
+        ~len:(4 * Page.size) ~access:Perm.Read ());
+  let first = Page.page_of_addr addr0 in
+  let n = Coherence.zap_range coh ~first ~last:(first + 1) ~node:1 in
+  check_int "two zapped" 2 n;
+  check_bool "rest intact" true
+    (Page_table.allows (Coherence.page_table coh ~node:1) (first + 2) Perm.Read)
+
+let test_tracer_records_faults () =
+  let engine, coh = setup () in
+  let events = ref [] in
+  Coherence.set_tracer coh (Some (fun e -> events := e :: !events));
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 1L;
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:7 ~site:"reader_loop" addr0);
+      Coherence.store_i64 coh ~node:2 ~tid:8 addr0 2L);
+  let reads =
+    List.filter (fun e -> e.Fault_event.kind = Fault_event.Read) !events
+  in
+  (match reads with
+  | [ e ] ->
+      check_int "node" 1 e.Fault_event.node;
+      check_int "tid" 7 e.Fault_event.tid;
+      Alcotest.(check string) "site" "reader_loop" e.Fault_event.site;
+      check_int "addr is page base" (Page.align_down addr0) e.Fault_event.addr;
+      check_bool "latency recorded" true (e.Fault_event.latency > 0)
+  | _ -> Alcotest.fail "expected exactly one read fault event");
+  check_bool "invalidation events recorded" true
+    (List.exists
+       (fun e -> e.Fault_event.kind = Fault_event.Invalidation)
+       !events)
+
+let test_contended_pingpong_is_bimodal () =
+  (* Two nodes hammer the same page with writes: the latency distribution
+     must show a fast uncontended mode and a slow retry mode (paper §V-D:
+     19.3us vs 158.8us). *)
+  let engine, coh = setup ~nodes:3 () in
+  for node = 1 to 2 do
+    Engine.spawn engine (fun () ->
+        for i = 1 to 100 do
+          Coherence.store_i64 coh ~node ~tid:node addr0 (Int64.of_int i);
+          Engine.delay engine (Time_ns.us 1)
+        done)
+  done;
+  Engine.run_until_quiescent engine;
+  let h = Coherence.fault_latencies coh in
+  let fast =
+    List.length
+      (List.filter (fun v -> v < Time_ns.us 40) (Histogram.to_list h))
+  in
+  let slow =
+    List.length
+      (List.filter (fun v -> v > Time_ns.us 60) (Histogram.to_list h))
+  in
+  check_bool "has a fast mode" true (fast > 0);
+  check_bool "has a slow (retry) mode" true (slow > 0);
+  check_bool "retries occurred" true
+    (Stats.get (Coherence.stats coh) "fault.retry" > 0)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "dex_proto"
+    [
+      ( "coherence",
+        [
+          Alcotest.test_case "remote read fetches data" `Quick
+            test_remote_read_fetches_data;
+          Alcotest.test_case "uncontended fault latency" `Quick
+            test_uncontended_fault_latency;
+          Alcotest.test_case "write invalidates readers" `Quick
+            test_write_invalidates_readers;
+          Alcotest.test_case "upgrade grants without data" `Quick
+            test_upgrade_grants_without_data;
+          Alcotest.test_case "offsets preserved across nodes" `Quick
+            test_write_data_preserved_across_nodes;
+          Alcotest.test_case "leader/follower coalescing" `Quick
+            test_leader_follower_coalescing;
+          Alcotest.test_case "origin minor faults" `Quick
+            test_origin_minor_faults_bypass_protocol;
+          Alcotest.test_case "access_range per-page faults" `Quick
+            test_access_range_faults_per_page;
+          Alcotest.test_case "NACK and retry" `Quick test_nack_and_retry;
+          Alcotest.test_case "concurrent writers converge" `Quick
+            test_concurrent_writers_converge;
+          Alcotest.test_case "single-writer monotonic readers" `Quick
+            test_single_writer_monotonic_readers;
+          Alcotest.test_case "no lost updates (origin race)" `Quick
+            test_no_lost_updates_origin_race;
+          Alcotest.test_case "mixed-width accessors" `Quick
+            test_width_accessors;
+          Alcotest.test_case "zap range" `Quick test_zap_range;
+          Alcotest.test_case "fault tracer" `Quick test_tracer_records_faults;
+          Alcotest.test_case "contended ping-pong bimodal" `Quick
+            test_contended_pingpong_is_bimodal;
+        ]
+        @ qsuite
+            [
+              prop_sequential_writes_then_read;
+              prop_single_writer_per_address_monotonic;
+              prop_invariants_under_concurrency;
+            ]
+      );
+    ]

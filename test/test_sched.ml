@@ -1,0 +1,262 @@
+(* Tests for the scheduling extensions: placement policies, data-affinity
+   migration, offloading, and safe-point balancing. *)
+
+open Dex_sim
+open Dex_core
+open Dex_sched
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_placement_round_robin () =
+  let cl = Dex.cluster ~nodes:4 () in
+  let rng = Rng.create ~seed:1 in
+  let picks =
+    List.init 8 (fun index ->
+        Placement.choose Placement.Round_robin cl ~rng ~index ~total:8)
+  in
+  Alcotest.(check (list int)) "block distribution" [ 0; 0; 1; 1; 2; 2; 3; 3 ]
+    picks
+
+let test_placement_pin_and_random () =
+  let cl = Dex.cluster ~nodes:4 () in
+  let rng = Rng.create ~seed:1 in
+  check_int "pin" 2
+    (Placement.choose (Placement.Pin 2) cl ~rng ~index:0 ~total:1);
+  Alcotest.check_raises "bad pin" (Invalid_argument "Placement.choose: bad pin")
+    (fun () ->
+      ignore (Placement.choose (Placement.Pin 9) cl ~rng ~index:0 ~total:1));
+  for _ = 1 to 50 do
+    let n = Placement.choose Placement.Random cl ~rng ~index:0 ~total:1 in
+    check_bool "random in range" true (n >= 0 && n < 4)
+  done
+
+let test_placement_least_loaded () =
+  let cl = Dex.cluster ~nodes:3 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         (* Saturate node 0 and half of node 1; node 2 stays idle. *)
+         let busy node n =
+           List.init n (fun _ ->
+               Process.spawn proc (fun th ->
+                   Process.migrate th node;
+                   let pool = Cluster.cores cl ~node in
+                   Dex_sim.Resource.Pool.acquire pool;
+                   Engine.delay (Cluster.engine cl) (Time_ns.ms 8);
+                   Dex_sim.Resource.Pool.release pool))
+         in
+         let b0 = busy 0 8 and b1 = busy 1 4 in
+         let checker =
+           Process.spawn proc (fun th ->
+               Engine.delay (Cluster.engine cl) (Time_ns.ms 3);
+               let rng = Rng.create ~seed:2 in
+               let n =
+                 Placement.choose Placement.Least_loaded cl ~rng ~index:0
+                   ~total:1
+               in
+               check_int "picks the idle node" 2 n;
+               ignore th)
+         in
+         List.iter Process.join (b0 @ b1 @ [ checker ])))
+
+let test_affinity_counts_and_best_node () =
+  let cl = Dex.cluster ~nodes:3 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let coh = Process.coherence proc in
+         let buf = Process.memalign main ~align:4096 ~bytes:(8 * 4096)
+             ~tag:"data" in
+         (* Node 1 writes six pages, node 2 writes two. *)
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               Process.write th buf ~len:(6 * 4096);
+               Process.migrate th 2;
+               Process.write th (buf + (6 * 4096)) ~len:(2 * 4096))
+         in
+         Process.join th;
+         let ranges = [ (buf, 8 * 4096) ] in
+         let counts = Affinity.owned_pages coh ~ranges in
+         check_int "node1 owns six" 6 counts.(1);
+         check_int "node2 owns two" 2 counts.(2);
+         check_int "best node" 1 (Affinity.best_node coh ~ranges);
+         (* Migrate the main... a worker to its data. *)
+         let w =
+           Process.spawn proc (fun th ->
+               let chosen = Affinity.migrate_to_data th ~ranges in
+               check_int "moved to node 1" 1 chosen;
+               check_int "location updated" 1 (Process.location th))
+         in
+         Process.join w))
+
+let test_affinity_untracked_counts_origin () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let coh = Process.coherence proc in
+         let buf = Process.malloc main ~bytes:4096 ~tag:"fresh" in
+         let counts = Affinity.owned_pages coh ~ranges:[ (buf, 4096) ] in
+         check_bool "origin holds untouched pages" true (counts.(0) >= 1)))
+
+let test_offload_round_trip () =
+  let cl = Dex.cluster ~nodes:3 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               let result =
+                 Offload.run th ~node:2 (fun () ->
+                     check_int "runs at target" 2 (Process.location th);
+                     41 + 1)
+               in
+               check_int "result returned" 42 result;
+               check_int "back home" 1 (Process.location th))
+         in
+         Process.join th))
+
+let test_offload_returns_home_on_exception () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let th =
+           Process.spawn proc (fun th ->
+               (match Offload.run th ~node:1 (fun () -> failwith "boom") with
+               | _ -> Alcotest.fail "expected exception"
+               | exception Failure _ -> ());
+               check_int "back home after failure" 0 (Process.location th))
+         in
+         Process.join th))
+
+let test_balancer_safe_points () =
+  let cl = Dex.cluster ~nodes:4 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let balancer = Balancer.create proc ~policy:Placement.Round_robin in
+         let locations = Array.make 4 (-1) in
+         let barrier = Sync.Barrier.create proc ~parties:5 () in
+         let threads =
+           List.init 4 (fun i ->
+               Process.spawn proc (fun th ->
+                   Sync.Barrier.await th barrier;
+                   (* safe point: honour any pending request *)
+                   ignore (Balancer.checkpoint balancer th);
+                   locations.(i) <- Process.location th))
+         in
+         Balancer.rebalance balancer
+           ~tids:(List.map Process.tid threads);
+         check_int "four requests pending" 4 (Balancer.pending balancer);
+         Sync.Barrier.await main barrier;
+         List.iter Process.join threads;
+         Alcotest.(check (list int)) "spread per round-robin" [ 0; 1; 2; 3 ]
+           (Array.to_list locations);
+         check_int "requests drained" 0 (Balancer.pending balancer)))
+
+let test_balancer_checkpoint_noop () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let balancer = Balancer.create proc ~policy:Placement.Round_robin in
+         let th =
+           Process.spawn proc (fun th ->
+               check_bool "no pending request" false
+                 (Balancer.checkpoint balancer th);
+               Balancer.request balancer ~tid:(Process.tid th) ~node:0;
+               (* already at node 0: request consumed, no migration *)
+               check_bool "same-node request is a no-op" false
+                 (Balancer.checkpoint balancer th))
+         in
+         Process.join th;
+         Alcotest.check_raises "bad node"
+           (Invalid_argument "Balancer.request: bad node") (fun () ->
+             Balancer.request balancer ~tid:0 ~node:5)))
+
+(* ------------------------------------------------------------------ *)
+(* Energy accounting.                                                  *)
+
+let test_energy_busy_accounting () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let threads =
+           List.init 2 (fun _ ->
+               Process.spawn proc (fun th ->
+                   Process.migrate th 1;
+                   Process.compute th ~ns:(Time_ns.ms 5)))
+         in
+         List.iter Process.join threads));
+  let busy1 = Energy.busy_core_seconds cl ~node:1 in
+  (* Two threads x 5ms of CPU. *)
+  check_bool
+    (Printf.sprintf "busy core-seconds ~0.01 (got %.4f)" busy1)
+    true
+    (busy1 > 0.0099 && busy1 < 0.0102);
+  check_bool "origin nearly idle" true
+    (Energy.busy_core_seconds cl ~node:0 < 0.001)
+
+let test_energy_joules_and_cheapest () =
+  let cl = Dex.cluster ~nodes:2 () in
+  ignore
+    (Dex.run cl (fun proc main ->
+         ignore main;
+         let th =
+           Process.spawn proc (fun th -> Process.compute th ~ns:(Time_ns.ms 2))
+         in
+         Process.join th));
+  let profiles = [| Energy.xeon_profile; Energy.efficiency_profile |] in
+  let j = Energy.joules cl ~profiles in
+  (* idle power over ~2+ms on both nodes dominates; must be positive and
+     bounded by (60+8) W x elapsed + small busy term. *)
+  let elapsed_s = Dex_sim.Time_ns.to_s_f (Dex.elapsed cl) in
+  check_bool "positive energy" true (j > 0.0);
+  check_bool "bounded by full-blast power" true
+    (j <= ((60.0 +. 8.0) *. elapsed_s) +. (10.5 *. 0.01) +. 1e-9);
+  check_int "efficiency node is the cheapest" 1
+    (Energy.cheapest_node cl ~profiles);
+  Alcotest.check_raises "profile arity"
+    (Invalid_argument "Energy: one profile per node required") (fun () ->
+      ignore (Energy.joules cl ~profiles:[| Energy.xeon_profile |]))
+
+let () =
+  Alcotest.run "dex_sched"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "round robin" `Quick test_placement_round_robin;
+          Alcotest.test_case "pin / random" `Quick test_placement_pin_and_random;
+          Alcotest.test_case "least loaded" `Quick test_placement_least_loaded;
+        ] );
+      ( "affinity",
+        [
+          Alcotest.test_case "ownership counting" `Quick
+            test_affinity_counts_and_best_node;
+          Alcotest.test_case "untracked pages belong to origin" `Quick
+            test_affinity_untracked_counts_origin;
+        ] );
+      ( "offload",
+        [
+          Alcotest.test_case "round trip" `Quick test_offload_round_trip;
+          Alcotest.test_case "exception safety" `Quick
+            test_offload_returns_home_on_exception;
+        ] );
+      ( "balancer",
+        [
+          Alcotest.test_case "safe-point migration" `Quick
+            test_balancer_safe_points;
+          Alcotest.test_case "checkpoint no-op" `Quick
+            test_balancer_checkpoint_noop;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "busy accounting" `Quick
+            test_energy_busy_accounting;
+          Alcotest.test_case "joules and cheapest node" `Quick
+            test_energy_joules_and_cheapest;
+        ] );
+    ]
