@@ -286,8 +286,13 @@ let profile_demo () =
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices in DESIGN.md.                       *)
 
+(* Scaled-down parameters for the `tiny` CLI mode, used by the dune
+   runtest smoke invocation (test/cli). *)
+let tiny = ref false
+
 let ablation () =
   section "Ablation: leader/follower fault coalescing (Sec. III-C)";
+  let storm_pages = if !tiny then 8 else 64 in
   (* Eight threads on one remote node storm the same cold pages. *)
   let storm ~coalesce =
     let proto = { Dex_proto.Proto_config.default with coalesce_faults = coalesce } in
@@ -296,15 +301,16 @@ let ablation () =
     ignore
       (Dex.run cl (fun proc main ->
            coh := Some (Process.coherence proc);
-           let buf = Process.memalign main ~align:4096 ~bytes:(64 * 4096)
-               ~tag:"storm" in
+           let buf = Process.memalign main ~align:4096
+               ~bytes:(storm_pages * 4096) ~tag:"storm" in
            let barrier = Sync.Barrier.create proc ~parties:8 () in
            let threads =
              List.init 8 (fun _ ->
                  Process.spawn proc (fun th ->
                      Process.migrate th 1;
                      Sync.Barrier.await th barrier;
-                     Process.read th ~site:"storm" buf ~len:(64 * 4096)))
+                     Process.read th ~site:"storm" buf
+                       ~len:(storm_pages * 4096)))
            in
            List.iter Process.join threads));
     let stats = Dex_proto.Coherence.stats (Option.get !coh) in
@@ -330,6 +336,7 @@ let ablation () =
   (* Repeated read -> write upgrades: with the optimization the upgrade
      grant is a 64-byte control message, without it every grant ships the
      page. *)
+  let upgrade_iters = if !tiny then 10 else 100 in
   let upgrades ~nodata =
     let proto =
       { Dex_proto.Proto_config.default with grant_without_data = nodata }
@@ -344,7 +351,7 @@ let ablation () =
            let remote =
              Process.spawn proc (fun th ->
                  Process.migrate th 1;
-                 for i = 1 to 100 do
+                 for i = 1 to upgrade_iters do
                    Sync.Barrier.await th barrier;
                    (* read ... then decide to write: upgrade *)
                    ignore (Process.load th ~site:"abl.read" cell);
@@ -352,7 +359,7 @@ let ablation () =
                    Sync.Barrier.await th barrier
                  done)
            in
-           for _ = 1 to 100 do
+           for _ = 1 to upgrade_iters do
              Sync.Barrier.await main barrier;
              Sync.Barrier.await main barrier;
              (* the origin reads the result, downgrading the remote *)
@@ -378,7 +385,56 @@ let ablation () =
     "  -> granting ownership without data saves %.1f%% of grant-path \
      bytes on upgrade-heavy sharing@."
     (100.0
-    *. (1.0 -. (float_of_int bytes_on /. float_of_int (max 1 bytes_off))))
+    *. (1.0 -. (float_of_int bytes_on /. float_of_int (max 1 bytes_off))));
+  section "Ablation: sequential page prefetch (coherence fast path)";
+  (* One remote thread walks a big array front to back: the canonical
+     perfectly-predictable fault stream the prefetcher turns into batched
+     round-trips (one demand fault resolves up to prefetch_depth extra
+     pages, and multi-page grants ride the RDMA path). *)
+  let scan_pages = if !tiny then 64 else 512 in
+  let scan ~prefetch =
+    let proto =
+      { Dex_proto.Proto_config.default with prefetch_enabled = prefetch }
+    in
+    let cl = Dex.cluster ~nodes:2 ~proto () in
+    let coh = ref None in
+    ignore
+      (Dex.run cl (fun proc main ->
+           coh := Some (Process.coherence proc);
+           let buf =
+             Process.memalign main ~align:4096 ~bytes:(scan_pages * 4096)
+               ~tag:"scan"
+           in
+           let th =
+             Process.spawn proc (fun th ->
+                 Process.migrate th 1;
+                 Process.read_range th ~site:"scan" buf
+                   ~len:(scan_pages * 4096))
+           in
+           Process.join th));
+    let stats = Dex_proto.Coherence.stats (Option.get !coh) in
+    let fstats = Dex_net.Fabric.stats (Cluster.fabric cl) in
+    ( Dex.elapsed cl,
+      Dex_sim.Stats.get stats "fault.read",
+      Dex_sim.Stats.get fstats "sent.page_req"
+      + Dex_sim.Stats.get fstats "sent.page_req_batch",
+      stats )
+  in
+  let t_on, faults_on, req_on, pstats = scan ~prefetch:true in
+  let t_off, faults_off, req_off, _ = scan ~prefetch:false in
+  Format.printf "  %-24s %12s %14s %16s@." "" "sim time" "read faults"
+    "page requests";
+  Format.printf "  %-24s %10.2fms %14d %16d@." "prefetch ON"
+    (Time_ns.to_ms_f t_on) faults_on req_on;
+  Format.printf "  %-24s %10.2fms %14d %16d@." "prefetch OFF"
+    (Time_ns.to_ms_f t_off) faults_off req_off;
+  Format.printf "  ";
+  Dex_profile.Report.pp_prefetch Format.std_formatter pstats;
+  Format.printf
+    "  -> prefetching cuts sequential-scan fault round-trips %.1fx and \
+     sim time %.1fx@."
+    (float_of_int faults_off /. float_of_int (max 1 faults_on))
+    (Time_ns.to_ms_f t_off /. Time_ns.to_ms_f t_on)
 
 (* ------------------------------------------------------------------ *)
 (* Baseline: traditional relaxed-consistency DSM (Sec. II / VI).       *)
@@ -546,10 +602,19 @@ let sections_list =
   ]
 
 let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  (* `tiny` scales the workloads down; used by the runtest smoke rule. *)
+  let args =
+    match args with
+    | "tiny" :: rest ->
+        tiny := true;
+        rest
+    | _ -> args
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections_list
+    match args with [] -> List.map fst sections_list | _ :: _ -> args
   in
   List.iter
     (fun name ->

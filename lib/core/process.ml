@@ -146,17 +146,23 @@ let memalign th ~align ~bytes ~tag =
   | M.Ret_int addr -> addr
   | _ -> assert false
 
-let read th ?(site = "?") addr ~len =
-  if len <= 0 then invalid_arg "Process.read: len must be positive";
+(* Bulk accessors go through Coherence.access_range, which also primes the
+   sequential prefetcher with the exact page window being walked (a stream
+   hint): with prefetch enabled, even the first fault of the scan batches. *)
+let read_range th ?(site = "?") addr ~len =
+  if len <= 0 then invalid_arg "Process.read_range: len must be positive";
   vma_check th ~addr ~len ~access:Perm.Read ~queried:false;
   Coherence.access_range th.proc.coh ~node:th.location ~tid:th.tid ~site ~addr
     ~len ~access:Perm.Read ()
 
-let write th ?(site = "?") addr ~len =
-  if len <= 0 then invalid_arg "Process.write: len must be positive";
+let write_range th ?(site = "?") addr ~len =
+  if len <= 0 then invalid_arg "Process.write_range: len must be positive";
   vma_check th ~addr ~len ~access:Perm.Write ~queried:false;
   Coherence.access_range th.proc.coh ~node:th.location ~tid:th.tid ~site ~addr
     ~len ~access:Perm.Write ()
+
+let read = read_range
+let write = write_range
 
 let load th ?(site = "?") addr =
   vma_check th ~addr ~len:8 ~access:Perm.Read ~queried:false;

@@ -111,11 +111,21 @@ val mprotect :
 (** Change permissions. Downgrades are broadcast eagerly; upgrades are
     lazy. *)
 
+val read_range : thread -> ?site:string -> Dex_mem.Page.addr -> len:int -> unit
+(** Bulk read: fault in every page of the range with read access. Emits a
+    stream hint: with {!Dex_proto.Proto_config.prefetch_enabled} the page
+    window is declared to the prefetcher up front, so the scan's faults
+    batch from the very first page and never overshoot the range. *)
+
+val write_range : thread -> ?site:string -> Dex_mem.Page.addr -> len:int -> unit
+(** Bulk write: acquire exclusive ownership of every page of the range.
+    Same stream hint as {!read_range}. *)
+
 val read : thread -> ?site:string -> Dex_mem.Page.addr -> len:int -> unit
-(** Bulk read: fault in every page of the range with read access. *)
+(** Alias for {!read_range}. *)
 
 val write : thread -> ?site:string -> Dex_mem.Page.addr -> len:int -> unit
-(** Bulk write: acquire exclusive ownership of every page of the range. *)
+(** Alias for {!write_range}. *)
 
 val load : thread -> ?site:string -> Dex_mem.Page.addr -> int64
 (** Typed DSM read of an 8-byte cell. *)

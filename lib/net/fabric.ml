@@ -68,15 +68,23 @@ let transmit t (msg : Msg.t) deliver =
   Stats.incr t.stats ("sent." ^ msg.kind);
   Stats.add t.stats ("bytes." ^ msg.kind) msg.size;
   if msg.src = msg.dst then begin
+    (* Loopback legitimately bypasses both buffer pools: a self-addressed
+       message never touches the NIC, so no DMA-ready buffer is pinned on
+       either side. *)
     Stats.incr t.stats "path.loopback";
+    Stats.add t.stats "bytes.loopback" msg.size;
     Engine.schedule t.engine ~delay:t.cfg.Net_config.loopback_latency
       (fun () -> deliver ())
   end
   else if msg.size >= t.cfg.Net_config.rdma_threshold then begin
     (* RDMA path: reserve a sink slot at the destination, RDMA-write, copy
        out. The caller is blocked through slot reservation and setup, which
-       is where RDMA backpressure bites. *)
+       is where RDMA backpressure bites. The sink slot IS the RDMA-side
+       receive resource (§III-E): one-sided writes land in pre-registered
+       sink memory, never consuming a receive work request, so the verb
+       recv pool is deliberately untouched on this path. *)
     Stats.incr t.stats "path.rdma";
+    Stats.add t.stats "bytes.rdma" msg.size;
     let sink = t.sinks.(msg.dst) in
     Rdma_sink.acquire sink;
     Engine.delay t.engine t.cfg.Net_config.rdma_setup;
@@ -91,6 +99,7 @@ let transmit t (msg : Msg.t) deliver =
     (* VERB path: grab a DMA-ready send buffer, post, serialize on the
        link; the buffer is reclaimed once the send completes. *)
     Stats.incr t.stats "path.verb";
+    Stats.add t.stats "bytes.verb" msg.size;
     let pool = t.send_pools.((msg.src * node_count t) + msg.dst) in
     Resource.Pool.acquire pool;
     Engine.delay t.engine t.cfg.Net_config.verb_overhead;
@@ -107,17 +116,21 @@ let transmit t (msg : Msg.t) deliver =
         deliver ())
   end
 
+(* Zero-size messages are legal: a pure completion event (e.g. a
+   zero-payload ack) still occupies buffer slots and pays per-message
+   overheads, it just adds no serialization time. Only negative sizes are
+   programming errors. *)
 let send t ~src ~dst ~kind ~size payload =
   check_node t src "send";
   check_node t dst "send";
-  if size <= 0 then invalid_arg "Fabric.send: size must be positive";
+  if size < 0 then invalid_arg "Fabric.send: negative size";
   let msg = { Msg.src; dst; size; kind; payload } in
   transmit t msg (fun () -> dispatch t msg no_respond)
 
 let call t ~src ~dst ~kind ~size payload =
   check_node t src "call";
   check_node t dst "call";
-  if size <= 0 then invalid_arg "Fabric.call: size must be positive";
+  if size < 0 then invalid_arg "Fabric.call: negative size";
   let msg = { Msg.src; dst; size; kind; payload } in
   (* The reply may not be delivered before we suspend: response delivery is
      always a separate engine event, and the check/suspend below runs
@@ -145,6 +158,9 @@ let stats t = t.stats
 
 let send_pool_waits t =
   Array.fold_left (fun acc p -> acc + Resource.Pool.waits p) 0 t.send_pools
+
+let recv_pool_waits t =
+  Array.fold_left (fun acc p -> acc + Resource.Pool.waits p) 0 t.recv_pools
 
 let sink_waits t =
   Array.fold_left (fun acc s -> acc + Rdma_sink.exhaustion_waits s) 0 t.sinks

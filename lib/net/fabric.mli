@@ -12,7 +12,16 @@
     Message handlers run in their own fiber at the destination and may
     block; receive-pool buffers are recycled as soon as the delivery event
     has been processed, before the handler body runs, exactly like DeX
-    reposts receive work requests after consuming the completion event. *)
+    reposts receive work requests after consuming the completion event.
+
+    The two paths deliberately consume different receive-side resources:
+    verb messages take a receive work request from the destination's recv
+    pool, while RDMA transfers land one-sided in pre-registered sink
+    memory — the {!Rdma_sink} slot is the RDMA-side receive analogue and
+    the recv pool is never charged for them. Loopback (src = dst) bypasses
+    both pools: a self-addressed message never touches the NIC. Message
+    sizes may be zero (pure completion events, e.g. zero-payload acks);
+    they pay the usual per-message overheads but no serialization time. *)
 
 type t
 
@@ -53,6 +62,11 @@ val stats : t -> Dex_sim.Stats.t
 
 val send_pool_waits : t -> int
 (** Total send-buffer-pool exhaustion events across all connections. *)
+
+val recv_pool_waits : t -> int
+(** Total receive-pool exhaustion events across all nodes. Only the verb
+    path consumes receive work requests; RDMA transfers use sink slots
+    (see {!sink_waits}) and loopback uses neither. *)
 
 val sink_waits : t -> int
 (** Total RDMA-sink exhaustion events across all nodes. *)

@@ -13,10 +13,30 @@ let pp_ranked fmt title rows pp_key =
       rows
   end
 
-let pp_summary ?alloc fmt events =
+(* Prefetch effectiveness digest from the protocol's counters. Accuracy is
+   hits over retired prefetches (hit + waste); pages still sitting
+   untouched in the prefetched set count for neither side. *)
+let pp_prefetch fmt stats =
+  let get = Dex_sim.Stats.get stats in
+  let issued = get "prefetch.issued" in
+  if issued > 0 then begin
+    let hit = get "prefetch.hit" and waste = get "prefetch.waste" in
+    let retired = hit + waste in
+    let accuracy =
+      if retired = 0 then 0.0
+      else 100.0 *. float_of_int hit /. float_of_int retired
+    in
+    Format.fprintf fmt
+      "prefetch: issued=%d granted=%d batches=%d hit=%d waste=%d \
+       accuracy=%.1f%%@."
+      issued (get "prefetch.granted") (get "prefetch.batch") hit waste accuracy
+  end
+
+let pp_summary ?alloc ?stats fmt events =
   let s = Analysis.summarize ?alloc events in
   Format.fprintf fmt "== DeX page-fault profile ==@.";
   Format.fprintf fmt "%a@." pp_compact s;
+  Option.iter (pp_prefetch fmt) stats;
   pp_ranked fmt "hottest fault sites" s.Analysis.hottest_sites
     (fun fmt k -> Format.pp_print_string fmt k);
   pp_ranked fmt "hottest objects" s.Analysis.hottest_objects (fun fmt k ->

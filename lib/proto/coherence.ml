@@ -5,6 +5,19 @@ module Msg = Dex_net.Msg
 
 type outcome = [ `Done | `Retry ]
 
+(* A batched page request in flight from a node to the origin: the demand
+   page (which owns a genuine fault-table entry) plus the prefetched pages
+   (which deliberately do NOT — claiming entries for them and freeing them
+   only when the whole batch reply lands would let origin grant fibers wait
+   on each other in cycles). A revocation arriving at the node for any page
+   of an in-flight batch poisons the record instead; the requester discards
+   poisoned grants when the reply is processed. *)
+type batch_record = {
+  b_demand : Page.vpn;
+  b_vpns : Page.vpn list;  (* demand :: prefetched *)
+  mutable b_poisoned : Page.vpn list;
+}
+
 type t = {
   fabric : Fabric.t;
   engine : Engine.t;
@@ -16,6 +29,11 @@ type t = {
   stores : Page_store.t array;
   ftables : outcome Fault_table.t array;
   rngs : Rng.t array;  (* per-node backoff jitter *)
+  pf : Prefetch.t;
+  prefetched : (Page.vpn, unit) Hashtbl.t array;
+      (* per node: pages granted by prefetch and not yet touched; feeds the
+         prefetch.hit / prefetch.waste accuracy counters *)
+  mutable inflight : batch_record list array;  (* per node *)
   stats : Stats.t;
   fault_latencies : Histogram.t;
   mutable tracer : (Fault_event.t -> unit) option;
@@ -38,6 +56,9 @@ let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
     stores = Array.init n (fun _ -> Page_store.create ());
     ftables = Array.init n (fun _ -> Fault_table.create engine ());
     rngs = Array.init n (fun _ -> Rng.split rng);
+    pf = Prefetch.create ();
+    prefetched = Array.init n (fun _ -> Hashtbl.create 64);
+    inflight = Array.make n [];
     stats = Stats.create ();
     fault_latencies = Histogram.create ();
     tracer = None;
@@ -63,8 +84,66 @@ let snapshot_if_materialized store vpn =
   if Page_store.mem store vpn then Some (Page_store.snapshot store vpn)
   else None
 
+(* --- prefetch accuracy accounting ---------------------------------- *)
+
+let note_prefetch_hit t ~node ~vpn =
+  if Hashtbl.mem t.prefetched.(node) vpn then begin
+    Hashtbl.remove t.prefetched.(node) vpn;
+    Stats.incr t.stats "prefetch.hit"
+  end
+
+let note_prefetch_waste t ~node ~vpn =
+  if Hashtbl.mem t.prefetched.(node) vpn then begin
+    Hashtbl.remove t.prefetched.(node) vpn;
+    Stats.incr t.stats "prefetch.waste"
+  end
+
+(* --- in-flight batch bookkeeping ------------------------------------ *)
+
+let inflight_covers t ~node ~vpn =
+  List.exists (fun r -> List.mem vpn r.b_vpns) t.inflight.(node)
+
+(* Entry protocol for a revocation arriving at [node] for [vpn]. Poison
+   every in-flight batch covering the page — the requester discards those
+   grants at reply time — then wait for local fault handling to drain,
+   UNLESS the page is the demand page of an in-flight batch: that fault
+   entry belongs to the batch leader, which is blocked on a reply the
+   revoking origin fiber may itself be withholding (its grant fan-out
+   waits on this very ack), so waiting there can deadlock. Skipping is
+   safe precisely because the record was just poisoned: the leader will
+   treat its grant as a NACK and retry. *)
+let revoke_entry t ~node ~vpn =
+  List.iter
+    (fun r ->
+      if List.mem vpn r.b_vpns && not (List.mem vpn r.b_poisoned) then
+        r.b_poisoned <- vpn :: r.b_poisoned)
+    t.inflight.(node);
+  if not (List.exists (fun r -> r.b_demand = vpn) t.inflight.(node)) then
+    Fault_table.await_idle t.ftables.(node) ~vpn
+
 (* ------------------------------------------------------------------ *)
 (* Origin side: ownership decisions.                                   *)
+
+(* Run [jobs] concurrently and join. A single job runs inline in the
+   caller's fiber — it can therefore complete before the join point, which
+   is why the join below must re-check [pending] before blocking: an
+   unconditional wait after all jobs already finished would sleep forever
+   (the classic lost wake-up). *)
+let fanout t ~label jobs =
+  match jobs with
+  | [] -> ()
+  | [ job ] -> job ()
+  | jobs ->
+      let pending = ref (List.length jobs) in
+      let join = Waitq.create () in
+      List.iter
+        (fun job ->
+          Engine.spawn t.engine ~label (fun () ->
+              job ();
+              decr pending;
+              if !pending = 0 then ignore (Waitq.wake_one join ())))
+        jobs;
+      if !pending > 0 then Waitq.wait t.engine join
 
 (* Ask [target] to surrender its copy of [vpn]; returns the page data if
    [want_data] and the target had it materialized. *)
@@ -81,6 +160,24 @@ let revoke_rpc t ~target ~vpn ~mode ~want_data =
   | Messages.Revoke_ack { data; _ } -> data
   | _ -> failwith "Coherence: unexpected revoke reply"
 
+(* Coalesced fan-out: one control message invalidates a whole run of pages
+   at [target] (batched grants would otherwise pay one RPC per (page,
+   victim) pair). The victim charges a single invalidate-handler entry for
+   the batch — that amortization is the point. *)
+let revoke_batch_rpc t ~target ~vpns =
+  Stats.incr t.stats "revoke.batch";
+  Stats.add t.stats "revoke.batch_pages" (List.length vpns);
+  Stats.add t.stats "revoke.invalidate" (List.length vpns);
+  match
+    Fabric.call t.fabric ~src:t.origin ~dst:target
+      ~kind:Messages.kind_invalidate_batch
+      ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length vpns))
+      (Messages.Invalidate_batch
+         { pid = t.pid; vpns; mode = Messages.Invalidate })
+  with
+  | Messages.Invalidate_batch_ack _ -> ()
+  | _ -> failwith "Coherence: unexpected batch revoke reply"
+
 (* Apply a revocation to the origin's own page table. The origin's page
    store is never dropped: it is the staging copy that grants snapshot
    from, and every flow that could leave it stale re-installs fresh data
@@ -93,21 +190,13 @@ let revoke_local t ~vpn ~mode =
 (* Revoke [vpn] from every node in [targets] in parallel, joining before
    returning. Used to invalidate all readers ahead of a write grant. *)
 let revoke_parallel t targets ~vpn =
-  match targets with
-  | [] -> ()
-  | _ ->
-      let pending = ref (List.length targets) in
-      let join = Waitq.create () in
-      List.iter
-        (fun target ->
-          Engine.spawn t.engine ~label:"revoke" (fun () ->
-              ignore
-                (revoke_rpc t ~target ~vpn ~mode:Messages.Invalidate
-                   ~want_data:false);
-              decr pending;
-              if !pending = 0 then ignore (Waitq.wake_one join ())))
-        targets;
-      Waitq.wait t.engine join
+  fanout t ~label:"revoke"
+    (List.map
+       (fun target () ->
+         ignore
+           (revoke_rpc t ~target ~vpn ~mode:Messages.Invalidate
+              ~want_data:false))
+       targets)
 
 (* Pull fresh page data back to the origin from the current exclusive
    owner, downgrading or invalidating its copy. *)
@@ -169,19 +258,153 @@ let origin_grant t ~requester ~vpn ~access =
     `Grant (data, wire_data)
   end
 
+(* Batched ownership transition for a demand page plus its prefetch run.
+   Three phases so that the whole revocation fan-out of the batch is
+   coalesced:
+
+   A. lock + decide each page in request order — pages whose directory
+      entry is busy are NACKed individually, never the whole batch;
+   B. one parallel fan-out of all reclaims and (per victim node) all
+      invalidations, batched into a single {!Messages.Invalidate_batch}
+      per target when [batch_revoke] is set;
+   C. apply the directory transitions and unlock, snapshotting data per
+      page, again in request order.
+
+   Every lock taken in phase A is held across phase B; that is what makes
+   the victim-side skip in {!revoke_entry} sound — no new grant for a
+   locked page can race the revocation. *)
+let origin_grant_batch t ~requester ~vpns ~access =
+  let reclaims = ref [] in
+  (* victim node -> pages to invalidate there, accumulated in reverse *)
+  let victims : (int, Page.vpn list ref) Hashtbl.t = Hashtbl.create 8 in
+  let add_victim target vpn =
+    match Hashtbl.find_opt victims target with
+    | Some cell -> cell := vpn :: !cell
+    | None -> Hashtbl.add victims target (ref [ vpn ])
+  in
+  (* Phase A *)
+  let decided =
+    List.map
+      (fun vpn ->
+        if not (Directory.try_lock t.dir vpn) then begin
+          Stats.incr t.stats "grant.nack";
+          (vpn, `Nack)
+        end
+        else begin
+          if requester <> t.origin then
+            Fault_table.await_idle t.ftables.(t.origin) ~vpn;
+          let had_copy = Directory.has_valid_copy t.dir vpn requester in
+          let apply =
+            match (access, Directory.state t.dir vpn) with
+            | Perm.Read, Directory.Exclusive owner when owner = requester ->
+                fun () -> ()
+            | Perm.Read, Directory.Exclusive owner ->
+                reclaims := (vpn, owner, Messages.Downgrade) :: !reclaims;
+                fun () ->
+                  Directory.set_shared t.dir vpn
+                    (Node_set.of_list [ owner; t.origin; requester ])
+            | Perm.Read, Directory.Shared _ ->
+                fun () -> Directory.add_reader t.dir vpn requester
+            | Perm.Write, Directory.Exclusive owner when owner = requester ->
+                fun () -> ()
+            | Perm.Write, Directory.Exclusive owner ->
+                reclaims := (vpn, owner, Messages.Invalidate) :: !reclaims;
+                fun () -> Directory.set_exclusive t.dir vpn requester
+            | Perm.Write, Directory.Shared readers ->
+                List.iter
+                  (fun n ->
+                    if n <> requester && n <> t.origin then add_victim n vpn)
+                  (Node_set.to_list readers);
+                let origin_reader = Node_set.mem readers t.origin in
+                fun () ->
+                  if origin_reader && requester <> t.origin then
+                    revoke_local t ~vpn ~mode:Messages.Invalidate;
+                  Directory.set_exclusive t.dir vpn requester
+          in
+          (vpn, `Locked (had_copy, apply))
+        end)
+      vpns
+  in
+  (* Phase B *)
+  let jobs =
+    List.rev_map
+      (fun (vpn, owner, mode) () -> reclaim_from_owner t ~owner ~vpn ~mode)
+      !reclaims
+    @ Hashtbl.fold
+        (fun target cell acc ->
+          if t.cfg.Proto_config.batch_revoke then
+            (fun () -> revoke_batch_rpc t ~target ~vpns:(List.rev !cell))
+            :: acc
+          else
+            List.fold_left
+              (fun acc vpn ->
+                (fun () ->
+                  ignore
+                    (revoke_rpc t ~target ~vpn ~mode:Messages.Invalidate
+                       ~want_data:false))
+                :: acc)
+              acc !cell)
+        victims []
+  in
+  fanout t ~label:"revoke" jobs;
+  (* Phase C *)
+  List.map
+    (fun (vpn, d) ->
+      match d with
+      | `Nack -> (vpn, `Nack)
+      | `Locked (had_copy, apply) ->
+          apply ();
+          let wire_data =
+            ((not had_copy) || not t.cfg.Proto_config.grant_without_data)
+            && requester <> t.origin
+          in
+          let data =
+            if wire_data then snapshot_if_materialized t.stores.(t.origin) vpn
+            else None
+          in
+          Directory.unlock t.dir vpn;
+          Stats.incr t.stats
+            (if wire_data then "grant.data" else "grant.nodata");
+          (vpn, `Grant (data, wire_data)))
+    decided
+
 (* ------------------------------------------------------------------ *)
 (* Node side: fault handling.                                          *)
 
-let backoff t ~node ~attempt =
-  let base = t.cfg.Proto_config.backoff_base in
-  let cap = t.cfg.Proto_config.backoff_cap in
-  let d = min cap (base * (1 lsl min attempt 6)) in
-  (* +/- 25% deterministic jitter to avoid lockstep retries. *)
+(* Retry delay after the [attempt]-th NACK: exponential in the attempt
+   with +/- 25% deterministic jitter, clamped to [3d/4, 5d/4] so that a
+   degenerate config (zero or tiny backoff_base) can never collapse the
+   delay to the 1 ns floor and turn backoff into a busy retry storm. *)
+let backoff_delay t ~node ~attempt =
+  let base = max 1 t.cfg.Proto_config.backoff_base in
+  let cap = max base t.cfg.Proto_config.backoff_cap in
+  let d = min cap (base * (1 lsl max 0 (min attempt 6))) in
+  let lo = max 1 (d - (d / 4)) and hi = d + (d / 4) in
   let jitter = Rng.int t.rngs.(node) (max 1 (d / 2)) - (d / 4) in
-  Engine.delay t.engine (max 1 (d + jitter))
+  max lo (min hi (d + jitter))
 
-(* One protocol attempt as the fault leader. *)
-let request_once t ~node ~vpn ~access =
+let backoff t ~node ~attempt =
+  Engine.delay t.engine (backoff_delay t ~node ~attempt)
+
+(* Predict and filter the prefetch run to attach to a demand fault: only
+   pages the node does not already hold at [access], with no local fault
+   in flight and not already covered by an in-flight batch. No fault-table
+   entries are claimed for these — see {!batch_record}. *)
+let claim_prefetch t ~node ~tid ~vpn ~access =
+  if (not t.cfg.Proto_config.prefetch_enabled) || node = t.origin then []
+  else
+    Prefetch.record t.pf ~node ~tid ~vpn
+      ~depth:t.cfg.Proto_config.prefetch_depth
+    |> List.filter (fun p ->
+           p <> vpn
+           && (not (Page_table.allows t.ptables.(node) p access))
+           && (not (Fault_table.has t.ftables.(node) ~vpn:p))
+           && not (inflight_covers t ~node ~vpn:p))
+
+(* One protocol attempt as the fault leader. [prefetch] is the run of
+   predicted pages to resolve in the same round-trip (remote nodes only;
+   empty on retries). *)
+let request_once t ~node ~vpn ~access ~prefetch =
   if node = t.origin then begin
     Engine.delay t.engine t.cfg.Proto_config.local_op;
     match origin_grant t ~requester:node ~vpn ~access with
@@ -190,7 +413,7 @@ let request_once t ~node ~vpn ~access =
         Page_table.set t.ptables.(node) vpn access;
         `Granted
   end
-  else begin
+  else if prefetch = [] then begin
     match
       Fabric.call t.fabric ~src:node ~dst:t.origin
         ~kind:Messages.kind_page_request ~size:t.cfg.Proto_config.ctl_msg_size
@@ -203,6 +426,56 @@ let request_once t ~node ~vpn ~access =
         `Granted
     | _ -> failwith "Coherence: unexpected page reply"
   end
+  else begin
+    Stats.incr t.stats "prefetch.batch";
+    Stats.add t.stats "prefetch.issued" (List.length prefetch);
+    let record = { b_demand = vpn; b_vpns = vpn :: prefetch; b_poisoned = [] } in
+    t.inflight.(node) <- record :: t.inflight.(node);
+    let reply =
+      Fabric.call t.fabric ~src:node ~dst:t.origin
+        ~kind:Messages.kind_page_request_batch
+        ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length prefetch))
+        (Messages.Page_request_batch
+           { pid = t.pid; vpns = record.b_vpns; access })
+    in
+    match reply with
+    | Messages.Page_grant_batch { results; _ } ->
+        (* Everything from here to the PTE-update delay below runs in one
+           simulation event: the record is removed and every surviving
+           grant installed atomically, so a racing revocation sees either
+           the in-flight record (and poisons it) or the final page
+           tables — never half a batch. *)
+        t.inflight.(node) <-
+          List.filter (fun r -> r != record) t.inflight.(node);
+        let demand_ok = ref false in
+        let granted_prefetch = ref 0 in
+        List.iter
+          (fun (p, result) ->
+            let poisoned = List.mem p record.b_poisoned in
+            match result with
+            | Messages.Batch_nack ->
+                if p <> vpn then Stats.incr t.stats "prefetch.nacked"
+            | Messages.Batch_grant _ when poisoned ->
+                (* Revoked while the grant was on the wire: drop it. The
+                   demand page turns into a NACK and retries. *)
+                Stats.incr t.stats
+                  (if p = vpn then "fault.poisoned" else "prefetch.poisoned")
+            | Messages.Batch_grant data ->
+                Option.iter (Page_store.install t.stores.(node) p) data;
+                Page_table.set t.ptables.(node) p access;
+                if p = vpn then demand_ok := true
+                else begin
+                  incr granted_prefetch;
+                  Hashtbl.replace t.prefetched.(node) p ();
+                  Stats.incr t.stats "prefetch.granted"
+                end)
+          results;
+        if !granted_prefetch > 0 then
+          Engine.delay t.engine
+            (!granted_prefetch * t.cfg.Proto_config.pte_update);
+        if !demand_ok then `Granted else `Nack
+    | _ -> failwith "Coherence: unexpected batch reply"
+  end
 
 let kind_of_access = function
   | Perm.Read -> Fault_event.Read
@@ -211,8 +484,12 @@ let kind_of_access = function
 (* Ensure [node] may perform [access] on [vpn]; the full fault handler. *)
 let ensure t ~node ~tid ~site ~vpn ~access =
   let pt = t.ptables.(node) in
-  if Page_table.allows pt vpn access then ()
+  if Page_table.allows pt vpn access then note_prefetch_hit t ~node ~vpn
   else begin
+    (* A demand fault on a page we prefetched at a weaker access (or that
+       was revoked meanwhile) is neither a hit nor waste; just stop
+       tracking it. *)
+    Hashtbl.remove t.prefetched.(node) vpn;
     let t0 = Engine.now t.engine in
     let retries = ref 0 in
     let was_leader = ref false in
@@ -249,7 +526,11 @@ let ensure t ~node ~tid ~site ~vpn ~access =
         | Fault_table.Conflict -> loop ()
         | Fault_table.Leader -> (
             was_leader := true;
-            match request_once t ~node ~vpn ~access with
+            let prefetch =
+              if !retries = 0 then claim_prefetch t ~node ~tid ~vpn ~access
+              else []
+            in
+            match request_once t ~node ~vpn ~access ~prefetch with
             | `Granted ->
                 Engine.delay t.engine t.cfg.Proto_config.pte_update;
                 ignore (Fault_table.finish t.ftables.(node) ~vpn `Done)
@@ -293,6 +574,10 @@ let check_node t node name =
 let access_range t ~node ~tid ?(site = "?") ~addr ~len ~access () =
   check_node t node "access_range";
   let first, last = Page.pages_of_range addr ~len in
+  (* Bulk accessors declare their exact page window up front, so even the
+     first fault of the scan batches and predictions never overshoot. *)
+  if t.cfg.Proto_config.prefetch_enabled && node <> t.origin && last > first
+  then Prefetch.prime t.pf ~node ~tid ~first ~last;
   for vpn = first to last do
     ensure t ~node ~tid ~site ~vpn ~access
   done
@@ -379,6 +664,7 @@ let zap_range t ~first ~last ~node =
   check_node t node "zap_range";
   let n = Page_table.zap_range t.ptables.(node) ~first ~last in
   for vpn = first to last do
+    note_prefetch_waste t ~node ~vpn;
     Page_store.drop t.stores.(node) vpn
   done;
   n
@@ -390,6 +676,25 @@ let forget_range t ~first ~last =
 
 (* ------------------------------------------------------------------ *)
 (* Message handler.                                                    *)
+
+let apply_invalidation t ~node ~vpn ~mode =
+  (match mode with
+  | Messages.Invalidate ->
+      note_prefetch_waste t ~node ~vpn;
+      Page_table.invalidate t.ptables.(node) vpn;
+      Page_store.drop t.stores.(node) vpn
+  | Messages.Downgrade -> Page_table.downgrade t.ptables.(node) vpn);
+  emit t
+    {
+      Fault_event.time = Engine.now t.engine;
+      node;
+      tid = -1;
+      kind = Fault_event.Invalidation;
+      site = "";
+      addr = Page.base_of_page vpn;
+      latency = 0;
+      retries = 0;
+    }
 
 let handler t (env : Fabric.env) =
   let msg = env.Fabric.msg in
@@ -409,37 +714,67 @@ let handler t (env : Fabric.env) =
           in
           env.Fabric.respond ~size (Messages.Page_grant { pid = t.pid; vpn; data }));
       true
+  | Messages.Page_request_batch { pid; vpns; access } when pid = t.pid ->
+      if msg.Msg.dst <> t.origin then
+        failwith "Coherence: page request addressed to a non-origin node";
+      (* One handler entry amortized over the run; each extra page costs a
+         local directory operation, not another round-trip. *)
+      Engine.delay t.engine
+        (t.cfg.Proto_config.origin_handler
+        + ((List.length vpns - 1) * t.cfg.Proto_config.local_op));
+      let results = origin_grant_batch t ~requester:msg.Msg.src ~vpns ~access in
+      let data_pages =
+        List.fold_left
+          (fun n (_, r) ->
+            match r with `Grant (_, true) -> n + 1 | _ -> n)
+          0 results
+      in
+      let size =
+        t.cfg.Proto_config.ctl_msg_size
+        + data_pages
+          * (t.cfg.Proto_config.page_msg_size - t.cfg.Proto_config.ctl_msg_size)
+      in
+      env.Fabric.respond ~size
+        (Messages.Page_grant_batch
+           {
+             pid = t.pid;
+             results =
+               List.map
+                 (fun (vpn, r) ->
+                   ( vpn,
+                     match r with
+                     | `Nack -> Messages.Batch_nack
+                     | `Grant (data, _) -> Messages.Batch_grant data ))
+                 results;
+           });
+      true
   | Messages.Revoke { pid; vpn; mode; want_data } when pid = t.pid ->
       let node = msg.Msg.dst in
       (* A fault in flight on this page must complete before the
-         revocation applies, or PTE updates would interleave. *)
-      Fault_table.await_idle t.ftables.(node) ~vpn;
+         revocation applies, or PTE updates would interleave; in-flight
+         batched grants are poisoned instead (see revoke_entry). *)
+      revoke_entry t ~node ~vpn;
       Engine.delay t.engine t.cfg.Proto_config.invalidate_handler;
       let data =
         if want_data then snapshot_if_materialized t.stores.(node) vpn
         else None
       in
-      (match mode with
-      | Messages.Invalidate ->
-          Page_table.invalidate t.ptables.(node) vpn;
-          Page_store.drop t.stores.(node) vpn
-      | Messages.Downgrade -> Page_table.downgrade t.ptables.(node) vpn);
-      emit t
-        {
-          Fault_event.time = Engine.now t.engine;
-          node;
-          tid = -1;
-          kind = Fault_event.Invalidation;
-          site = "";
-          addr = Page.base_of_page vpn;
-          latency = 0;
-          retries = 0;
-        };
+      apply_invalidation t ~node ~vpn ~mode;
       let size =
         if want_data then t.cfg.Proto_config.page_msg_size
         else t.cfg.Proto_config.ctl_msg_size
       in
       env.Fabric.respond ~size (Messages.Revoke_ack { pid = t.pid; vpn; data });
+      true
+  | Messages.Invalidate_batch { pid; vpns; mode } when pid = t.pid ->
+      let node = msg.Msg.dst in
+      List.iter (fun vpn -> revoke_entry t ~node ~vpn) vpns;
+      (* A single handler entry for the whole run — the victim-side half
+         of the fan-out amortization. *)
+      Engine.delay t.engine t.cfg.Proto_config.invalidate_handler;
+      List.iter (fun vpn -> apply_invalidation t ~node ~vpn ~mode) vpns;
+      env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+        (Messages.Invalidate_batch_ack { pid = t.pid });
       true
   | _ -> false
 

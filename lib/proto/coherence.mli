@@ -17,7 +17,21 @@
     downgrades an exclusive owner (pulling fresh data back); to satisfy a
     write it revokes every other copy in parallel. Ownership is granted
     without page data whenever the requester already holds an up-to-date
-    copy (read → write upgrades). *)
+    copy (read → write upgrades).
+
+    With {!Proto_config.prefetch_enabled}, remote fault leaders feed a
+    per-(node, thread) {!Prefetch} stream detector and resolve up to
+    [prefetch_depth] predicted pages in the same round-trip via
+    [Page_request_batch]; the origin locks, decides and traces each batched
+    page individually (pages that lose the directory race are NACKed
+    individually, never the whole batch), and coalesces the revocation
+    fan-out into one [Invalidate_batch] per victim node when
+    {!Proto_config.batch_revoke} is set. A revocation arriving at a node
+    for a page of an in-flight batch poisons that batch's record instead
+    of blocking: the requester discards poisoned grants when the reply
+    lands (the demand page then retries as if NACKed), which closes the
+    revoke-overtakes-grant race without ever making an origin grant fiber
+    wait on another grant's reply. *)
 
 type t
 
@@ -121,6 +135,13 @@ val forget_range : t -> first:Dex_mem.Page.vpn -> last:Dex_mem.Page.vpn -> unit
 val set_tracer : t -> (Fault_event.t -> unit) option -> unit
 (** Install the page-fault profiler hook; leaders emit one event per
     protocol fault, revocations emit [Invalidation] events. *)
+
+val backoff_delay : t -> node:int -> attempt:int -> Dex_sim.Time_ns.t
+(** The retry delay the node would sleep after its [attempt]-th NACK:
+    exponential in the attempt (capped at 2^6), +/- 25% deterministic
+    jitter, clamped to [3d/4, 5d/4] of the undithered delay [d] — so even
+    a degenerate [backoff_base] of 0 never collapses to the 1 ns floor.
+    Consumes the node's jitter RNG. Exposed for property tests. *)
 
 val stats : t -> Dex_sim.Stats.t
 

@@ -1,5 +1,7 @@
 type revoke_mode = Invalidate | Downgrade
 
+type batch_result = Batch_grant of bytes option | Batch_nack
+
 type Dex_net.Msg.payload +=
   | Page_request of {
       pid : int;
@@ -8,6 +10,15 @@ type Dex_net.Msg.payload +=
     }
   | Page_grant of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
   | Page_nack of { pid : int; vpn : Dex_mem.Page.vpn }
+  | Page_request_batch of {
+      pid : int;
+      vpns : Dex_mem.Page.vpn list;
+      access : Dex_mem.Perm.access;
+    }
+  | Page_grant_batch of {
+      pid : int;
+      results : (Dex_mem.Page.vpn * batch_result) list;
+    }
   | Revoke of {
       pid : int;
       vpn : Dex_mem.Page.vpn;
@@ -15,6 +26,14 @@ type Dex_net.Msg.payload +=
       want_data : bool;
     }
   | Revoke_ack of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
+  | Invalidate_batch of {
+      pid : int;
+      vpns : Dex_mem.Page.vpn list;
+      mode : revoke_mode;
+    }
+  | Invalidate_batch_ack of { pid : int }
 
 let kind_page_request = "page_req"
+let kind_page_request_batch = "page_req_batch"
 let kind_revoke = "revoke"
+let kind_invalidate_batch = "revoke_batch"

@@ -4,6 +4,14 @@ type revoke_mode =
   | Invalidate  (** drop the copy entirely (a writer is coming) *)
   | Downgrade  (** keep a read-only copy (a reader is coming) *)
 
+type batch_result =
+  | Batch_grant of bytes option
+      (** ownership granted; the payload carries page contents when the
+          requester lacked a valid copy and the page is materialized *)
+  | Batch_nack
+      (** page busy; for prefetched pages the requester simply drops the
+          prediction, for the demand page it retries *)
+
 type Dex_net.Msg.payload +=
   | Page_request of {
       pid : int;
@@ -17,6 +25,22 @@ type Dex_net.Msg.payload +=
           materialized *)
   | Page_nack of { pid : int; vpn : Dex_mem.Page.vpn }
       (** origin → node: page busy, back off and retry *)
+  | Page_request_batch of {
+      pid : int;
+      vpns : Dex_mem.Page.vpn list;
+      access : Dex_mem.Perm.access;
+    }
+      (** node → origin: one demand fault (head of [vpns]) plus
+          sequential-prefetch candidates, resolved in one round-trip. Each
+          page is granted, locked and traced individually at the origin;
+          busy pages are NACKed individually without failing the batch. *)
+  | Page_grant_batch of {
+      pid : int;
+      results : (Dex_mem.Page.vpn * batch_result) list;
+    }
+      (** origin → node: per-page outcome of a batched request, in request
+          order. Replies carrying page data ride the RDMA path once their
+          size crosses {!Dex_net.Net_config.rdma_threshold}. *)
   | Revoke of {
       pid : int;
       vpn : Dex_mem.Page.vpn;
@@ -24,6 +48,17 @@ type Dex_net.Msg.payload +=
       want_data : bool;
     }  (** origin → owner: surrender ownership *)
   | Revoke_ack of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
+  | Invalidate_batch of {
+      pid : int;
+      vpns : Dex_mem.Page.vpn list;
+      mode : revoke_mode;
+    }
+      (** origin → reader: surrender every copy in [vpns] — the batched
+          revocation fan-out for runs of pages; one message per victim
+          node regardless of run length *)
+  | Invalidate_batch_ack of { pid : int }
 
 val kind_page_request : string
+val kind_page_request_batch : string
 val kind_revoke : string
+val kind_invalidate_batch : string

@@ -1,0 +1,93 @@
+(* Per-(node, thread) sequential-stride stream detector. The fault handler
+   records every demand fault a leader takes; once a thread has faulted on
+   [min_run] consecutive pages in the same direction, the detector predicts
+   the next [depth] pages so the leader can claim them in the same
+   round-trip as the demand fault.
+
+   Bulk accessors (Process.read_range/write_range) additionally [prime] a
+   stream with the exact page window they are about to walk, so even the
+   first fault of a scan batches, and predictions never run past the end of
+   the range. Detected (unprimed) streams are unbounded ahead — overshoot
+   is the price of prediction and is surfaced by the prefetch.waste
+   counter. *)
+
+type stream = {
+  mutable last : int;  (* vpn of the previous demand fault *)
+  mutable dir : int;  (* +1 ascending, -1 descending, 0 unknown *)
+  mutable run : int;  (* consecutive in-direction faults, incl. current *)
+  mutable win_lo : int;  (* primed window, inclusive; -1 = no window *)
+  mutable win_hi : int;
+}
+
+type t = {
+  streams : (int * int, stream) Hashtbl.t;  (* key: (node, tid) *)
+  min_run : int;
+}
+
+let create ?(min_run = 2) () =
+  if min_run < 1 then invalid_arg "Prefetch.create: min_run must be >= 1";
+  { streams = Hashtbl.create 64; min_run }
+
+let min_run t = t.min_run
+
+let stream t ~node ~tid =
+  let key = (node, tid) in
+  match Hashtbl.find_opt t.streams key with
+  | Some s -> s
+  | None ->
+      let s = { last = min_int; dir = 0; run = 0; win_lo = -1; win_hi = -1 } in
+      Hashtbl.add t.streams key s;
+      s
+
+let prime t ~node ~tid ~first ~last =
+  if last < first then invalid_arg "Prefetch.prime: empty window";
+  let s = stream t ~node ~tid in
+  s.win_lo <- first;
+  s.win_hi <- last;
+  (* Pretend the thread already faulted its way up to [first] so the very
+     first fault of the window predicts. *)
+  s.dir <- 1;
+  s.run <- t.min_run;
+  s.last <- first - 1
+
+let record t ~node ~tid ~vpn ~depth =
+  let s = stream t ~node ~tid in
+  let in_window = s.win_lo >= 0 && vpn >= s.win_lo && vpn <= s.win_hi in
+  if in_window then begin
+    (* Inside a primed window the stream stays hot even when already-cached
+       pages make the demand faults skip ahead. *)
+    s.dir <- 1;
+    s.run <- max s.run t.min_run
+  end
+  else begin
+    if s.win_lo >= 0 then begin
+      s.win_lo <- -1;
+      s.win_hi <- -1
+    end;
+    let step = vpn - s.last in
+    (match step with
+    | 1 | -1 ->
+        if s.dir = step then s.run <- s.run + 1
+        else begin
+          s.dir <- step;
+          s.run <- 2
+        end
+    | _ ->
+        s.dir <- 0;
+        s.run <- 1)
+  end;
+  s.last <- vpn;
+  if depth <= 0 || s.dir = 0 || s.run < t.min_run then []
+  else begin
+    let preds = ref [] in
+    for i = depth downto 1 do
+      let p = vpn + (s.dir * i) in
+      let ok =
+        if in_window then p >= s.win_lo && p <= s.win_hi else p >= 0
+      in
+      if ok then preds := p :: !preds
+    done;
+    !preds
+  end
+
+let reset t ~node ~tid = Hashtbl.remove t.streams (node, tid)

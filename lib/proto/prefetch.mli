@@ -1,0 +1,41 @@
+(** Per-(node, thread) sequential-stride page prefetcher.
+
+    The paper's §V-C profiling shows that most DSM overhead on GRP, KMN
+    and FT is page-fault round-trips over perfectly predictable sequential
+    scans. This detector watches the demand faults each thread takes: after
+    [min_run] consecutive faults on adjacent pages in one direction it
+    predicts the next [depth] pages, which the fault leader then claims in
+    the {e same} round-trip via {!Messages.Page_request_batch} —
+    amortizing the per-page protocol cost exactly as the paper's bimodal
+    messaging layer amortizes bulk page data.
+
+    Streams are keyed by (node, tid): interleaved threads scanning
+    different regions do not pollute each other's state. *)
+
+type t
+
+val create : ?min_run:int -> unit -> t
+(** [min_run] (default 2) is the number of consecutive same-direction
+    faults required before predictions start. *)
+
+val min_run : t -> int
+
+val record :
+  t -> node:int -> tid:int -> vpn:Dex_mem.Page.vpn -> depth:int ->
+  Dex_mem.Page.vpn list
+(** Record a demand fault and return the predicted next pages (nearest
+    first, at most [depth], never negative). The caller still has to
+    filter out pages it already holds or that have a fault in flight.
+    Returns [[]] until a stream is established. *)
+
+val prime :
+  t -> node:int -> tid:int -> first:Dex_mem.Page.vpn -> last:Dex_mem.Page.vpn ->
+  unit
+(** Bulk-accessor stream hint: declare that the thread is about to walk
+    [first..last] ascending. The first fault of the window predicts
+    immediately and predictions are clamped to the window, so a primed
+    scan never overshoots its range. The window dissolves on the first
+    demand fault outside it. *)
+
+val reset : t -> node:int -> tid:int -> unit
+(** Drop the stream state of one thread (e.g. on migration). *)

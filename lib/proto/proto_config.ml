@@ -11,6 +11,9 @@ type t = {
   page_msg_size : int;
   coalesce_faults : bool;
   grant_without_data : bool;
+  prefetch_enabled : bool;
+  prefetch_depth : int;
+  batch_revoke : bool;
 }
 
 let default =
@@ -27,4 +30,10 @@ let default =
     page_msg_size = 4096 + 64;
     coalesce_faults = true;
     grant_without_data = true;
+    (* Off by default: the base protocol matches the paper's §III-B/C
+       description exactly; the prefetch fast path is the ablation knob
+       (bench/main.exe ablation) and the opt-in for bulk-scan workloads. *)
+    prefetch_enabled = false;
+    prefetch_depth = 8;
+    batch_revoke = true;
   }

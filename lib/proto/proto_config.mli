@@ -30,6 +30,20 @@ type t = {
   grant_without_data : bool;
       (** skip the page payload when the requester holds a valid copy
           (§III-B); disable for ablation — every grant then ships 4 KB *)
+  prefetch_enabled : bool;
+      (** sequential-stride prefetching: fault leaders on remote nodes
+          detect ascending/descending VPN streams and resolve up to
+          [prefetch_depth] predicted pages in the same round-trip as the
+          demand fault ({!Prefetch}). Off by default — the base protocol
+          then matches the paper exactly; bulk sequential scans are the
+          winners (see [bench/main.exe ablation]). *)
+  prefetch_depth : int;
+      (** how many pages ahead of a detected stream one batched request
+          may claim; ignored when [prefetch_enabled] is false *)
+  batch_revoke : bool;
+      (** coalesce the revocation fan-out of a batched grant into one
+          {!Messages.Invalidate_batch} per victim node instead of one
+          [Revoke] RPC per (page, victim) pair *)
 }
 
 val default : t

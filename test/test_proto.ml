@@ -11,16 +11,29 @@ let check_i64 = Alcotest.(check int64)
 
 (* One protocol instance over a fresh n-node fabric, message routing
    installed on every node. *)
-let setup ?(nodes = 4) ?seed () =
+let setup_with_fabric ?(nodes = 4) ?seed ?cfg () =
   let engine = Engine.create () in
   let fabric = Dex_net.Fabric.create engine (Dex_net.Net_config.default ~nodes ()) in
-  let coh = Coherence.create ?seed fabric ~origin:0 in
+  let coh = Coherence.create ?cfg ?seed fabric ~origin:0 in
   for node = 0 to nodes - 1 do
     Dex_net.Fabric.set_handler fabric ~node (fun _ env ->
         if not (Coherence.handler coh env) then
           failwith "test_proto: unrouted message")
   done;
+  (engine, coh, fabric)
+
+let setup ?nodes ?seed ?cfg () =
+  let engine, coh, _ = setup_with_fabric ?nodes ?seed ?cfg () in
   (engine, coh)
+
+(* The coherence fast-path knobs under test: sequential prefetching on
+   (off by default) and batched revocation fan-out. *)
+let fast_cfg =
+  {
+    Proto_config.default with
+    prefetch_enabled = true;
+    batch_revoke = true;
+  }
 
 let addr0 = Layout.heap_base
 
@@ -217,16 +230,15 @@ let test_single_writer_monotonic_readers () =
   check_int "no monotonicity violations" 0 !violations;
   Coherence.check_invariants coh
 
-let prop_sequential_writes_then_read =
+let prop_sequential_writes_then_read ?cfg ~name () =
   (* Random single-threaded programs issuing writes from random nodes; a
      final sweep from one node must read exactly the model values. *)
-  QCheck.Test.make ~name:"random write sequences match a reference memory"
-    ~count:40
+  QCheck.Test.make ~name ~count:40
     QCheck.(
       list_of_size Gen.(1 -- 40)
         (triple (int_bound 3) (int_bound 15) (int_range 1 1000)))
     (fun ops ->
-      let engine, coh = setup ~nodes:4 () in
+      let engine, coh = setup ~nodes:4 ?cfg () in
       let model = Hashtbl.create 16 in
       let ok = ref true in
       run_fiber engine (fun () ->
@@ -245,15 +257,15 @@ let prop_sequential_writes_then_read =
       Coherence.check_invariants coh;
       !ok)
 
-let prop_single_writer_per_address_monotonic =
+let prop_single_writer_per_address_monotonic ?cfg ~name () =
   (* Per-address single-writer, multi-reader: with one designated writer
      per address publishing increasing values, every reader must observe a
      non-decreasing sequence at each address — a consequence of sequential
      consistency that would break under stale reads. *)
-  QCheck.Test.make ~name:"per-address single-writer monotonicity" ~count:20
+  QCheck.Test.make ~name ~count:20
     QCheck.(pair small_int (int_range 1 4))
     (fun (seed, n_addrs) ->
-      let engine, coh = setup ~nodes:4 ~seed () in
+      let engine, coh = setup ~nodes:4 ~seed ?cfg () in
       let addr_of k = addr0 + (k * 192) in
       (* writers: one per address, on rotating nodes *)
       for k = 0 to n_addrs - 1 do
@@ -284,15 +296,14 @@ let prop_single_writer_per_address_monotonic =
       Coherence.check_invariants coh;
       !ok)
 
-let prop_invariants_under_concurrency =
-  QCheck.Test.make ~name:"directory/PTE invariants under random concurrency"
-    ~count:25
+let prop_invariants_under_concurrency ?cfg ~name () =
+  QCheck.Test.make ~name ~count:25
     QCheck.(
       pair small_int
         (list_of_size Gen.(1 -- 20)
            (triple (int_bound 3) (int_bound 3) bool)))
     (fun (seed, threads) ->
-      let engine, coh = setup ~nodes:4 ~seed () in
+      let engine, coh = setup ~nodes:4 ~seed ?cfg () in
       List.iteri
         (fun tid (node, slot, is_write) ->
           Engine.spawn engine (fun () ->
@@ -415,6 +426,157 @@ let test_contended_pingpong_is_bimodal () =
   check_bool "retries occurred" true
     (Stats.get (Coherence.stats coh) "fault.retry" > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Coherence fast paths: sequential prefetch + batched revocation.      *)
+
+let test_prefetch_batches_sequential_scan () =
+  let engine, coh, fabric = setup_with_fabric ~cfg:fast_cfg () in
+  run_fiber engine (fun () ->
+      Coherence.access_range coh ~node:1 ~tid:0 ~addr:addr0
+        ~len:(32 * Page.size) ~access:Perm.Read ());
+  let st = Coherence.stats coh in
+  let faults = Stats.get st "fault.read" in
+  check_bool
+    (Printf.sprintf "at most half the faults of a page-at-a-time scan (%d)"
+       faults)
+    true
+    (faults * 2 <= 32);
+  check_bool "prefetches granted" true (Stats.get st "prefetch.granted" > 0);
+  check_int "every prefetched page was then accessed"
+    (Stats.get st "prefetch.granted")
+    (Stats.get st "prefetch.hit");
+  check_int "primed window never overshoots" 0 (Stats.get st "prefetch.waste");
+  (* Multi-page grants are bigger than rdma_threshold: they must ride the
+     RDMA path of the fabric, not the verb path. *)
+  let fst_ = Dex_net.Fabric.stats fabric in
+  check_bool "batch requests sent" true
+    (Stats.get fst_ "sent.page_req_batch" > 0);
+  check_bool "multi-page grants rode RDMA" true
+    (Stats.get fst_ "path.rdma" > 0 && Stats.get fst_ "bytes.rdma" > 0);
+  Coherence.check_invariants coh
+
+let test_prefetch_values_survive_batching () =
+  (* Real bytes written at the origin must arrive through batched grants
+     exactly as through single-page grants. *)
+  let engine, coh = setup ~cfg:fast_cfg () in
+  let ok = ref true in
+  run_fiber engine (fun () ->
+      for i = 0 to 15 do
+        Coherence.store_i64 coh ~node:0 ~tid:0 (addr0 + (i * Page.size))
+          (Int64.of_int (100 + i))
+      done;
+      for i = 0 to 15 do
+        let v =
+          Coherence.load_i64 coh ~node:1 ~tid:1 (addr0 + (i * Page.size))
+        in
+        if v <> Int64.of_int (100 + i) then ok := false
+      done);
+  check_bool "all values correct through batched grants" true !ok;
+  check_bool "prefetching actually kicked in" true
+    (Stats.get (Coherence.stats coh) "prefetch.granted" > 0);
+  Coherence.check_invariants coh
+
+let test_prefetched_page_still_revocable () =
+  (* A page granted by prefetch but never touched must still be revocable:
+     MRSW safety cannot depend on the prefetcher's guess ever being
+     used. *)
+  let engine, coh = setup ~cfg:fast_cfg () in
+  let page i = addr0 + (i * Page.size) in
+  run_fiber engine (fun () ->
+      (* Unprimed ascending faults: the second fault establishes a stream
+         and prefetches ahead of it. *)
+      for i = 0 to 2 do
+        ignore (Coherence.load_i64 coh ~node:1 ~tid:0 (page i))
+      done);
+  let st = Coherence.stats coh in
+  check_bool "pages were prefetched ahead" true
+    (Stats.get st "prefetch.granted" > 0);
+  let vpn4 = Page.page_of_addr (page 4) in
+  check_bool "node 1 holds page 4 without ever touching it" true
+    (Page_table.allows (Coherence.page_table coh ~node:1) vpn4 Perm.Read);
+  (* Another node writes that page: the origin must revoke node 1's
+     never-used copy like any other read replica. *)
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:2 ~tid:1 (page 4) 7L);
+  check_bool "prefetched copy revoked" true
+    (Page_table.get (Coherence.page_table coh ~node:1) vpn4 = None);
+  check_bool "revocation counted as prefetch waste" true
+    (Stats.get st "prefetch.waste" >= 1);
+  (match Directory.state (Coherence.directory coh) vpn4 with
+  | Directory.Exclusive 2 -> ()
+  | _ -> Alcotest.fail "node 2 should own page 4 exclusively");
+  Coherence.check_invariants coh
+
+let test_batched_write_scan_revokes_readers () =
+  (* Two nodes read a window, then a third sweeps it with writes: batched
+     write grants must invalidate the readers through one Invalidate_batch
+     per victim node, and leave the sweeper exclusive owner of every
+     page. *)
+  let engine, coh = setup ~cfg:fast_cfg () in
+  let len = 12 * Page.size in
+  run_fiber engine (fun () ->
+      Coherence.access_range coh ~node:1 ~tid:0 ~addr:addr0 ~len
+        ~access:Perm.Read ();
+      Coherence.access_range coh ~node:2 ~tid:0 ~addr:addr0 ~len
+        ~access:Perm.Read ();
+      Coherence.access_range coh ~node:3 ~tid:0 ~addr:addr0 ~len
+        ~access:Perm.Write ());
+  let st = Coherence.stats coh in
+  check_bool "batched revocations used" true (Stats.get st "revoke.batch" >= 1);
+  check_bool "each batch covered several pages" true
+    (Stats.get st "revoke.batch_pages" > Stats.get st "revoke.batch");
+  let first = Page.page_of_addr addr0 in
+  for vpn = first to first + 11 do
+    (match Directory.state (Coherence.directory coh) vpn with
+    | Directory.Exclusive 3 -> ()
+    | _ -> Alcotest.fail "node 3 should own the whole window");
+    check_bool "reader PTEs zapped" true
+      (Page_table.get (Coherence.page_table coh ~node:1) vpn = None
+      && Page_table.get (Coherence.page_table coh ~node:2) vpn = None)
+  done;
+  Coherence.check_invariants coh
+
+let test_revoke_parallel_zero_cost_handlers () =
+  (* Regression for a lost-wakeup hazard in the revocation join: with
+     invalidate_handler = 0 victim-side handling costs nothing, so revoke
+     jobs complete as early as the engine allows — including, for a
+     single victim, before the join point is even reached. The join must
+     re-check its pending count instead of unconditionally sleeping. *)
+  let cfg = { Proto_config.default with invalidate_handler = 0 } in
+  let engine, coh = setup ~cfg () in
+  let finished = ref false in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 1L;
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr0);
+      ignore (Coherence.load_i64 coh ~node:2 ~tid:2 addr0);
+      ignore (Coherence.load_i64 coh ~node:3 ~tid:3 addr0);
+      (* three victims: spawned fan-out *)
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 2L;
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr0);
+      (* one victim: the fan-out job runs inline in the granting fiber *)
+      Coherence.store_i64 coh ~node:2 ~tid:2 addr0 3L;
+      finished := true);
+  check_bool "fan-out joined and the program completed" true !finished;
+  check_bool "invalidations happened" true
+    (Stats.get (Coherence.stats coh) "revoke.invalidate" >= 3);
+  Coherence.check_invariants coh
+
+let prop_backoff_clamped =
+  (* The retry delay must stay within +/- 25% of the undithered exponential
+     delay for ANY backoff_base, including degenerate ones (0 or tiny):
+     the jitter may never drag it to the 1 ns floor. *)
+  QCheck.Test.make ~name:"backoff delay clamped to [3d/4, 5d/4]" ~count:300
+    QCheck.(pair (int_range 0 20) (int_range 0 1_000_000))
+    (fun (attempt, base) ->
+      let cfg = { Proto_config.default with backoff_base = base } in
+      let _engine, coh = setup ~cfg () in
+      let dflt = Proto_config.default in
+      let base' = max 1 base in
+      let cap = max base' dflt.Proto_config.backoff_cap in
+      let d = min cap (base' * (1 lsl max 0 (min attempt 6))) in
+      let delay = Coherence.backoff_delay coh ~node:1 ~attempt in
+      delay >= 1 && delay >= d - (d / 4) && delay <= d + (d / 4))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -451,12 +613,36 @@ let () =
           Alcotest.test_case "fault tracer" `Quick test_tracer_records_faults;
           Alcotest.test_case "contended ping-pong bimodal" `Quick
             test_contended_pingpong_is_bimodal;
+          Alcotest.test_case "prefetch batches a sequential scan" `Quick
+            test_prefetch_batches_sequential_scan;
+          Alcotest.test_case "values survive batched grants" `Quick
+            test_prefetch_values_survive_batching;
+          Alcotest.test_case "prefetched page still revocable" `Quick
+            test_prefetched_page_still_revocable;
+          Alcotest.test_case "batched write scan revokes readers" `Quick
+            test_batched_write_scan_revokes_readers;
+          Alcotest.test_case "revoke fan-out with zero-cost handlers" `Quick
+            test_revoke_parallel_zero_cost_handlers;
         ]
         @ qsuite
             [
-              prop_sequential_writes_then_read;
-              prop_single_writer_per_address_monotonic;
-              prop_invariants_under_concurrency;
+              prop_sequential_writes_then_read
+                ~name:"random write sequences match a reference memory" ();
+              prop_sequential_writes_then_read ~cfg:fast_cfg
+                ~name:"random write sequences (prefetch + batched revoke)" ();
+              prop_single_writer_per_address_monotonic
+                ~name:"per-address single-writer monotonicity" ();
+              prop_single_writer_per_address_monotonic ~cfg:fast_cfg
+                ~name:
+                  "per-address single-writer monotonicity (prefetch + \
+                   batched revoke)" ();
+              prop_invariants_under_concurrency
+                ~name:"directory/PTE invariants under random concurrency" ();
+              prop_invariants_under_concurrency ~cfg:fast_cfg
+                ~name:
+                  "directory/PTE invariants under random concurrency \
+                   (prefetch + batched revoke)" ();
+              prop_backoff_clamped;
             ]
       );
     ]
