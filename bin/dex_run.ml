@@ -4,7 +4,8 @@
      list               show the eight benchmark applications
      run                run one application (app x variant x nodes)
      sweep              run one application across node counts
-     profile            run with the page-fault profiler attached *)
+     profile            run with the page-fault profiler attached
+     chaos              run the demo workload on a lossy (chaos) fabric *)
 
 open Cmdliner
 module A = Dex_apps.App_common
@@ -92,36 +93,39 @@ let sweep_cmd =
        ~doc:"Run one application at 1..8 nodes, initial and optimized")
     Term.(const run $ app_arg)
 
+(* The focused contended workload behind `profile` and `chaos`: a cold
+   table scan plus a write-hot flag ping-ponging between all nodes. *)
+let demo_workload ?net ~nodes () =
+  let cl = Dex_core.Dex.cluster ~nodes ?net () in
+  let events = ref [] in
+  let alloc = ref None in
+  let module P = Dex_core.Process in
+  ignore
+    (Dex_core.Dex.run cl (fun proc main ->
+         alloc := Some (P.allocator proc);
+         let trace = Dex_profile.Trace.attach (P.coherence proc) in
+         let hot = P.malloc main ~bytes:8 ~tag:"hot_flag" in
+         let cold = P.memalign main ~align:4096 ~bytes:65536 ~tag:"table" in
+         let barrier = Dex_core.Sync.Barrier.create proc ~parties:nodes () in
+         let threads =
+           List.init nodes (fun node ->
+               P.spawn proc (fun th ->
+                   P.migrate th node;
+                   Dex_core.Sync.Barrier.await th barrier;
+                   P.read th ~site:"table_scan" cold ~len:65536;
+                   for i = 1 to 40 do
+                     P.store th ~site:"flag_update" hot (Int64.of_int i);
+                     P.compute th ~ns:(Dex_sim.Time_ns.us 15)
+                   done))
+         in
+         List.iter P.join threads;
+         events := Dex_profile.Trace.events trace));
+  (cl, !events, !alloc)
+
 let profile_cmd =
   let run nodes =
-    (* A focused contended workload with the profiler attached. *)
-    let cl = Dex_core.Dex.cluster ~nodes () in
-    let events = ref [] in
-    let alloc = ref None in
-    let module P = Dex_core.Process in
-    ignore
-      (Dex_core.Dex.run cl (fun proc main ->
-           alloc := Some (P.allocator proc);
-           let trace = Dex_profile.Trace.attach (P.coherence proc) in
-           let hot = P.malloc main ~bytes:8 ~tag:"hot_flag" in
-           let cold = P.memalign main ~align:4096 ~bytes:65536 ~tag:"table" in
-           let barrier =
-             Dex_core.Sync.Barrier.create proc ~parties:nodes ()
-           in
-           let threads =
-             List.init nodes (fun node ->
-                 P.spawn proc (fun th ->
-                     P.migrate th node;
-                     Dex_core.Sync.Barrier.await th barrier;
-                     P.read th ~site:"table_scan" cold ~len:65536;
-                     for i = 1 to 40 do
-                       P.store th ~site:"flag_update" hot (Int64.of_int i);
-                       P.compute th ~ns:(Dex_sim.Time_ns.us 15)
-                     done))
-           in
-           List.iter P.join threads;
-           events := Dex_profile.Trace.events trace));
-    Dex_profile.Report.pp_summary ?alloc:!alloc Format.std_formatter !events;
+    let _cl, events, alloc = demo_workload ~nodes () in
+    Dex_profile.Report.pp_summary ?alloc Format.std_formatter events;
     0
   in
   Cmd.v
@@ -129,10 +133,91 @@ let profile_cmd =
        ~doc:"Run a contended demo workload under the page-fault profiler")
     Term.(const run $ nodes_arg)
 
+let chaos_cmd =
+  let drop_arg =
+    let doc = "Per-message drop probability, in [0,1)." in
+    Arg.(value & opt float 0.05 & info [ "drop" ] ~docv:"P" ~doc)
+  in
+  let dup_arg =
+    let doc = "Per-message duplication probability, in [0,1)." in
+    Arg.(value & opt float 0.02 & info [ "dup" ] ~docv:"P" ~doc)
+  in
+  let reorder_arg =
+    let doc = "Per-message reordering probability, in [0,1)." in
+    Arg.(value & opt float 0.02 & info [ "reorder" ] ~docv:"P" ~doc)
+  in
+  let jitter_arg =
+    let doc = "Extra uniform delivery jitter in nanoseconds." in
+    Arg.(value & opt int 1_000 & info [ "jitter-ns" ] ~docv:"NS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Fault-injection RNG seed (same seed, same faults)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let sweep_arg =
+    let doc =
+      "Sweep drop rates 0/1/5/10/20% (duplication at half the drop rate) \
+       and print one summary row per rate instead of a full report."
+    in
+    Arg.(value & flag & info [ "sweep" ] ~doc)
+  in
+  let net_of ~nodes ~seed ~reorder ~jitter ~drop ~dup =
+    let chaos =
+      {
+        Dex_net.Net_config.chaos_default with
+        Dex_net.Net_config.chaos_seed = seed;
+        drop_prob = drop;
+        dup_prob = dup;
+        reorder_prob = reorder;
+        delay_jitter_ns = jitter;
+      }
+    in
+    { (Dex_net.Net_config.default ~nodes ()) with Dex_net.Net_config.chaos = Some chaos }
+  in
+  let run nodes drop dup reorder jitter seed sweep =
+    if sweep then begin
+      Format.printf "%-8s %10s %8s %8s %12s %9s@." "DROP" "TIME(ms)" "FAULTS"
+        "DROPS" "RETRANSMITS" "TIMEOUTS";
+      List.iter
+        (fun drop ->
+          let net =
+            net_of ~nodes ~seed ~reorder ~jitter ~drop ~dup:(drop /. 2.0)
+          in
+          let cl, events, _ = demo_workload ~net ~nodes () in
+          let get =
+            Dex_sim.Stats.get (Dex_net.Fabric.stats (Dex_core.Cluster.fabric cl))
+          in
+          Format.printf "%-8s %10.2f %8d %8d %12d %9d@."
+            (Printf.sprintf "%.1f%%" (100.0 *. drop))
+            (Dex_sim.Time_ns.to_ms_f (Dex_core.Dex.elapsed cl))
+            (List.length events) (get "chaos.drops") (get "chaos.retransmits")
+            (get "chaos.timeouts"))
+        [ 0.0; 0.01; 0.05; 0.10; 0.20 ]
+    end
+    else begin
+      let net = net_of ~nodes ~seed ~reorder ~jitter ~drop ~dup in
+      let cl, events, alloc = demo_workload ~net ~nodes () in
+      let fstats = Dex_net.Fabric.stats (Dex_core.Cluster.fabric cl) in
+      Dex_profile.Report.pp_summary ?alloc ~net:fstats Format.std_formatter
+        events;
+      Format.printf "sim time: %.2fms@."
+        (Dex_sim.Time_ns.to_ms_f (Dex_core.Dex.elapsed cl))
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the demo workload on a lossy fabric (drop/duplicate/reorder + \
+          jitter) and report the chaos counters")
+    Term.(
+      const run $ nodes_arg $ drop_arg $ dup_arg $ reorder_arg $ jitter_arg
+      $ seed_arg $ sweep_arg)
+
 let main =
   let doc = "DeX: scaling applications beyond machine boundaries (simulated)" in
   Cmd.group
     (Cmd.info "dex_run" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; sweep_cmd; profile_cmd ]
+    [ list_cmd; run_cmd; sweep_cmd; profile_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main)

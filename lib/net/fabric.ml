@@ -1,5 +1,23 @@
 open Dex_sim
 
+(* Wire framing of the reliable layer (active only under chaos). These
+   constructors never escape the fabric: handlers always see the unwrapped
+   inner payload. *)
+type Msg.payload +=
+  | Rel_req of { seq : int; oneway : bool; inner : Msg.payload }
+  | Rel_reply of { seq : int; inner : Msg.payload }
+  | Rel_ack of { seq : int }
+
+(* Receiver-side fate of a sequence number. The table is never pruned: a
+   retransmission can arrive arbitrarily late, and forgetting a seq would
+   let it re-run a handler. Entries are small and runs are finite. *)
+type rel_remote =
+  | Rel_in_progress  (* handler dispatched, outcome not yet known *)
+  | Rel_acked  (* one-way message: delivery committed and acked *)
+  | Rel_replied of int * Msg.payload  (* reply size + payload, for replay *)
+
+exception Unreachable of { src : int; dst : int; kind : string }
+
 type t = {
   engine : Engine.t;
   cfg : Net_config.t;
@@ -9,6 +27,14 @@ type t = {
   recv_pools : Resource.Pool.t array;  (* per node *)
   sinks : Rdma_sink.t array;  (* per node *)
   stats : Stats.t;
+  chaos : Net_config.chaos option;
+  inject_rng : Rng.t;  (* drop/dup/reorder/jitter draws, delivery order *)
+  rto_rng : Rng.t;  (* retransmission-timeout jitter *)
+  mutable rel_seq : int;  (* next request sequence number, fabric-global *)
+  rel_seen : (int, rel_remote) Hashtbl.t;
+  rel_pending : (int, Msg.payload option option ref * (unit -> unit) option ref) Hashtbl.t;
+      (* seq -> (result box, waker). The box holds [Some (Some reply)] for
+         completed calls and [Some None] for acked one-way sends. *)
 }
 
 and env = { msg : Msg.t; respond : ?size:int -> Msg.payload -> unit }
@@ -17,14 +43,37 @@ and handler = t -> env -> unit
 let create engine cfg =
   Net_config.validate cfg;
   let n = cfg.Net_config.nodes in
+  let chaos_rng =
+    Rng.create
+      ~seed:
+        (match cfg.Net_config.chaos with
+        | Some c -> c.Net_config.chaos_seed
+        | None -> 0)
+  in
+  let links =
+    Array.init (n * n) (fun _ ->
+        Resource.Server.create engine
+          ~bytes_per_us:cfg.Net_config.link_bandwidth_bytes_per_us)
+  in
+  (* Scheduled bandwidth changes are engine events, planted up front so the
+     fault schedule is part of the deterministic event stream. *)
+  (match cfg.Net_config.chaos with
+  | None -> ()
+  | Some c ->
+      List.iter
+        (fun d ->
+          Engine.at engine ~time:d.Net_config.d_at (fun () ->
+              Resource.Server.set_rate
+                links.((d.Net_config.d_src * n) + d.Net_config.d_dst)
+                ~bytes_per_us:
+                  (cfg.Net_config.link_bandwidth_bytes_per_us
+                  *. d.Net_config.d_factor)))
+        c.Net_config.degrades);
   {
     engine;
     cfg;
     handlers = Array.make n None;
-    links =
-      Array.init (n * n) (fun _ ->
-          Resource.Server.create engine
-            ~bytes_per_us:cfg.Net_config.link_bandwidth_bytes_per_us);
+    links;
     send_pools =
       Array.init (n * n) (fun _ ->
           Resource.Pool.create engine ~capacity:cfg.Net_config.send_pool_slots);
@@ -36,11 +85,18 @@ let create engine cfg =
           Rdma_sink.create engine ~slots:cfg.Net_config.sink_slots
             ~copy_ns_per_byte:cfg.Net_config.copy_ns_per_byte);
     stats = Stats.create ();
+    chaos = cfg.Net_config.chaos;
+    inject_rng = Rng.split chaos_rng;
+    rto_rng = Rng.split chaos_rng;
+    rel_seq = 0;
+    rel_seen = Hashtbl.create 64;
+    rel_pending = Hashtbl.create 16;
   }
 
 let engine t = t.engine
 let config t = t.cfg
 let node_count t = t.cfg.Net_config.nodes
+let reliable t = t.chaos <> None
 
 let check_node t node name =
   if node < 0 || node >= node_count t then
@@ -62,6 +118,55 @@ let dispatch t (msg : Msg.t) respond =
       Engine.spawn t.engine ~label:("handler:" ^ msg.kind) (fun () ->
           handler t { msg; respond })
 
+(* --- fault injection ---------------------------------------------------
+
+   Faults materialize at the receive boundary, after the message has fully
+   crossed the wire: send-side resource accounting (buffer pools, link
+   serialization) is identical whether or not the message survives, exactly
+   as a NIC charges for a frame the far switch then discards. Loopback is
+   exempt — a self-addressed message never touches the NIC. *)
+
+let partitioned c ~now ~a ~b =
+  List.exists
+    (fun p ->
+      Net_config.(
+        ((p.p_a = a && p.p_b = b) || (p.p_a = b && p.p_b = a))
+        && now >= p.p_from && now < p.p_until))
+    c.Net_config.partitions
+
+let chaos_deliver t c (msg : Msg.t) deliver =
+  let open Net_config in
+  if partitioned c ~now:(Engine.now t.engine) ~a:msg.Msg.src ~b:msg.Msg.dst
+  then Stats.incr t.stats "chaos.partition_drops"
+  else if c.drop_prob > 0.0 && Rng.float t.inject_rng 1.0 < c.drop_prob then
+    Stats.incr t.stats "chaos.drops"
+  else begin
+    (* Each surviving copy draws its own jitter and reorder fate, so a
+       duplicate can arrive before its original. *)
+    let deliver_copy () =
+      let jitter =
+        if c.delay_jitter_ns > 0 then
+          Rng.int t.inject_rng (c.delay_jitter_ns + 1)
+        else 0
+      in
+      let reordered =
+        c.reorder_prob > 0.0 && Rng.float t.inject_rng 1.0 < c.reorder_prob
+      in
+      if reordered then Stats.incr t.stats "chaos.reorders";
+      let extra =
+        jitter
+        + (if reordered then 2 * t.cfg.Net_config.link_latency else 0)
+      in
+      if extra = 0 then deliver ()
+      else Engine.schedule t.engine ~delay:extra deliver
+    in
+    deliver_copy ();
+    if c.dup_prob > 0.0 && Rng.float t.inject_rng 1.0 < c.dup_prob then begin
+      Stats.incr t.stats "chaos.dups";
+      deliver_copy ()
+    end
+  end
+
 (* Transport [msg] and invoke [deliver] at the destination. Runs in the
    calling fiber up to the send-side costs, then asynchronously. *)
 let transmit t (msg : Msg.t) deliver =
@@ -76,45 +181,210 @@ let transmit t (msg : Msg.t) deliver =
     Engine.schedule t.engine ~delay:t.cfg.Net_config.loopback_latency
       (fun () -> deliver ())
   end
-  else if msg.size >= t.cfg.Net_config.rdma_threshold then begin
-    (* RDMA path: reserve a sink slot at the destination, RDMA-write, copy
-       out. The caller is blocked through slot reservation and setup, which
-       is where RDMA backpressure bites. The sink slot IS the RDMA-side
-       receive resource (§III-E): one-sided writes land in pre-registered
-       sink memory, never consuming a receive work request, so the verb
-       recv pool is deliberately untouched on this path. *)
-    Stats.incr t.stats "path.rdma";
-    Stats.add t.stats "bytes.rdma" msg.size;
-    let sink = t.sinks.(msg.dst) in
-    Rdma_sink.acquire sink;
-    Engine.delay t.engine t.cfg.Net_config.rdma_setup;
-    let link = t.links.((msg.src * node_count t) + msg.dst) in
-    Engine.spawn t.engine ~label:"rdma-transfer" (fun () ->
-        Resource.Server.transfer link ~bytes:msg.size;
-        Engine.delay t.engine t.cfg.Net_config.link_latency;
-        Rdma_sink.copy_out_and_release sink ~bytes:msg.size;
-        deliver ())
-  end
   else begin
-    (* VERB path: grab a DMA-ready send buffer, post, serialize on the
-       link; the buffer is reclaimed once the send completes. *)
-    Stats.incr t.stats "path.verb";
-    Stats.add t.stats "bytes.verb" msg.size;
-    let pool = t.send_pools.((msg.src * node_count t) + msg.dst) in
-    Resource.Pool.acquire pool;
-    Engine.delay t.engine t.cfg.Net_config.verb_overhead;
-    let link = t.links.((msg.src * node_count t) + msg.dst) in
-    Engine.spawn t.engine ~label:"verb-transfer" (fun () ->
-        Resource.Server.transfer link ~bytes:msg.size;
-        Resource.Pool.release pool;
-        Engine.delay t.engine t.cfg.Net_config.link_latency;
-        (* Receive-pool slot: consumed for the delivery event, recycled
-           immediately after (receive work request re-posted). *)
-        let recv = t.recv_pools.(msg.dst) in
-        Resource.Pool.acquire recv;
-        Resource.Pool.release recv;
-        deliver ())
+    let deliver =
+      match t.chaos with
+      | None -> deliver
+      | Some c -> fun () -> chaos_deliver t c msg deliver
+    in
+    if msg.size >= t.cfg.Net_config.rdma_threshold then begin
+      (* RDMA path: reserve a sink slot at the destination, RDMA-write, copy
+         out. The caller is blocked through slot reservation and setup, which
+         is where RDMA backpressure bites. The sink slot IS the RDMA-side
+         receive resource (§III-E): one-sided writes land in pre-registered
+         sink memory, never consuming a receive work request, so the verb
+         recv pool is deliberately untouched on this path. *)
+      Stats.incr t.stats "path.rdma";
+      Stats.add t.stats "bytes.rdma" msg.size;
+      let sink = t.sinks.(msg.dst) in
+      Rdma_sink.acquire sink;
+      Engine.delay t.engine t.cfg.Net_config.rdma_setup;
+      let link = t.links.((msg.src * node_count t) + msg.dst) in
+      Engine.spawn t.engine ~label:"rdma-transfer" (fun () ->
+          Resource.Server.transfer link ~bytes:msg.size;
+          Engine.delay t.engine t.cfg.Net_config.link_latency;
+          Rdma_sink.copy_out_and_release sink ~bytes:msg.size;
+          deliver ())
+    end
+    else begin
+      (* VERB path: grab a DMA-ready send buffer, post, serialize on the
+         link; the buffer is reclaimed once the send completes. *)
+      Stats.incr t.stats "path.verb";
+      Stats.add t.stats "bytes.verb" msg.size;
+      let pool = t.send_pools.((msg.src * node_count t) + msg.dst) in
+      Resource.Pool.acquire pool;
+      Engine.delay t.engine t.cfg.Net_config.verb_overhead;
+      let link = t.links.((msg.src * node_count t) + msg.dst) in
+      Engine.spawn t.engine ~label:"verb-transfer" (fun () ->
+          Resource.Server.transfer link ~bytes:msg.size;
+          Resource.Pool.release pool;
+          Engine.delay t.engine t.cfg.Net_config.link_latency;
+          (* Receive-pool slot: consumed for the delivery event, recycled
+             immediately after (receive work request re-posted). *)
+          let recv = t.recv_pools.(msg.dst) in
+          Resource.Pool.acquire recv;
+          Resource.Pool.release recv;
+          deliver ())
+    end
   end
+
+(* --- reliable delivery (chaos runs only) -------------------------------
+
+   A thin end-to-end layer in the style of RC retransmission, but one the
+   simulator can drive through arbitrary loss: requests carry a
+   fabric-global sequence number; the receiver remembers every seq it has
+   committed and replays the cached outcome for retransmissions, so a
+   handler runs at most once per logical message no matter how often the
+   wire duplicates or the sender retransmits it; the sender retransmits on
+   a jittered exponentially-backed-off timeout until acked/replied or
+   [max_retransmits] is exhausted, then raises {!Unreachable}. *)
+
+let fresh_seq t =
+  let s = t.rel_seq in
+  t.rel_seq <- s + 1;
+  s
+
+(* Same clamp discipline as [Coherence.backoff_delay]: exponential in the
+   attempt number, capped, with jitter confined to [3d/4, 5d/4] so the
+   delay can never collapse to zero nor double. *)
+let rel_rto t c ~attempt =
+  let open Net_config in
+  let base = max 1 c.rto in
+  let d = min c.rto_cap (base * (1 lsl min attempt 6)) in
+  let lo = max 1 (d - (d / 4)) and hi = d + (d / 4) in
+  let jittered = d - (d / 4) + Rng.int t.rto_rng (max 1 ((d / 2) + 1)) in
+  max lo (min hi jittered)
+
+(* Acks are pure completion events: zero payload bytes on the wire. *)
+let rel_send_ack t ~(req : Msg.t) ~seq =
+  let amsg =
+    {
+      Msg.src = req.Msg.dst;
+      dst = req.Msg.src;
+      size = 0;
+      kind = req.Msg.kind ^ ".ack";
+      payload = Rel_ack { seq };
+    }
+  in
+  transmit t amsg (fun () ->
+      match Hashtbl.find_opt t.rel_pending seq with
+      | Some (box, wake) when !box = None ->
+          box := Some None;
+          Hashtbl.remove t.rel_pending seq;
+          (match !wake with
+          | Some w ->
+              wake := None;
+              w ()
+          | None -> ())
+      | _ -> Stats.incr t.stats "chaos.dup_acks")
+
+let rel_send_reply t ~(req : Msg.t) ~seq ~size reply =
+  let rmsg =
+    {
+      Msg.src = req.Msg.dst;
+      dst = req.Msg.src;
+      size;
+      kind = req.Msg.kind ^ ".resp";
+      payload = Rel_reply { seq; inner = reply };
+    }
+  in
+  transmit t rmsg (fun () ->
+      match Hashtbl.find_opt t.rel_pending seq with
+      | Some (box, wake) when !box = None ->
+          box := Some (Some reply);
+          Hashtbl.remove t.rel_pending seq;
+          (match !wake with
+          | Some w ->
+              wake := None;
+              w ()
+          | None -> ())
+      | _ -> Stats.incr t.stats "chaos.dup_replies")
+
+(* Receive a (possibly retransmitted, possibly duplicated) request. Runs in
+   the delivery context, so anything that can block goes to a fresh fiber. *)
+let rel_dispatch t (msg : Msg.t) ~seq ~oneway ~inner =
+  match Hashtbl.find_opt t.rel_seen seq with
+  | Some Rel_in_progress ->
+      (* The handler is still running; its eventual reply covers this copy
+         too. Nothing to replay yet. *)
+      Stats.incr t.stats "chaos.dup_requests"
+  | Some Rel_acked ->
+      Stats.incr t.stats "chaos.dup_requests";
+      Engine.spawn t.engine ~label:"rel-ack" (fun () ->
+          rel_send_ack t ~req:msg ~seq)
+  | Some (Rel_replied (size, reply)) ->
+      Stats.incr t.stats "chaos.dup_requests";
+      Stats.incr t.stats "chaos.replayed_replies";
+      Engine.spawn t.engine ~label:"rel-replay" (fun () ->
+          rel_send_reply t ~req:msg ~seq ~size reply)
+  | None ->
+      let inner_msg = { msg with Msg.payload = inner } in
+      if oneway then begin
+        (* Delivery is the commit point — mirroring the unreliable fabric,
+           where a send is "done" once the delivery event fires and the
+           handler runs in its own fiber. Ack first, dispatch exactly once. *)
+        Hashtbl.replace t.rel_seen seq Rel_acked;
+        Engine.spawn t.engine ~label:"rel-ack" (fun () ->
+            rel_send_ack t ~req:msg ~seq);
+        dispatch t inner_msg no_respond
+      end
+      else begin
+        Hashtbl.replace t.rel_seen seq Rel_in_progress;
+        let respond ?(size = 64) reply =
+          (match Hashtbl.find_opt t.rel_seen seq with
+          | Some Rel_in_progress -> ()
+          | _ -> invalid_arg "Fabric: respond called twice");
+          (* Cache before sending: from here on, retransmissions replay the
+             cached reply instead of re-running the handler. *)
+          Hashtbl.replace t.rel_seen seq (Rel_replied (size, reply));
+          rel_send_reply t ~req:msg ~seq ~size reply
+        in
+        dispatch t inner_msg respond
+      end
+
+(* Send [payload] reliably and block until the far side acks (one-way) or
+   replies (call). Returns [None] for acked one-way sends. *)
+let rel_transact t c ~src ~dst ~kind ~size ~oneway payload =
+  let seq = fresh_seq t in
+  let msg =
+    { Msg.src; dst; size; kind; payload = Rel_req { seq; oneway; inner = payload } }
+  in
+  let box = ref None in
+  let wake = ref None in
+  Hashtbl.replace t.rel_pending seq (box, wake);
+  let rec go attempt =
+    if attempt > c.Net_config.max_retransmits then begin
+      Hashtbl.remove t.rel_pending seq;
+      raise (Unreachable { src; dst; kind })
+    end;
+    if attempt > 0 then Stats.incr t.stats "chaos.retransmits";
+    transmit t msg (fun () -> rel_dispatch t msg ~seq ~oneway ~inner:payload);
+    (* The outcome may already be in the box: transmit blocks this fiber
+       through the send-side costs, during which an earlier copy's reply
+       can arrive. *)
+    match !box with
+    | Some r -> r
+    | None -> (
+        let outcome =
+          Engine.suspend t.engine (fun resume ->
+              let armed = ref true in
+              let fire tag () =
+                if !armed then begin
+                  armed := false;
+                  resume tag
+                end
+              in
+              wake := Some (fire `Done);
+              Engine.schedule t.engine ~delay:(rel_rto t c ~attempt)
+                (fire `Timeout))
+        in
+        match outcome with
+        | `Done -> ( match !box with Some r -> r | None -> assert false)
+        | `Timeout ->
+            Stats.incr t.stats "chaos.timeouts";
+            go (attempt + 1))
+  in
+  go 0
 
 (* Zero-size messages are legal: a pure completion event (e.g. a
    zero-payload ack) still occupies buffer slots and pays per-message
@@ -124,35 +394,47 @@ let send t ~src ~dst ~kind ~size payload =
   check_node t src "send";
   check_node t dst "send";
   if size < 0 then invalid_arg "Fabric.send: negative size";
-  let msg = { Msg.src; dst; size; kind; payload } in
-  transmit t msg (fun () -> dispatch t msg no_respond)
+  match t.chaos with
+  | Some c when src <> dst ->
+      ignore (rel_transact t c ~src ~dst ~kind ~size ~oneway:true payload)
+  | _ ->
+      (* Pristine RC transport (and loopback, which is lossless even under
+         chaos): fire and forget. *)
+      let msg = { Msg.src; dst; size; kind; payload } in
+      transmit t msg (fun () -> dispatch t msg no_respond)
 
 let call t ~src ~dst ~kind ~size payload =
   check_node t src "call";
   check_node t dst "call";
   if size < 0 then invalid_arg "Fabric.call: negative size";
-  let msg = { Msg.src; dst; size; kind; payload } in
-  (* The reply may not be delivered before we suspend: response delivery is
-     always a separate engine event, and the check/suspend below runs
-     atomically within the calling fiber's current event. *)
-  let arrived = ref None in
-  let waiter = ref None in
-  let responded = ref false in
-  let respond ?(size = 64) reply =
-    if !responded then invalid_arg "Fabric: respond called twice";
-    responded := true;
-    let rmsg =
-      { Msg.src = dst; dst = src; size; kind = kind ^ ".resp"; payload = reply }
-    in
-    transmit t rmsg (fun () ->
-        match !waiter with
-        | Some resume -> resume reply
-        | None -> arrived := Some reply)
-  in
-  transmit t msg (fun () -> dispatch t msg respond);
-  match !arrived with
-  | Some reply -> reply
-  | None -> Engine.suspend t.engine (fun resume -> waiter := Some resume)
+  match t.chaos with
+  | Some c when src <> dst -> (
+      match rel_transact t c ~src ~dst ~kind ~size ~oneway:false payload with
+      | Some reply -> reply
+      | None -> assert false (* a call resolves with a reply, never an ack *))
+  | _ -> (
+      let msg = { Msg.src; dst; size; kind; payload } in
+      (* The reply may not be delivered before we suspend: response delivery
+         is always a separate engine event, and the check/suspend below runs
+         atomically within the calling fiber's current event. *)
+      let arrived = ref None in
+      let waiter = ref None in
+      let responded = ref false in
+      let respond ?(size = 64) reply =
+        if !responded then invalid_arg "Fabric: respond called twice";
+        responded := true;
+        let rmsg =
+          { Msg.src = dst; dst = src; size; kind = kind ^ ".resp"; payload = reply }
+        in
+        transmit t rmsg (fun () ->
+            match !waiter with
+            | Some resume -> resume reply
+            | None -> arrived := Some reply)
+      in
+      transmit t msg (fun () -> dispatch t msg respond);
+      match !arrived with
+      | Some reply -> reply
+      | None -> Engine.suspend t.engine (fun resume -> waiter := Some resume))
 
 let stats t = t.stats
 

@@ -21,27 +21,72 @@
     the recv pool is never charged for them. Loopback (src = dst) bypasses
     both pools: a self-addressed message never touches the NIC. Message
     sizes may be zero (pure completion events, e.g. zero-payload acks);
-    they pay the usual per-message overheads but no serialization time. *)
+    they pay the usual per-message overheads but no serialization time.
+
+    {2 Chaos mode}
+
+    When {!Net_config.chaos} is set, the fabric injects faults at the
+    receive boundary — messages may be dropped, duplicated, delayed by
+    extra jitter, reordered (held back so later traffic overtakes them),
+    discarded inside a scheduled partition window, or slowed by a scheduled
+    bandwidth degrade. Send-side resource accounting is unchanged: a
+    dropped message still consumed its buffers and link time, like a frame
+    discarded by the far switch.
+
+    Chaos also activates an end-to-end reliable delivery layer for {!send}
+    and {!call}: requests carry fabric-global sequence numbers, the sender
+    retransmits on a jittered exponentially-backed-off timeout
+    ({!Net_config.chaos.rto} clamped to {!Net_config.chaos.rto_cap}), and
+    the receiver deduplicates by sequence number and replays cached
+    replies, so a handler runs {e at most once} per logical message no
+    matter how the wire misbehaves. A {!send} then blocks until the
+    destination acks delivery; a {!call} blocks until the reply arrives.
+    After {!Net_config.chaos.max_retransmits} unanswered retransmissions
+    the sender raises {!Unreachable}. Loopback messages skip both fault
+    injection and the reliable layer — they never cross the wire.
+
+    With [chaos = None] every code path, RNG draw and engine event is
+    identical to a build without chaos support: healthy runs are
+    bit-for-bit unaffected. Faults are drawn from a private RNG seeded by
+    {!Net_config.chaos.chaos_seed}, so chaos runs are reproducible too. *)
 
 type t
+(** A rack-wide fabric instance shared by every node of a cluster. *)
+
+exception Unreachable of { src : int; dst : int; kind : string }
+(** Raised (in chaos mode only) by {!send} or {!call} when
+    [max_retransmits] retransmissions of a [kind] message from [src] to
+    [dst] all went unanswered — the simulated equivalent of an RC
+    connection giving up. *)
 
 type env = {
-  msg : Msg.t;
+  msg : Msg.t;  (** the delivered message, payload already unwrapped *)
   respond : ?size:int -> Msg.payload -> unit;
       (** Reply to an RPC ({!call}); at most one call per message. [size]
           defaults to a small control message. Responding to a one-way
           {!send} raises. *)
 }
+(** What a handler receives: the message plus its reply channel. *)
 
 type handler = t -> env -> unit
+(** Per-node message dispatcher, run in a fresh fiber per message. *)
 
 val create : Dex_sim.Engine.t -> Net_config.t -> t
+(** [create engine cfg] builds the fabric: per-pair links and send pools,
+    per-node receive pools and RDMA sinks. Validates [cfg] and, in chaos
+    mode, plants the partition/degrade schedule into the event queue. *)
 
 val engine : t -> Dex_sim.Engine.t
+(** The engine this fabric schedules on. *)
 
 val config : t -> Net_config.t
+(** The (validated) configuration the fabric was built with. *)
 
 val node_count : t -> int
+(** Number of nodes, i.e. [config.nodes]. *)
+
+val reliable : t -> bool
+(** [true] iff chaos mode is on and the reliable delivery layer is active. *)
 
 val set_handler : t -> node:int -> handler -> unit
 (** Install the message dispatcher of [node]. Replaces any previous one. *)
@@ -49,16 +94,24 @@ val set_handler : t -> node:int -> handler -> unit
 val send : t -> src:int -> dst:int -> kind:string -> size:int -> Msg.payload -> unit
 (** One-way message. Blocks the calling fiber only for the local send-side
     costs (buffer-pool acquisition and posting); transport and delivery
-    proceed asynchronously. *)
+    proceed asynchronously. In chaos mode, blocks until the destination has
+    acknowledged delivery (retransmitting as needed) and may raise
+    {!Unreachable}. *)
 
 val call :
   t -> src:int -> dst:int -> kind:string -> size:int -> Msg.payload -> Msg.payload
 (** RPC: send a request and block the calling fiber until the handler at
-    [dst] responds. *)
+    [dst] responds. In chaos mode the request is retransmitted until a
+    reply arrives; the handler still runs at most once, with cached-reply
+    replay covering retransmissions. May raise {!Unreachable}. *)
 
 val stats : t -> Dex_sim.Stats.t
 (** Live counters: per-kind message counts and bytes, verb/rdma path counts,
-    pool-exhaustion waits. *)
+    pool-exhaustion waits, and in chaos mode the [chaos.*] family —
+    [chaos.drops], [chaos.dups], [chaos.reorders], [chaos.partition_drops]
+    (faults injected), [chaos.timeouts], [chaos.retransmits] (sender
+    recovery), [chaos.dup_requests], [chaos.replayed_replies],
+    [chaos.dup_replies], [chaos.dup_acks] (receiver/sender dedup). *)
 
 val send_pool_waits : t -> int
 (** Total send-buffer-pool exhaustion events across all connections. *)

@@ -5,9 +5,11 @@
     the fabric depending on them. *)
 
 type payload = ..
+(** Open sum of message bodies; each layer adds its own constructors. *)
 
 type payload += Ping of int | Pong of int  (** used by tests and examples *)
 
+(** One message on the fabric: routing header plus opaque payload. *)
 type t = {
   src : int;  (** sending node *)
   dst : int;  (** destination node *)
@@ -17,3 +19,4 @@ type t = {
 }
 
 val pp : Format.formatter -> t -> unit
+(** Prints the routing header (src, dst, kind, size); payloads are opaque. *)

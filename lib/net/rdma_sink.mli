@@ -7,12 +7,18 @@
     sink is a finite resource; exhaustion backpressures senders. *)
 
 type t
+(** One node's sink: a bounded pool of pre-registered 4 KB chunks. *)
 
 val create : Dex_sim.Engine.t -> slots:int -> copy_ns_per_byte:float -> t
+(** [create engine ~slots ~copy_ns_per_byte] builds a sink with [slots]
+    chunks; [copy_ns_per_byte] is the modeled cost of the copy from sink
+    to final destination. *)
 
 val slots : t -> int
+(** Total chunk capacity, as configured at creation. *)
 
 val in_use : t -> int
+(** Chunks currently reserved by in-flight transfers. *)
 
 val exhaustion_waits : t -> int
 (** How many slot acquisitions had to block. *)

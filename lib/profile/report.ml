@@ -32,11 +32,31 @@ let pp_prefetch fmt stats =
       issued (get "prefetch.granted") (get "prefetch.batch") hit waste accuracy
   end
 
-let pp_summary ?alloc ?stats fmt events =
+(* Chaos digest from the fabric's counters: faults injected on the wire
+   vs the reliable layer's recovery work. Silent on healthy runs. *)
+let pp_chaos fmt stats =
+  let get = Dex_sim.Stats.get stats in
+  let injected =
+    get "chaos.drops" + get "chaos.dups" + get "chaos.reorders"
+    + get "chaos.partition_drops"
+  in
+  let recovery = get "chaos.timeouts" + get "chaos.retransmits" in
+  if injected > 0 || recovery > 0 then
+    Format.fprintf fmt
+      "chaos: drops=%d dups=%d reorders=%d partition_drops=%d | timeouts=%d \
+       retransmits=%d dup_requests=%d replayed_replies=%d@."
+      (get "chaos.drops") (get "chaos.dups") (get "chaos.reorders")
+      (get "chaos.partition_drops") (get "chaos.timeouts")
+      (get "chaos.retransmits")
+      (get "chaos.dup_requests")
+      (get "chaos.replayed_replies")
+
+let pp_summary ?alloc ?stats ?net fmt events =
   let s = Analysis.summarize ?alloc events in
   Format.fprintf fmt "== DeX page-fault profile ==@.";
   Format.fprintf fmt "%a@." pp_compact s;
   Option.iter (pp_prefetch fmt) stats;
+  Option.iter (pp_chaos fmt) net;
   pp_ranked fmt "hottest fault sites" s.Analysis.hottest_sites
     (fun fmt k -> Format.pp_print_string fmt k);
   pp_ranked fmt "hottest objects" s.Analysis.hottest_objects (fun fmt k ->

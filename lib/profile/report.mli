@@ -4,17 +4,24 @@
 val pp_summary :
   ?alloc:Dex_mem.Allocator.t ->
   ?stats:Dex_sim.Stats.t ->
+  ?net:Dex_sim.Stats.t ->
   Format.formatter ->
   Dex_proto.Fault_event.t list ->
   unit
 (** Full report: totals, kinds, hottest sites/objects, contended pages and
     fault-frequency timeline. Pass the protocol's [stats]
     ({!Dex_proto.Coherence.stats}) to include a prefetch effectiveness
-    line (issued/hit/waste/accuracy) when prefetching was active. *)
+    line (issued/hit/waste/accuracy) when prefetching was active, and the
+    fabric's [net] stats ({!Dex_net.Fabric.stats}) to include a chaos
+    fault-injection digest when chaos was active. *)
 
 val pp_prefetch : Format.formatter -> Dex_sim.Stats.t -> unit
 (** Just the prefetch digest; prints nothing when no prefetches were
     issued. *)
+
+val pp_chaos : Format.formatter -> Dex_sim.Stats.t -> unit
+(** Just the chaos digest (faults injected vs retransmission recovery);
+    prints nothing on a healthy run. *)
 
 val pp_compact : Format.formatter -> Analysis.summary -> unit
 (** One-paragraph digest. *)

@@ -34,6 +34,7 @@
     wait on another grant's reply. *)
 
 type t
+(** One coherence-protocol instance (origin directory + per-node tables). *)
 
 val create :
   ?cfg:Proto_config.t ->
@@ -47,12 +48,16 @@ val create :
     caller must route fabric messages to {!handler}. *)
 
 val pid : t -> int
+(** The process id used to tag this instance's wire messages. *)
 
 val origin : t -> int
+(** The origin node hosting the ownership directory. *)
 
 val cfg : t -> Proto_config.t
+(** The configuration the instance was created with. *)
 
 val node_count : t -> int
+(** Number of nodes on the underlying fabric. *)
 
 val handler : t -> Dex_net.Fabric.env -> bool
 (** Process a protocol message addressed to this process; returns [false]
@@ -90,12 +95,14 @@ val load_i32 :
 
 val store_i32 :
   t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int32 -> unit
+(** Typed 4-byte write (4-byte aligned). *)
 
 val load_byte : t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int
 (** Typed single-byte read. *)
 
 val store_byte :
   t -> node:int -> tid:int -> ?site:string -> Dex_mem.Page.addr -> int -> unit
+(** Typed single-byte write. *)
 
 val cas_i64 :
   t ->
@@ -116,12 +123,16 @@ val fetch_add_i64 :
 (** Atomic fetch-and-add; returns the previous value. *)
 
 val page_table : t -> node:int -> Dex_mem.Page_table.t
+(** [node]'s granted-access table. *)
 
 val page_store : t -> node:int -> Dex_mem.Page_store.t
+(** [node]'s store of real page contents (typed accesses only). *)
 
 val directory : t -> Dex_mem.Directory.t
+(** The origin's per-page ownership directory. *)
 
 val fault_table : t -> node:int -> [ `Done | `Retry ] Dex_mem.Fault_table.t
+(** [node]'s leader/follower fault-coalescing table. *)
 
 val zap_range :
   t -> first:Dex_mem.Page.vpn -> last:Dex_mem.Page.vpn -> node:int -> int
@@ -144,6 +155,9 @@ val backoff_delay : t -> node:int -> attempt:int -> Dex_sim.Time_ns.t
     Consumes the node's jitter RNG. Exposed for property tests. *)
 
 val stats : t -> Dex_sim.Stats.t
+(** Protocol counters: [grant.data]/[grant.nodata]/[grant.nack],
+    [revoke.invalidate]/[revoke.downgrade]/[revoke.batch], [prefetch.*],
+    [fault.poisoned]. *)
 
 val fault_latencies : t -> Dex_sim.Histogram.t
 (** Latency of every protocol fault (leaders only), origin and remote. *)

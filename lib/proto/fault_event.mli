@@ -6,8 +6,10 @@
     user-specified identifier carried in [site]. [Invalidation] records
     (ownership revoked under a node's feet) carry task id [-1]. *)
 
+(** What the faulting access was — or an invalidation under a node's feet. *)
 type kind = Read | Write | Invalidation
 
+(** One trace record, the paper's six-tuple plus latency and retries. *)
 type t = {
   time : Dex_sim.Time_ns.t;
   node : int;
@@ -21,5 +23,7 @@ type t = {
 }
 
 val pp_kind : Format.formatter -> kind -> unit
+(** Prints [R], [W] or [INV]. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line rendering of a record, for debugging and CSV-ish dumps. *)

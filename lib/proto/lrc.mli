@@ -24,6 +24,7 @@
     yield stale values instead of sequential consistency. *)
 
 type t
+(** One LRC instance: lock manager at the origin, homes spread by VPN. *)
 
 val create :
   ?cfg:Proto_config.t -> ?pid:int -> Dex_net.Fabric.t -> origin:int -> t
@@ -31,8 +32,11 @@ val create :
     nodes round-robin by page number. *)
 
 val handler : t -> Dex_net.Fabric.env -> bool
+(** Process an LRC message addressed to this instance; returns [false] if
+    the payload belongs to another subsystem. *)
 
 val home_of : t -> Dex_mem.Page.vpn -> int
+(** The statically assigned home node of a page. *)
 
 val acquire : t -> node:int -> tid:int -> lock:int -> unit
 (** Acquire a global lock: blocks until granted, then invalidates every

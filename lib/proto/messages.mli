@@ -1,9 +1,11 @@
 (** Wire messages of the memory consistency protocol. *)
 
+(** How an owner must surrender a page. *)
 type revoke_mode =
   | Invalidate  (** drop the copy entirely (a writer is coming) *)
   | Downgrade  (** keep a read-only copy (a reader is coming) *)
 
+(** Per-page outcome inside a {!Page_grant_batch} reply. *)
 type batch_result =
   | Batch_grant of bytes option
       (** ownership granted; the payload carries page contents when the
@@ -48,6 +50,8 @@ type Dex_net.Msg.payload +=
       want_data : bool;
     }  (** origin → owner: surrender ownership *)
   | Revoke_ack of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
+      (** owner → origin: done; [data] ships the page back when the origin
+          asked for it ([want_data]) and the page is materialized *)
   | Invalidate_batch of {
       pid : int;
       vpns : Dex_mem.Page.vpn list;
@@ -57,8 +61,16 @@ type Dex_net.Msg.payload +=
           revocation fan-out for runs of pages; one message per victim
           node regardless of run length *)
   | Invalidate_batch_ack of { pid : int }
+      (** reader → origin: every page of the batch surrendered *)
 
 val kind_page_request : string
+(** Statistics class of {!Page_request} messages. *)
+
 val kind_page_request_batch : string
+(** Statistics class of {!Page_request_batch} messages. *)
+
 val kind_revoke : string
+(** Statistics class of {!Revoke} messages. *)
+
 val kind_invalidate_batch : string
+(** Statistics class of {!Invalidate_batch} messages. *)

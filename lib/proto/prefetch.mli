@@ -13,12 +13,14 @@
     different regions do not pollute each other's state. *)
 
 type t
+(** Detector state for every (node, thread) stream of one process. *)
 
 val create : ?min_run:int -> unit -> t
 (** [min_run] (default 2) is the number of consecutive same-direction
     faults required before predictions start. *)
 
 val min_run : t -> int
+(** The configured run length before predictions start. *)
 
 val record :
   t -> node:int -> tid:int -> vpn:Dex_mem.Page.vpn -> depth:int ->

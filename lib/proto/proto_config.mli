@@ -6,6 +6,7 @@
     ~19.3 µs for the whole fast-path fault; contended faults that lose the
     directory race back off and land around 158.8 µs on average. *)
 
+(** Per-operation protocol costs plus the §III design-choice knobs. *)
 type t = {
   fault_entry : Dex_sim.Time_ns.t;
       (** trap + fault-handler entry + fault-table insertion *)
@@ -47,3 +48,5 @@ type t = {
 }
 
 val default : t
+(** The calibrated defaults described in the module header; fast paths
+    that change message counts ([prefetch_enabled]) default off. *)

@@ -62,7 +62,7 @@ end
 module Server = struct
   type t = {
     engine : Engine.t;
-    ns_per_byte : float;
+    mutable ns_per_byte : float;
     mutable busy_until : Time_ns.t;
   }
 
@@ -70,6 +70,16 @@ module Server = struct
     if bytes_per_us <= 0.0 then
       invalid_arg "Server.create: rate must be positive";
     { engine; ns_per_byte = 1_000.0 /. bytes_per_us; busy_until = 0 }
+
+  (* Rate changes only affect work accepted afterwards: already-queued
+     transfers computed their service time at admission, which matches a
+     store-and-forward switch draining its committed frames. *)
+  let set_rate t ~bytes_per_us =
+    if bytes_per_us <= 0.0 then
+      invalid_arg "Server.set_rate: rate must be positive";
+    t.ns_per_byte <- 1_000.0 /. bytes_per_us
+
+  let rate t = 1_000.0 /. t.ns_per_byte
 
   let transfer t ~bytes =
     if bytes < 0 then invalid_arg "Server.transfer: negative size";

@@ -40,6 +40,15 @@ module Server : sig
   (** [create engine ~bytes_per_us] is a FIFO server draining
       [bytes_per_us] bytes per simulated microsecond. *)
 
+  val set_rate : t -> bytes_per_us:float -> unit
+  (** Change the service rate from now on. Transfers already admitted keep
+      the service time computed at admission (store-and-forward: committed
+      frames drain at the old rate). Used by the chaos fabric to degrade a
+      link's bandwidth mid-run. *)
+
+  val rate : t -> float
+  (** Current service rate in bytes per simulated microsecond. *)
+
   val transfer : t -> bytes:int -> unit
   (** [transfer t ~bytes] blocks the calling fiber until the server has
       serviced this request behind all earlier ones. *)

@@ -702,6 +702,71 @@ let prop_migration_fuzz =
       Dex_proto.Coherence.check_invariants (Process.coherence proc);
       final = model)
 
+(* ------------------------------------------------------------------ *)
+(* End-to-end chaos: migration handshakes, delegated mallocs and futex
+   RPCs all ride the reliable layer, so an application mixing them must
+   produce exactly the same answer on a lossy fabric as on a pristine
+   one — with the chaos counters proving the faults were real.           *)
+
+let chaos_net ~nodes =
+  let open Dex_net.Net_config in
+  let chaos =
+    {
+      chaos_default with
+      chaos_seed = 41;
+      drop_prob = 0.04;
+      dup_prob = 0.03;
+      reorder_prob = 0.05;
+      delay_jitter_ns = Time_ns.ns 2_000;
+      rto = Time_ns.us 60;
+      rto_cap = Time_ns.us 500;
+    }
+  in
+  { (default ~nodes ()) with chaos = Some chaos }
+
+let test_chaos_end_to_end () =
+  let cl = Dex.cluster ~nodes:4 ~net:(chaos_net ~nodes:4) () in
+  let in_cs = ref false in
+  let overlaps = ref 0 in
+  let final = ref 0L in
+  let remote_allocs = ref [] in
+  ignore
+    (Dex.run cl (fun proc main ->
+         let m = Sync.Mutex.create proc () in
+         let counter = Process.malloc main ~bytes:8 ~tag:"shared" in
+         let worker node th =
+           Process.migrate th node;
+           (* Delegated malloc: runs at the origin via an RPC that chaos
+              may drop or duplicate — it must still allocate exactly once. *)
+           let scratch = Process.malloc th ~bytes:64 ~tag:"scratch" in
+           remote_allocs := scratch :: !remote_allocs;
+           for _ = 1 to 5 do
+             Sync.Mutex.lock th m;
+             if !in_cs then incr overlaps;
+             in_cs := true;
+             let v = Process.load th counter in
+             Process.compute th ~ns:(us 2);
+             Process.store th counter (Int64.add v 1L);
+             in_cs := false;
+             Sync.Mutex.unlock th m
+           done;
+           Process.migrate th (Process.origin proc)
+         in
+         let threads =
+           List.init 4 (fun i -> Process.spawn proc (worker (i mod 4)))
+         in
+         List.iter Process.join threads;
+         final := Process.load main counter));
+  check_int "no critical-section overlap" 0 !overlaps;
+  Alcotest.(check int64) "no lost updates under chaos" 20L !final;
+  let distinct = List.sort_uniq compare !remote_allocs in
+  check_int "each delegated malloc ran exactly once" 4 (List.length distinct);
+  let get = Stats.get (Dex_net.Fabric.stats (Cluster.fabric cl)) in
+  check_bool "faults were injected" true
+    (get "chaos.drops" + get "chaos.dups" > 0);
+  check_bool "reliable layer recovered lost messages" true
+    (get "chaos.retransmits" > 0)
+
 let () =
   Alcotest.run "dex_core"
     [
@@ -791,4 +856,9 @@ let () =
             test_two_processes_isolated;
         ] );
       ("fuzz", List.map QCheck_alcotest.to_alcotest [ prop_migration_fuzz ]);
+      ( "chaos",
+        [
+          Alcotest.test_case "migration + delegation + futex under chaos"
+            `Quick test_chaos_end_to_end;
+        ] );
     ]

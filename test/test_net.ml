@@ -292,6 +292,221 @@ let test_sink_accounting () =
   check_int "all released" 0 (Rdma_sink.in_use sink);
   check_int "no waits" 0 (Rdma_sink.exhaustion_waits sink)
 
+(* --- chaos mode -------------------------------------------------------- *)
+
+let chaos_cfg ?(nodes = 2) ?(seed = 7) ?(drop = 0.0) ?(dup = 0.0)
+    ?(reorder = 0.0) ?(jitter = 0) ?(partitions = []) ?(degrades = []) ?rto
+    ?max_retransmits () =
+  let c =
+    {
+      Net_config.chaos_default with
+      Net_config.chaos_seed = seed;
+      drop_prob = drop;
+      dup_prob = dup;
+      reorder_prob = reorder;
+      delay_jitter_ns = jitter;
+      partitions;
+      degrades;
+    }
+  in
+  let c =
+    match rto with
+    | None -> c
+    | Some r ->
+        { c with Net_config.rto = r; rto_cap = max r c.Net_config.rto_cap }
+  in
+  let c =
+    match max_retransmits with
+    | None -> c
+    | Some m -> { c with Net_config.max_retransmits = m }
+  in
+  { (Net_config.default ~nodes ()) with Net_config.chaos = Some c }
+
+let chaos_stat fabric name = Stats.get (Fabric.stats fabric) name
+
+let test_chaos_off_is_pristine () =
+  let e = Engine.create () in
+  let fabric = Fabric.create e (small_cfg ()) in
+  Fabric.set_handler fabric ~node:1 echo_handler;
+  check_bool "reliable layer off" false (Fabric.reliable fabric);
+  Engine.spawn e (fun () ->
+      ignore (Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping 1)));
+  Engine.run_until_quiescent e;
+  check_int "no chaos counters" 0
+    (chaos_stat fabric "chaos.drops" + chaos_stat fabric "chaos.retransmits")
+
+let test_chaos_rpc_survives_drops () =
+  let e = Engine.create () in
+  let fabric =
+    Fabric.create e (chaos_cfg ~drop:0.35 ~rto:(Time_ns.us 20) ())
+  in
+  Fabric.set_handler fabric ~node:1 echo_handler;
+  let got = ref [] in
+  Engine.spawn e (fun () ->
+      for i = 1 to 25 do
+        match Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping i) with
+        | Msg.Pong n -> got := n :: !got
+        | _ -> Alcotest.fail "bad reply"
+      done);
+  Engine.run_until_quiescent e;
+  Alcotest.(check (list int)) "every RPC completed, in order"
+    (List.init 25 (fun i -> i + 1))
+    (List.rev !got);
+  check_bool "drops injected" true (chaos_stat fabric "chaos.drops" > 0);
+  check_bool "retransmissions recovered" true
+    (chaos_stat fabric "chaos.retransmits" > 0)
+
+let test_chaos_exactly_once_under_dup () =
+  let e = Engine.create () in
+  let fabric =
+    Fabric.create e
+      (chaos_cfg ~seed:11 ~drop:0.2 ~dup:0.6 ~rto:(Time_ns.us 20) ())
+  in
+  let delivered = ref 0 in
+  Fabric.set_handler fabric ~node:1 (fun _ _ -> incr delivered);
+  Engine.spawn e (fun () ->
+      for _ = 1 to 30 do
+        Fabric.send fabric ~src:0 ~dst:1 ~kind:"ctl" ~size:64 (Msg.Ping 0)
+      done);
+  Engine.run_until_quiescent e;
+  check_int "each logical send dispatched exactly once" 30 !delivered;
+  check_bool "duplicates injected" true (chaos_stat fabric "chaos.dups" > 0);
+  check_bool "receiver discarded duplicates" true
+    (chaos_stat fabric "chaos.dup_requests" > 0)
+
+let test_chaos_partition_heals () =
+  let heal_at = Time_ns.us 60 in
+  let e = Engine.create () in
+  let fabric =
+    Fabric.create e
+      (chaos_cfg ~rto:(Time_ns.us 10)
+         ~partitions:
+           [ { Net_config.p_a = 0; p_b = 1; p_from = 0; p_until = heal_at } ]
+         ())
+  in
+  Fabric.set_handler fabric ~node:1 echo_handler;
+  let done_at = ref 0 in
+  Engine.spawn e (fun () ->
+      (match Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping 9) with
+      | Msg.Pong 9 -> ()
+      | _ -> Alcotest.fail "bad reply");
+      done_at := Engine.now e);
+  Engine.run_until_quiescent e;
+  check_bool "RPC completed only after the partition healed" true
+    (!done_at > heal_at);
+  check_bool "partition discarded traffic" true
+    (chaos_stat fabric "chaos.partition_drops" > 0);
+  check_bool "sender retransmitted through the outage" true
+    (chaos_stat fabric "chaos.retransmits" > 0)
+
+let test_chaos_unreachable () =
+  let e = Engine.create () in
+  let fabric =
+    Fabric.create e
+      (chaos_cfg ~rto:(Time_ns.us 10) ~max_retransmits:3
+         ~partitions:
+           [ { Net_config.p_a = 0; p_b = 1; p_from = 0; p_until = Time_ns.s 10 } ]
+         ())
+  in
+  Fabric.set_handler fabric ~node:1 echo_handler;
+  Engine.spawn e (fun () ->
+      ignore (Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping 0)));
+  (match Engine.run_until_quiescent e with
+  | () -> Alcotest.fail "expected Unreachable"
+  | exception Engine.Fiber_failure (_, Fabric.Unreachable { src = 0; dst = 1; _ })
+    -> ()
+  | exception _ -> Alcotest.fail "wrong exception");
+  check_int "gave up after max_retransmits" 3
+    (chaos_stat fabric "chaos.retransmits")
+
+let test_chaos_reordering () =
+  let e = Engine.create () in
+  let fabric = Fabric.create e (chaos_cfg ~seed:3 ~reorder:0.4 ()) in
+  let log = ref [] in
+  Fabric.set_handler fabric ~node:1 (fun _ env ->
+      match env.Fabric.msg.Msg.payload with
+      | Msg.Ping n -> log := n :: !log
+      | _ -> ());
+  for i = 1 to 10 do
+    Engine.spawn e (fun () ->
+        Fabric.send fabric ~src:0 ~dst:1 ~kind:"ctl" ~size:64 (Msg.Ping i))
+  done;
+  Engine.run_until_quiescent e;
+  let log = List.rev !log in
+  Alcotest.(check (list int))
+    "all messages delivered exactly once"
+    (List.init 10 (fun i -> i + 1))
+    (List.sort compare log);
+  check_bool "reordering injected" true
+    (chaos_stat fabric "chaos.reorders" > 0);
+  check_bool "later traffic overtook a held-back message" true
+    (log <> List.init 10 (fun i -> i + 1))
+
+let test_chaos_degrade_slows_link () =
+  let run cfg =
+    let e = Engine.create () in
+    let fabric = Fabric.create e cfg in
+    let arrived = ref 0 in
+    Fabric.set_handler fabric ~node:1 (fun _ _ -> arrived := Engine.now e);
+    Engine.spawn e (fun () ->
+        Fabric.send fabric ~src:0 ~dst:1 ~kind:"bulk" ~size:1_000_000
+          (Msg.Ping 0));
+    Engine.run e;
+    !arrived
+  in
+  let healthy = run (small_cfg ()) in
+  let degraded =
+    run
+      (chaos_cfg ~rto:(Time_ns.ms 50)
+         ~degrades:
+           [ { Net_config.d_src = 0; d_dst = 1; d_at = 0; d_factor = 0.1 } ]
+         ())
+  in
+  let ratio = float_of_int degraded /. float_of_int healthy in
+  check_bool "10x bandwidth cut slows the transfer accordingly" true
+    (ratio > 5.0 && ratio < 12.0)
+
+let test_chaos_config_validation () =
+  let bad f =
+    let c = f Net_config.chaos_default in
+    let cfg =
+      { (Net_config.default ~nodes:2 ()) with Net_config.chaos = Some c }
+    in
+    match Net_config.validate cfg with
+    | () -> Alcotest.fail "expected rejection"
+    | exception Invalid_argument _ -> ()
+  in
+  bad (fun c -> { c with Net_config.drop_prob = 1.5 });
+  bad (fun c -> { c with Net_config.dup_prob = -0.1 });
+  bad (fun c -> { c with Net_config.delay_jitter_ns = -1 });
+  bad (fun c -> { c with Net_config.rto = 0 });
+  bad (fun c -> { c with Net_config.rto_cap = 1 });
+  bad (fun c -> { c with Net_config.max_retransmits = -1 });
+  bad (fun c ->
+      {
+        c with
+        Net_config.partitions =
+          [ { Net_config.p_a = 0; p_b = 0; p_from = 0; p_until = 10 } ];
+      });
+  bad (fun c ->
+      {
+        c with
+        Net_config.partitions =
+          [ { Net_config.p_a = 0; p_b = 1; p_from = 10; p_until = 5 } ];
+      });
+  bad (fun c ->
+      {
+        c with
+        Net_config.degrades =
+          [ { Net_config.d_src = 0; d_dst = 9; d_at = 0; d_factor = 0.5 } ];
+      });
+  bad (fun c ->
+      {
+        c with
+        Net_config.degrades =
+          [ { Net_config.d_src = 0; d_dst = 1; d_at = 0; d_factor = 0.0 } ];
+      })
+
 let () =
   Alcotest.run "dex_net"
     [
@@ -322,5 +537,23 @@ let () =
             test_zero_size_messages;
           Alcotest.test_case "per-path accounting" `Quick
             test_per_path_accounting;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "chaos off is pristine" `Quick
+            test_chaos_off_is_pristine;
+          Alcotest.test_case "RPCs survive drops" `Quick
+            test_chaos_rpc_survives_drops;
+          Alcotest.test_case "exactly-once under duplication" `Quick
+            test_chaos_exactly_once_under_dup;
+          Alcotest.test_case "transient partition heals" `Quick
+            test_chaos_partition_heals;
+          Alcotest.test_case "permanent partition raises" `Quick
+            test_chaos_unreachable;
+          Alcotest.test_case "reordering" `Quick test_chaos_reordering;
+          Alcotest.test_case "bandwidth degrade" `Quick
+            test_chaos_degrade_slows_link;
+          Alcotest.test_case "chaos config validation" `Quick
+            test_chaos_config_validation;
         ] );
     ]

@@ -10,10 +10,16 @@ let check_bool = Alcotest.(check bool)
 let check_i64 = Alcotest.(check int64)
 
 (* One protocol instance over a fresh n-node fabric, message routing
-   installed on every node. *)
-let setup_with_fabric ?(nodes = 4) ?seed ?cfg () =
+   installed on every node. [net] overrides the fabric configuration (used
+   by the chaos suite); its node count must match [nodes]. *)
+let setup_with_fabric ?(nodes = 4) ?seed ?cfg ?net () =
   let engine = Engine.create () in
-  let fabric = Dex_net.Fabric.create engine (Dex_net.Net_config.default ~nodes ()) in
+  let net_cfg =
+    match net with
+    | Some n -> n
+    | None -> Dex_net.Net_config.default ~nodes ()
+  in
+  let fabric = Dex_net.Fabric.create engine net_cfg in
   let coh = Coherence.create ?cfg ?seed fabric ~origin:0 in
   for node = 0 to nodes - 1 do
     Dex_net.Fabric.set_handler fabric ~node (fun _ env ->
@@ -22,9 +28,46 @@ let setup_with_fabric ?(nodes = 4) ?seed ?cfg () =
   done;
   (engine, coh, fabric)
 
-let setup ?nodes ?seed ?cfg () =
-  let engine, coh, _ = setup_with_fabric ?nodes ?seed ?cfg () in
+let setup ?nodes ?seed ?cfg ?net () =
+  let engine, coh, _ = setup_with_fabric ?nodes ?seed ?cfg ?net () in
   (engine, coh)
+
+(* Accumulated across every property case that ran over a chaos fabric, so
+   a final directed test can prove the fault paths were actually
+   exercised (not vacuously green because nothing was ever dropped). *)
+let chaos_retransmits = ref 0
+let chaos_partition_drops = ref 0
+let chaos_faults_injected = ref 0
+
+let harvest_chaos fabric =
+  let get = Stats.get (Dex_net.Fabric.stats fabric) in
+  chaos_retransmits := !chaos_retransmits + get "chaos.retransmits";
+  chaos_partition_drops := !chaos_partition_drops + get "chaos.partition_drops";
+  chaos_faults_injected :=
+    !chaos_faults_injected + get "chaos.drops" + get "chaos.dups"
+    + get "chaos.reorders"
+
+(* The fault mix the acceptance criteria call for: 5% drops, 2% dups,
+   reordering and jitter on, and a transient partition cutting node 2 off
+   from the origin that heals mid-run. RTOs are tightened so the short
+   property programs retransmit through the outage instead of idling. *)
+let chaos_net ~nodes =
+  let open Dex_net.Net_config in
+  let chaos =
+    {
+      chaos_default with
+      chaos_seed = 99;
+      drop_prob = 0.05;
+      dup_prob = 0.02;
+      reorder_prob = 0.05;
+      delay_jitter_ns = Time_ns.ns 1_000;
+      partitions =
+        [ { p_a = 0; p_b = 2; p_from = Time_ns.us 50; p_until = Time_ns.us 250 } ];
+      rto = Time_ns.us 50;
+      rto_cap = Time_ns.us 400;
+    }
+  in
+  { (default ~nodes ()) with chaos = Some chaos }
 
 (* The coherence fast-path knobs under test: sequential prefetching on
    (off by default) and batched revocation fan-out. *)
@@ -230,7 +273,7 @@ let test_single_writer_monotonic_readers () =
   check_int "no monotonicity violations" 0 !violations;
   Coherence.check_invariants coh
 
-let prop_sequential_writes_then_read ?cfg ~name () =
+let prop_sequential_writes_then_read ?cfg ?net ~name () =
   (* Random single-threaded programs issuing writes from random nodes; a
      final sweep from one node must read exactly the model values. *)
   QCheck.Test.make ~name ~count:40
@@ -238,7 +281,7 @@ let prop_sequential_writes_then_read ?cfg ~name () =
       list_of_size Gen.(1 -- 40)
         (triple (int_bound 3) (int_bound 15) (int_range 1 1000)))
     (fun ops ->
-      let engine, coh = setup ~nodes:4 ?cfg () in
+      let engine, coh, fabric = setup_with_fabric ~nodes:4 ?cfg ?net () in
       let model = Hashtbl.create 16 in
       let ok = ref true in
       run_fiber engine (fun () ->
@@ -255,9 +298,10 @@ let prop_sequential_writes_then_read ?cfg ~name () =
               if got <> v then ok := false)
             model);
       Coherence.check_invariants coh;
+      harvest_chaos fabric;
       !ok)
 
-let prop_single_writer_per_address_monotonic ?cfg ~name () =
+let prop_single_writer_per_address_monotonic ?cfg ?net ~name () =
   (* Per-address single-writer, multi-reader: with one designated writer
      per address publishing increasing values, every reader must observe a
      non-decreasing sequence at each address — a consequence of sequential
@@ -265,7 +309,7 @@ let prop_single_writer_per_address_monotonic ?cfg ~name () =
   QCheck.Test.make ~name ~count:20
     QCheck.(pair small_int (int_range 1 4))
     (fun (seed, n_addrs) ->
-      let engine, coh = setup ~nodes:4 ~seed ?cfg () in
+      let engine, coh, fabric = setup_with_fabric ~nodes:4 ~seed ?cfg ?net () in
       let addr_of k = addr0 + (k * 192) in
       (* writers: one per address, on rotating nodes *)
       for k = 0 to n_addrs - 1 do
@@ -294,16 +338,17 @@ let prop_single_writer_per_address_monotonic ?cfg ~name () =
       done;
       Engine.run_until_quiescent engine;
       Coherence.check_invariants coh;
+      harvest_chaos fabric;
       !ok)
 
-let prop_invariants_under_concurrency ?cfg ~name () =
+let prop_invariants_under_concurrency ?cfg ?net ~name () =
   QCheck.Test.make ~name ~count:25
     QCheck.(
       pair small_int
         (list_of_size Gen.(1 -- 20)
            (triple (int_bound 3) (int_bound 3) bool)))
     (fun (seed, threads) ->
-      let engine, coh = setup ~nodes:4 ~seed ?cfg () in
+      let engine, coh, fabric = setup_with_fabric ~nodes:4 ~seed ?cfg ?net () in
       List.iteri
         (fun tid (node, slot, is_write) ->
           Engine.spawn engine (fun () ->
@@ -317,6 +362,7 @@ let prop_invariants_under_concurrency ?cfg ~name () =
         threads;
       Engine.run_until_quiescent engine;
       Coherence.check_invariants coh;
+      harvest_chaos fabric;
       true)
 
 let test_no_lost_updates_origin_race () =
@@ -577,6 +623,17 @@ let prop_backoff_clamped =
       let delay = Coherence.backoff_delay coh ~node:1 ~attempt in
       delay >= 1 && delay >= d - (d / 4) && delay <= d + (d / 4))
 
+(* Runs after the chaos property cases (alcotest executes suites in order):
+   the sequential-consistency results above are only meaningful evidence if
+   faults were actually injected and recovered from. *)
+let test_chaos_fault_paths_exercised () =
+  check_bool "faults were injected across the chaos property runs" true
+    (!chaos_faults_injected > 0);
+  check_bool "lost messages were retransmitted (chaos.retransmits > 0)" true
+    (!chaos_retransmits > 0);
+  check_bool "the transient partition discarded traffic" true
+    (!chaos_partition_drops > 0)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -645,4 +702,22 @@ let () =
               prop_backoff_clamped;
             ]
       );
+      ( "chaos",
+        qsuite
+          [
+            prop_sequential_writes_then_read ~net:(chaos_net ~nodes:4)
+              ~name:"random write sequences under drop/dup/reorder + partition"
+              ();
+            prop_single_writer_per_address_monotonic ~net:(chaos_net ~nodes:4)
+              ~name:"single-writer monotonicity under drop/dup/reorder" ();
+            prop_invariants_under_concurrency ~net:(chaos_net ~nodes:4)
+              ~name:"invariants under random concurrency + chaos" ();
+            prop_invariants_under_concurrency ~cfg:fast_cfg
+              ~net:(chaos_net ~nodes:4)
+              ~name:"invariants under chaos (prefetch + batched revoke)" ();
+          ]
+        @ [
+            Alcotest.test_case "chaos fault paths exercised" `Quick
+              test_chaos_fault_paths_exercised;
+          ] );
     ]
