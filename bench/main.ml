@@ -3,7 +3,7 @@
    the core data structures.
 
    Usage: main.exe [tiny] [table1] [fig2] [table2] [fig3] [fault] [profile]
-                   [ablation] [chaos] [baseline] [bechamel]
+                   [ablation] [chaos] [crash] [baseline] [bechamel]
    With no arguments, every section runs (the order of the paper). *)
 
 open Dex_core
@@ -673,6 +673,114 @@ let chaos_bench () =
      every run returns the exact pristine answer@."
 
 (* ------------------------------------------------------------------ *)
+(* Crash: fail-stop a worker node mid-run; survivors finish, the origin
+   reclaims everything the dead node owned.                            *)
+
+let crash_bench () =
+  section "Crash: fail-stop of a worker node mid-run (reliable fabric)";
+  let pages = if !tiny then 12 else 96 in
+  let s_rounds = if !tiny then 20 else 28 in
+  let v_rounds = if !tiny then 12 else 16 in
+  let chaos crashes =
+    {
+      Dex_net.Net_config.chaos_default with
+      Dex_net.Net_config.chaos_seed = 23;
+      rto = Time_ns.us 100;
+      rto_cap = Time_ns.us 500;
+      max_retransmits = 8;
+      crashes;
+    }
+  in
+  (* Two remote threads walk private page windows and race on one shared
+     flag page. The victim (node 2) fail-stops mid-run: its thread aborts,
+     while the survivor (node 1) keeps going — its next store to the flag
+     must revoke the dead node's read copy, which is exactly the organic
+     Unreachable-escalation detection path. *)
+  let run crashes =
+    let net =
+      {
+        (Dex_net.Net_config.default ~nodes:3 ()) with
+        Dex_net.Net_config.chaos = Some (chaos crashes);
+      }
+    in
+    let cl = Dex.cluster ~nodes:3 ~net () in
+    let survivor = ref 0 and victim = ref 0 in
+    let proc =
+      Dex.run cl (fun proc main ->
+          let size = pages * 4096 in
+          let alloc tag =
+            Process.memalign main ~align:4096 ~bytes:size ~tag
+          in
+          let own1 = alloc "crash.own1" and own2 = alloc "crash.own2" in
+          let flag =
+            Process.memalign main ~align:4096 ~bytes:4096 ~tag:"crash.flag"
+          in
+          let worker node buf counter rounds think op =
+            Process.spawn proc ~name:(Printf.sprintf "n%d" node) (fun th ->
+                Process.migrate th node;
+                for r = 1 to rounds do
+                  Process.write_range th ~site:"crash.own" buf ~len:size;
+                  op th r;
+                  Process.compute th ~ns:think;
+                  counter := r
+                done;
+                Process.migrate th (Process.origin proc))
+          in
+          let s =
+            worker 1 own1 survivor s_rounds (Time_ns.us 100) (fun th r ->
+                Process.store th ~site:"crash.flag" flag (Int64.of_int r))
+          in
+          let v =
+            worker 2 own2 victim v_rounds (Time_ns.us 300) (fun th _ ->
+                ignore (Process.load th ~site:"crash.flag" flag))
+          in
+          Process.join s;
+          Process.join v)
+    in
+    (cl, proc, !survivor, !victim)
+  in
+  Format.printf "  %-22s %10s %9s %8s@." "" "sim time" "survivor" "victim";
+  let row label (cl, _, s, v) =
+    Format.printf "  %-22s %10.2fms %6d/%-2d %5d/%-2d@." label
+      (Time_ns.to_ms_f (Dex.elapsed cl))
+      s s_rounds v v_rounds
+  in
+  row "no crash" (run []);
+  let crash_at =
+    if !tiny then Time_ns.ms 2 + Time_ns.us 200 else Time_ns.ms 4
+  in
+  let ((_, proc, _, _) as crashed) =
+    run [ { Dex_net.Net_config.crash_node = 2; crash_at } ]
+  in
+  row
+    (Printf.sprintf "node 2 dies @%.1fms" (Time_ns.to_ms_f crash_at))
+    crashed;
+  let coh = Process.coherence proc in
+  Format.printf "  ";
+  Dex_profile.Report.pp_crash Format.std_formatter (Dex_proto.Coherence.stats coh);
+  let pget = Dex_sim.Stats.get (Process.stats proc) in
+  Format.printf
+    "  recovery: threads_aborted=%d threads_rehomed=%d futex_cancelled=%d \
+     migrations_refused=%d@."
+    (pget "crash.threads_aborted")
+    (pget "crash.threads_rehomed")
+    (pget "crash.futex_cancelled")
+    (pget "crash.migrations_refused");
+  (* The reclaim pass must leave consistent, ghost-free ownership. *)
+  Dex_proto.Coherence.check_invariants coh;
+  let ghosts = ref 0 in
+  Dex_mem.Directory.iter (Dex_proto.Coherence.directory coh) (fun _ st ->
+      match st with
+      | Dex_mem.Directory.Exclusive n when n = 2 -> incr ghosts
+      | Dex_mem.Directory.Shared set when Dex_mem.Node_set.mem set 2 ->
+          incr ghosts
+      | _ -> ());
+  Format.printf
+    "  -> post-reclaim invariants hold; directory entries still naming the \
+     dead node: %d@."
+    !ghosts
+
+(* ------------------------------------------------------------------ *)
 
 let sections_list =
   [
@@ -684,6 +792,7 @@ let sections_list =
     ("profile", profile_demo);
     ("ablation", ablation);
     ("chaos", chaos_bench);
+    ("crash", crash_bench);
     ("baseline", baseline_lrc);
     ("bechamel", bechamel_benches);
   ]

@@ -214,10 +214,146 @@ let chaos_cmd =
       const run $ nodes_arg $ drop_arg $ dup_arg $ reorder_arg $ jitter_arg
       $ seed_arg $ sweep_arg)
 
+let crash_cmd =
+  let crash_node_arg =
+    let doc = "Node to fail-stop (default: the last node). Must not be 0." in
+    Arg.(value & opt int (-1) & info [ "crash-node" ] ~docv:"NODE" ~doc)
+  in
+  let crash_at_arg =
+    let doc = "Simulated time of the crash, in microseconds." in
+    Arg.(value & opt int 2000 & info [ "crash-at-us" ] ~docv:"US" ~doc)
+  in
+  let policy_arg =
+    let doc =
+      "What happens to threads caught on the dead node: $(b,abort) or \
+       $(b,rehome)."
+    in
+    Arg.(value & opt string "abort" & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let run nodes crash_node crash_at_us policy =
+    let crash_node = if crash_node < 0 then nodes - 1 else crash_node in
+    if nodes < 2 then begin
+      Format.eprintf "crash: need at least 2 nodes@.";
+      exit 2
+    end;
+    if crash_node <= 0 || crash_node >= nodes then begin
+      Format.eprintf
+        "crash: --crash-node must be a non-origin node in [1, %d]@."
+        (nodes - 1);
+      exit 2
+    end;
+    let on_crash =
+      match policy with
+      | "abort" -> `Abort
+      | "rehome" -> `Rehome
+      | s ->
+          Format.eprintf "crash: unknown policy %S (abort or rehome)@." s;
+          exit 2
+    in
+    let crash_at = Dex_sim.Time_ns.us crash_at_us in
+    let chaos =
+      {
+        Dex_net.Net_config.chaos_default with
+        Dex_net.Net_config.chaos_seed = 23;
+        rto = Dex_sim.Time_ns.us 100;
+        rto_cap = Dex_sim.Time_ns.us 500;
+        max_retransmits = 8;
+        crashes = [ { Dex_net.Net_config.crash_node; crash_at } ];
+      }
+    in
+    let net =
+      {
+        (Dex_net.Net_config.default ~nodes ()) with
+        Dex_net.Net_config.chaos = Some chaos;
+      }
+    in
+    let proto =
+      { Dex_proto.Proto_config.default with Dex_proto.Proto_config.on_crash }
+    in
+    let cl = Dex_core.Dex.cluster ~nodes ~net ~proto () in
+    let module P = Dex_core.Process in
+    let rounds = 12 in
+    let progress = Array.make nodes 0 in
+    let crashed = Array.make nodes false in
+    (* One thread per remote node: each walks a private 4-page window and
+       hammers one shared flag, so the dead node leaves both exclusive
+       pages and reader-set entries behind for the reclaim pass. *)
+    let proc =
+      Dex_core.Dex.run cl (fun proc main ->
+          let flag = P.malloc main ~bytes:8 ~tag:"crash_flag" in
+          let windows =
+            Array.init nodes (fun node ->
+                P.memalign main ~align:4096 ~bytes:(4 * 4096)
+                  ~tag:(Printf.sprintf "window%d" node))
+          in
+          let threads =
+            List.init (nodes - 1) (fun i ->
+                let node = i + 1 in
+                let th =
+                  P.spawn proc ~name:(Printf.sprintf "n%d" node) (fun th ->
+                      P.migrate th node;
+                      for r = 1 to rounds do
+                        P.write_range th ~site:"window" windows.(node)
+                          ~len:(4 * 4096);
+                        P.store th ~site:"flag" flag (Int64.of_int r);
+                        P.compute th ~ns:(Dex_sim.Time_ns.us 100);
+                        progress.(node) <- r
+                      done;
+                      P.migrate th (P.origin proc))
+                in
+                (node, th))
+          in
+          List.iter
+            (fun (node, th) ->
+              P.join th;
+              crashed.(node) <- P.crashed th)
+            threads)
+    in
+    Format.printf "crash: node %d dies @%.1fms (policy=%s)@." crash_node
+      (Dex_sim.Time_ns.to_ms_f crash_at)
+      policy;
+    for node = 1 to nodes - 1 do
+      Format.printf "  thread n%d: %d/%d rounds%s@." node progress.(node)
+        rounds
+        (if crashed.(node) then "  (aborted)" else "")
+    done;
+    let coh = P.coherence proc in
+    Dex_profile.Report.pp_crash Format.std_formatter
+      (Dex_proto.Coherence.stats coh);
+    let pget = Dex_sim.Stats.get (P.stats proc) in
+    Format.printf
+      "recovery: threads_aborted=%d threads_rehomed=%d futex_cancelled=%d \
+       migrations_refused=%d@."
+      (pget "crash.threads_aborted")
+      (pget "crash.threads_rehomed")
+      (pget "crash.futex_cancelled")
+      (pget "crash.migrations_refused");
+    Dex_proto.Coherence.check_invariants coh;
+    let ghosts = ref 0 in
+    Dex_mem.Directory.iter (Dex_proto.Coherence.directory coh) (fun _ st ->
+        match st with
+        | Dex_mem.Directory.Exclusive n when n = crash_node -> incr ghosts
+        | Dex_mem.Directory.Shared set
+          when Dex_mem.Node_set.mem set crash_node ->
+            incr ghosts
+        | _ -> ());
+    Format.printf "post-reclaim invariants: ok (ghost directory entries: %d)@."
+      !ghosts;
+    Format.printf "sim time: %.2fms@."
+      (Dex_sim.Time_ns.to_ms_f (Dex_core.Dex.elapsed cl));
+    0
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Fail-stop one node mid-run and report what crash recovery \
+          reclaimed")
+    Term.(const run $ nodes_arg $ crash_node_arg $ crash_at_arg $ policy_arg)
+
 let main =
   let doc = "DeX: scaling applications beyond machine boundaries (simulated)" in
   Cmd.group
     (Cmd.info "dex_run" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; sweep_cmd; profile_cmd; chaos_cmd ]
+    [ list_cmd; run_cmd; sweep_cmd; profile_cmd; chaos_cmd; crash_cmd ]
 
 let () = exit (Cmd.eval' main)

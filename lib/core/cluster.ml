@@ -75,5 +75,12 @@ let fresh_pid t =
 
 let add_router t r = t.routers <- t.routers @ [ r ]
 
+let crash_node t ~node =
+  if node < 0 || node >= nodes t then
+    invalid_arg (Printf.sprintf "Cluster.crash_node: bad node %d" node);
+  Dex_net.Fabric.crash t.fabric ~node
+
+let node_crashed t ~node = Dex_net.Fabric.crashed t.fabric ~node
+
 let run t = Engine.run_until_quiescent t.engine
 let now t = Engine.now t.engine

@@ -42,6 +42,18 @@ val add_router : t -> (Dex_net.Fabric.env -> bool) -> unit
     and the first returning [true] wins. An unrouted message is an
     error. *)
 
+val crash_node : t -> node:int -> unit
+(** Fail-stop [node] at the current simulation time: it stops servicing
+    fabric messages instantly and is declared dead once survivors notice
+    (retry-budget exhaustion or the keepalive backstop) — see
+    {!Dex_net.Fabric.crash}. Requires the chaos fabric
+    ({!Dex_net.Net_config.chaos}); crashes can also be pre-scheduled with
+    the chaos [crashes] knob. Crashing a process origin is unsupported. *)
+
+val node_crashed : t -> node:int -> bool
+(** Ground truth: has [node] fail-stopped (whether or not survivors have
+    detected it yet)? *)
+
 val run : t -> unit
 (** Drive the simulation until quiescent. *)
 

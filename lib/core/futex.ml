@@ -1,6 +1,17 @@
 open Dex_sim
 
-type t = { engine : Engine.t; queues : (int, unit Waitq.t) Hashtbl.t }
+(* One parked thread. [w_live] goes false when the waiter is cancelled
+   (its home node crashed); the entry then lingers in the queue as a
+   tombstone that [wake]/[waiters] skip — Waitq has no removal API, and a
+   ghost that silently swallowed wakes or inflated the waiter count would
+   wedge every surviving thread parked behind it. *)
+type waiter = {
+  w_owner : int;
+  mutable w_live : bool;
+  w_resume : [ `Woken | `Crashed ] -> unit;
+}
+
+type t = { engine : Engine.t; queues : (int, waiter Queue.t) Hashtbl.t }
 
 let create engine = { engine; queues = Hashtbl.create 32 }
 
@@ -8,19 +19,49 @@ let queue t addr =
   match Hashtbl.find_opt t.queues addr with
   | Some q -> q
   | None ->
-      let q = Waitq.create () in
+      let q = Queue.create () in
       Hashtbl.add t.queues addr q;
       q
 
-let wait t ~addr = Waitq.wait t.engine (queue t addr)
+let wait ?(owner = -1) t ~addr =
+  let q = queue t addr in
+  Engine.suspend t.engine (fun resume ->
+      Queue.push { w_owner = owner; w_live = true; w_resume = resume } q)
 
 let wake t ~addr ~count =
   let q = queue t addr in
   let rec go woken =
     if woken >= count then woken
-    else if Waitq.wake_one q () then go (woken + 1)
-    else woken
+    else
+      match Queue.take_opt q with
+      | None -> woken
+      | Some w when not w.w_live -> go woken (* tombstone, costs nothing *)
+      | Some w ->
+          w.w_live <- false;
+          w.w_resume `Woken;
+          go (woken + 1)
   in
   go 0
 
-let waiters t ~addr = Waitq.length (queue t addr)
+let waiters t ~addr =
+  match Hashtbl.find_opt t.queues addr with
+  | None -> 0
+  | Some q -> Queue.fold (fun n w -> if w.w_live then n + 1 else n) 0 q
+
+let cancel t ~owned_by =
+  ignore t.engine;
+  let cancelled = ref 0 in
+  Hashtbl.iter
+    (fun _addr q ->
+      Queue.iter
+        (fun w ->
+          if w.w_live && owned_by w.w_owner then begin
+            (* Tombstone in place; the queue entry drains on a later wake
+               or stays inert — either way it is invisible from now on. *)
+            w.w_live <- false;
+            incr cancelled;
+            w.w_resume `Crashed
+          end)
+        q)
+    t.queues;
+  !cancelled

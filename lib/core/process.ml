@@ -6,10 +6,12 @@ module Coherence = Dex_proto.Coherence
 module M = Core_messages
 
 exception Segfault of { node : int; addr : Page.addr }
+exception Thread_crashed of { pid : int; tid : int }
 
 type worker_queue = {
   ops : (M.node_op * (unit -> unit)) Queue.t;
   signal : unit Waitq.t;
+  mutable dead : bool;  (* the worker's node fail-stopped *)
 }
 
 type worker_state = Absent | Creating of unit Waitq.t | Ready of worker_queue
@@ -47,6 +49,12 @@ and thread = {
   thread_name : string;
   mutable location : int;
   mutable finished : bool;
+  mutable crashed : bool;  (* lost to a fail-stop node crash (`Abort) *)
+  (* In-flight migration park: [(src, dst, resume)] while the thread is
+     suspended waiting for the destination to rebuild it. Crash recovery
+     resumes the park when either endpoint dies — the context message may
+     have been black-holed, in which case nobody else ever would. *)
+  mutable mig_park : (int * int * (unit -> unit)) option;
   done_q : unit Waitq.t;
 }
 
@@ -60,6 +68,7 @@ let stats t = t.stats
 let tid th = th.tid
 let name th = th.thread_name
 let location th = th.location
+let crashed th = th.crashed
 let self_process th = th.proc
 let migration_log t = List.rev t.mig_log
 
@@ -76,6 +85,46 @@ let find_thread t tid =
 let install_vma tree vma =
   ignore (Vma_tree.remove_range tree ~start:vma.Vma.start ~len:vma.Vma.len);
   Vma_tree.insert tree vma
+
+(* ------------------------------------------------------------------ *)
+(* Fail-stop crash handling for the thread API.                        *)
+
+let on_crash_policy t = (Coherence.cfg t.coh).Dex_proto.Proto_config.on_crash
+
+(* Run [f] — an operation performed from the thread's current location —
+   with fail-stop handling. If the node the thread was executing on
+   crashed mid-operation (the reliable transport unwinds its fiber with
+   [Unreachable]), the thread either aborts ({!Thread_crashed}) or
+   re-homes to the origin and retries [f] there, per
+   {!Dex_proto.Proto_config.on_crash}. [f] must therefore re-read
+   [th.location] on every attempt — every caller in this file does,
+   because the location is read inside the closure. Re-homed delegates
+   re-execute their body from scratch (the simulator cannot checkpoint
+   register state mid-syscall); [`Rehome] is only sound for workloads
+   that tolerate that, which is why [`Abort] is the default. *)
+let rec guard th f =
+  let t = th.proc in
+  if th.crashed then raise (Thread_crashed { pid = t.pid; tid = th.tid });
+  let node = th.location in
+  try f ()
+  with Fabric.Unreachable _ when Fabric.crashed (fabric t) ~node -> (
+    (* Exhausting the retry budget IS failure detection: make sure the
+       recovery (reclaim, thread policy, worker teardown) has run before
+       deciding this thread's fate. *)
+    if not (Fabric.crash_detected (fabric t) ~node) then
+      Fabric.declare_dead (fabric t) ~node;
+    match on_crash_policy t with
+    | `Abort ->
+        th.crashed <- true;
+        raise (Thread_crashed { pid = t.pid; tid = th.tid })
+    | `Rehome ->
+        (* The crash hook normally re-homed us already (it is
+           location-based); cover the window where it has not. *)
+        if th.location = node then begin
+          th.location <- t.origin;
+          Stats.incr t.stats "crash.threads_rehomed"
+        end;
+        guard th f)
 
 (* ------------------------------------------------------------------ *)
 (* VMA checking with on-demand synchronization (§III-D).               *)
@@ -115,14 +164,15 @@ let rec vma_check th ~addr ~len ~access ~queried =
    and return its result. Local threads call straight into the kernel. *)
 let delegate ?(resp_size = 64) th run =
   let t = th.proc in
-  Engine.delay (engine t) (cfg t).Core_config.syscall;
-  if th.location = t.origin then run ()
-  else begin
-    Stats.incr t.stats "delegation";
-    Fabric.call (fabric t) ~src:th.location ~dst:t.origin
-      ~kind:M.kind_delegate ~size:64
-      (M.Delegate { pid = t.pid; tid = th.tid; resp_size; run })
-  end
+  guard th (fun () ->
+      Engine.delay (engine t) (cfg t).Core_config.syscall;
+      if th.location = t.origin then run ()
+      else begin
+        Stats.incr t.stats "delegation";
+        Fabric.call (fabric t) ~src:th.location ~dst:t.origin
+          ~kind:M.kind_delegate ~size:64
+          (M.Delegate { pid = t.pid; tid = th.tid; resp_size; run })
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Memory API.                                                         *)
@@ -151,52 +201,65 @@ let memalign th ~align ~bytes ~tag =
    hint): with prefetch enabled, even the first fault of the scan batches. *)
 let read_range th ?(site = "?") addr ~len =
   if len <= 0 then invalid_arg "Process.read_range: len must be positive";
-  vma_check th ~addr ~len ~access:Perm.Read ~queried:false;
-  Coherence.access_range th.proc.coh ~node:th.location ~tid:th.tid ~site ~addr
-    ~len ~access:Perm.Read ()
+  guard th (fun () ->
+      vma_check th ~addr ~len ~access:Perm.Read ~queried:false;
+      Coherence.access_range th.proc.coh ~node:th.location ~tid:th.tid ~site
+        ~addr ~len ~access:Perm.Read ())
 
 let write_range th ?(site = "?") addr ~len =
   if len <= 0 then invalid_arg "Process.write_range: len must be positive";
-  vma_check th ~addr ~len ~access:Perm.Write ~queried:false;
-  Coherence.access_range th.proc.coh ~node:th.location ~tid:th.tid ~site ~addr
-    ~len ~access:Perm.Write ()
+  guard th (fun () ->
+      vma_check th ~addr ~len ~access:Perm.Write ~queried:false;
+      Coherence.access_range th.proc.coh ~node:th.location ~tid:th.tid ~site
+        ~addr ~len ~access:Perm.Write ())
 
 let read = read_range
 let write = write_range
 
 let load th ?(site = "?") addr =
-  vma_check th ~addr ~len:8 ~access:Perm.Read ~queried:false;
-  Coherence.load_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+  guard th (fun () ->
+      vma_check th ~addr ~len:8 ~access:Perm.Read ~queried:false;
+      Coherence.load_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr)
 
 let store th ?(site = "?") addr v =
-  vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
-  Coherence.store_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr v
+  guard th (fun () ->
+      vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
+      Coherence.store_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+        v)
 
 let load32 th ?(site = "?") addr =
-  vma_check th ~addr ~len:4 ~access:Perm.Read ~queried:false;
-  Coherence.load_i32 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+  guard th (fun () ->
+      vma_check th ~addr ~len:4 ~access:Perm.Read ~queried:false;
+      Coherence.load_i32 th.proc.coh ~node:th.location ~tid:th.tid ~site addr)
 
 let store32 th ?(site = "?") addr v =
-  vma_check th ~addr ~len:4 ~access:Perm.Write ~queried:false;
-  Coherence.store_i32 th.proc.coh ~node:th.location ~tid:th.tid ~site addr v
+  guard th (fun () ->
+      vma_check th ~addr ~len:4 ~access:Perm.Write ~queried:false;
+      Coherence.store_i32 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+        v)
 
 let load_byte th ?(site = "?") addr =
-  vma_check th ~addr ~len:1 ~access:Perm.Read ~queried:false;
-  Coherence.load_byte th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+  guard th (fun () ->
+      vma_check th ~addr ~len:1 ~access:Perm.Read ~queried:false;
+      Coherence.load_byte th.proc.coh ~node:th.location ~tid:th.tid ~site addr)
 
 let store_byte th ?(site = "?") addr v =
-  vma_check th ~addr ~len:1 ~access:Perm.Write ~queried:false;
-  Coherence.store_byte th.proc.coh ~node:th.location ~tid:th.tid ~site addr v
+  guard th (fun () ->
+      vma_check th ~addr ~len:1 ~access:Perm.Write ~queried:false;
+      Coherence.store_byte th.proc.coh ~node:th.location ~tid:th.tid ~site
+        addr v)
 
 let cas th ?(site = "?") addr ~expected ~desired =
-  vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
-  Coherence.cas_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
-    ~expected ~desired
+  guard th (fun () ->
+      vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
+      Coherence.cas_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
+        ~expected ~desired)
 
 let fetch_add th ?(site = "?") addr delta =
-  vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
-  Coherence.fetch_add_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site addr
-    delta
+  guard th (fun () ->
+      vma_check th ~addr ~len:8 ~access:Perm.Write ~queried:false;
+      Coherence.fetch_add_i64 th.proc.coh ~node:th.location ~tid:th.tid ~site
+        addr delta)
 
 (* ------------------------------------------------------------------ *)
 (* Compute.                                                            *)
@@ -228,10 +291,14 @@ let futex_wait th ~addr ~expected =
       Coherence.load_i64 t.coh ~node:t.origin ~tid:th.tid ~site:"futex" addr
     in
     if v <> expected then M.Ret_bool false
-    else begin
-      Futex.wait t.futex ~addr;
-      M.Ret_bool true
-    end
+    else
+      match Futex.wait ~owner:th.location t.futex ~addr with
+      | `Woken -> M.Ret_bool true
+      | `Crashed ->
+          (* The waiter's node died while it was parked: report a spurious
+             wake. Sync primitives re-check their state in a loop, and the
+             caller's own fiber unwinds through {!guard} anyway. *)
+          M.Ret_bool false
   in
   match delegate th run with M.Ret_bool b -> b | _ -> assert false
 
@@ -304,11 +371,13 @@ let file_size t name = Vfs.size t.vfs name
 
 let worker_loop t node queue () =
   let rec go () =
-    match Queue.take_opt queue.ops with
-    | None ->
-        Waitq.wait (engine t) queue.signal;
-        go ()
-    | Some (op, ack) -> (
+    if queue.dead then () (* node fail-stopped: the worker dies with it *)
+    else
+      match Queue.take_opt queue.ops with
+      | None ->
+          Waitq.wait (engine t) queue.signal;
+          go ()
+      | Some (op, ack) -> (
         match op with
         | M.Process_exit ->
             t.workers.(node) <- Absent;
@@ -354,6 +423,13 @@ let broadcast_node_op t op =
                    (M.Node_op { pid = t.pid; op })
                with
               | M.Node_op_ack -> ()
+              | exception Fabric.Unreachable _
+                when Fabric.crashed (fabric t) ~node ->
+                  (* A dead node holds no state worth shrinking: count the
+                     broadcast as acknowledged (the crash hook reclaims
+                     everything it had anyway). *)
+                  if not (Fabric.crash_detected (fabric t) ~node) then
+                    Fabric.declare_dead (fabric t) ~node
               | _ -> failwith "Process: unexpected node-op reply");
               decr pending;
               if !pending = 0 then ignore (Waitq.wake_one join ())))
@@ -413,27 +489,54 @@ let mprotect th ~addr ~len ~perm =
 (* Migration (§III-A).                                                 *)
 
 (* Send a migration message and block until the destination handler
-   reconstructs the thread there and resumes us. *)
-let send_and_park t ~src ~dst build =
+   reconstructs the thread there and resumes us. The park is registered
+   on the thread so crash recovery can wake it when either endpoint dies
+   while the context is in flight; [resume] is idempotent because both
+   the handler and the crash hook may fire. *)
+let send_and_park th ~src ~dst build =
+  let t = th.proc in
   let eng = engine t in
   let arrived = ref false in
   let waiter = ref None in
   let resume () =
-    match !waiter with Some r -> r () | None -> arrived := true
+    if not !arrived then begin
+      arrived := true;
+      th.mig_park <- None;
+      match !waiter with Some r -> r () | None -> ()
+    end
   in
+  th.mig_park <- Some (src, dst, resume);
   Fabric.send (fabric t) ~src ~dst ~kind:M.kind_migrate
     ~size:(cfg t).Core_config.context_size (build resume);
   if not !arrived then Engine.suspend eng (fun r -> waiter := Some r)
 
-let migrate th target =
+let rec migrate th target =
   let t = th.proc in
-  let eng = engine t in
-  let c = cfg t in
   if target < 0 || target >= Cluster.nodes t.cluster then
     invalid_arg (Printf.sprintf "Process.migrate: bad node %d" target);
   if target = th.location then ()
+  else if Fabric.crash_detected (fabric t) ~node:target then
+    (* Known-dead destination: refuse, the thread stays where it is. *)
+    Stats.incr t.stats "crash.migrations_refused"
+  else
+    guard th (fun () ->
+        try migrate_send th target
+        with Fabric.Unreachable _ when Fabric.crashed (fabric t) ~node:target ->
+          (* The destination died under the migration message; stay put.
+             (Source-side crashes propagate to [guard] instead.) *)
+          if not (Fabric.crash_detected (fabric t) ~node:target) then
+            Fabric.declare_dead (fabric t) ~node:target;
+          Stats.incr t.stats "crash.migrations_refused")
+
+and migrate_send th target =
+  let t = th.proc in
+  let eng = engine t in
+  let c = cfg t in
+  (* A re-homed retry may find the thread already where it was going. *)
+  if th.location = target then ()
   else begin
     Engine.delay eng c.Core_config.syscall;
+    let src = th.location in
     if target = t.origin then begin
       (* Backward migration: collect the remote context and refresh the
          original thread with it. *)
@@ -441,8 +544,13 @@ let migrate th target =
       let t0 = Engine.now eng in
       Engine.delay eng c.Core_config.backward_capture;
       let remote_ns = Engine.now eng - t0 in
-      send_and_park t ~src:th.location ~dst:target (fun resume ->
-          M.Migrate_back { pid = t.pid; tid = th.tid; remote_ns; resume })
+      send_and_park th ~src ~dst:target (fun resume ->
+          M.Migrate_back { pid = t.pid; tid = th.tid; remote_ns; resume });
+      (* Woken by crash recovery rather than the origin handler: the
+         source node (and the context captured on it) died mid-flight.
+         Surface it as the fabric would so {!guard} applies the policy. *)
+      if th.location = src && Fabric.crashed (fabric t) ~node:src then
+        raise (Fabric.Unreachable { src; dst = target; kind = M.kind_migrate })
     end
     else begin
       (* Forward migration. *)
@@ -453,10 +561,15 @@ let migrate th target =
         (c.Core_config.context_capture
         + if first then c.Core_config.first_session_setup else 0);
       let origin_ns = Engine.now eng - t0 in
-      send_and_park t ~src:th.location ~dst:target (fun resume ->
+      send_and_park th ~src ~dst:target (fun resume ->
           M.Migrate
             { pid = t.pid; tid = th.tid; first_to_node = first; origin_ns;
-              resume })
+              resume });
+      (* The destination died while the context was in flight (or while
+         it was rebuilding the thread): the migration failed, the thread
+         never left. *)
+      if th.location <> target && Fabric.crashed (fabric t) ~node:target then
+        Stats.incr t.stats "crash.migrations_refused"
     end
   end
 
@@ -472,6 +585,11 @@ let handle_migrate t ~node ~tid ~origin_ns resume =
     Engine.delay eng d;
     breakdown := (label, d) :: !breakdown
   in
+  (* Reconstruction takes hundreds of microseconds; the node can fail-stop
+     under it. Check the ground truth at every point that would publish
+     state (worker slot, thread location) — the crash teardown has already
+     reset whatever we were building, and must not be undone. *)
+  let gone () = Fabric.crashed (fabric t) ~node in
   let built_worker =
     match t.workers.(node) with
     | Absent ->
@@ -479,26 +597,46 @@ let handle_migrate t ~node ~tid ~origin_ns resume =
         t.workers.(node) <- Creating creation_q;
         charge "remote worker" c.Core_config.remote_worker_create;
         charge "address space" c.Core_config.address_space_init;
-        let queue = { ops = Queue.create (); signal = Waitq.create () } in
-        Engine.spawn eng ~label:"remote-worker" (worker_loop t node queue);
-        t.workers.(node) <- Ready queue;
-        ignore (Waitq.wake_all creation_q ());
-        (* The first remote thread is forked as part of building the
-           worker, with a still-cold address space: cheaper than a full
-           fork from the warm worker. *)
-        charge "thread creation" c.Core_config.thread_create_first;
-        true
+        if gone () then begin
+          t.workers.(node) <- Absent;
+          ignore (Waitq.wake_all creation_q ());
+          None
+        end
+        else begin
+          let queue =
+            { ops = Queue.create (); signal = Waitq.create (); dead = false }
+          in
+          Engine.spawn eng ~label:"remote-worker" (worker_loop t node queue);
+          t.workers.(node) <- Ready queue;
+          ignore (Waitq.wake_all creation_q ());
+          (* The first remote thread is forked as part of building the
+             worker, with a still-cold address space: cheaper than a full
+             fork from the warm worker. *)
+          charge "thread creation" c.Core_config.thread_create_first;
+          Some true
+        end
     | Creating q ->
         (* Another migration is already building the worker; wait. *)
         Waitq.wait eng q;
-        charge "thread creation" c.Core_config.thread_create;
-        false
+        if gone () then None
+        else begin
+          charge "thread creation" c.Core_config.thread_create;
+          Some false
+        end
     | Ready _ ->
         charge "thread creation" c.Core_config.thread_create;
-        false
+        if gone () then None else Some false
   in
+  match built_worker with
+  | None ->
+      (* The node died mid-rebuild: the parked thread wakes back up at
+         the origin and the migration reads as refused there. *)
+      resume ()
+  | Some built_worker ->
   charge "context setup" c.Core_config.context_install;
   charge "enqueue" c.Core_config.sched_enqueue;
+  if gone () then resume ()
+  else begin
   th.location <- node;
   t.mig_log <-
     {
@@ -512,6 +650,7 @@ let handle_migrate t ~node ~tid ~origin_ns resume =
     }
     :: t.mig_log;
   resume ()
+  end
 
 let handle_migrate_back t ~tid ~remote_ns resume =
   let eng = engine t in
@@ -532,6 +671,54 @@ let handle_migrate_back t ~tid ~remote_ns resume =
     }
     :: t.mig_log;
   resume ()
+
+(* ------------------------------------------------------------------ *)
+(* Fail-stop crash recovery.                                           *)
+
+(* Runs from {!Dex_net.Fabric.on_crash} when a node is declared dead —
+   {e after} {!Coherence.reclaim_node}, which subscribed first, so the
+   ownership metadata is already clean when threads are re-homed. *)
+let handle_node_crash t ~node =
+  if node = t.origin then
+    failwith
+      "Process: origin crash is unsupported (the directory and every \
+       delegated service die with it)";
+  (* Wake origin-side delegate fibers parked in the futex on behalf of
+     threads that lived on the dead node — before any re-homing below
+     changes thread locations, or the owner tags would lie. *)
+  let cancelled = Futex.cancel t.futex ~owned_by:(fun owner -> owner = node) in
+  if cancelled > 0 then Stats.add t.stats "crash.futex_cancelled" cancelled;
+  (* Apply the crash policy to every thread caught on the dead node. *)
+  List.iter
+    (fun th ->
+      if (not th.finished) && th.location = node then
+        match on_crash_policy t with
+        | `Abort ->
+            th.crashed <- true;
+            Stats.incr t.stats "crash.threads_aborted"
+        | `Rehome ->
+            th.location <- t.origin;
+            Stats.incr t.stats "crash.threads_rehomed")
+    t.threads;
+  (* Wake threads parked on an in-flight migration that touched the dead
+     node: the context message may have been black-holed (or the rebuild
+     died with the destination), and nobody else would ever resume them.
+     The policy flags above are already set, so the woken thread's own
+     post-park checks decide between refusal and unwinding. *)
+  List.iter
+    (fun th ->
+      match th.mig_park with
+      | Some (src, dst, resume) when src = node || dst = node -> resume ()
+      | _ -> ())
+    t.threads;
+  (* Tear down the dead node's worker so its loop fiber exits. *)
+  (match t.workers.(node) with
+  | Ready queue ->
+      queue.dead <- true;
+      ignore (Waitq.wake_all queue.signal ())
+  | Creating q -> ignore (Waitq.wake_all q ())
+  | Absent -> ());
+  t.workers.(node) <- Absent
 
 (* ------------------------------------------------------------------ *)
 (* Message routing.                                                    *)
@@ -608,6 +795,10 @@ let create cluster ?(origin = 0) () =
     (Vma.make ~start:Layout.heap_base ~len:Layout.heap_size ~perm:Perm.rw
        ~tag:"heap");
   Cluster.add_router cluster (router t);
+  (* Coherence.create already subscribed its reclaim pass; registration
+     order makes ownership reclaim run before thread/worker recovery. *)
+  Fabric.on_crash (Cluster.fabric cluster) (fun node ->
+      handle_node_crash t ~node);
   t
 
 let spawn t ?name:(thread_name = "worker") f =
@@ -620,6 +811,8 @@ let spawn t ?name:(thread_name = "worker") f =
       thread_name = Printf.sprintf "%s:%d" thread_name tid;
       location = t.origin;
       finished = false;
+      crashed = false;
+      mig_park = None;
       done_q = Waitq.create ();
     }
   in
@@ -635,7 +828,13 @@ let spawn t ?name:(thread_name = "worker") f =
        ~tag:(Printf.sprintf "tls:%d" tid));
   Engine.spawn (engine t) ~label:th.thread_name (fun () ->
       Engine.delay (engine t) (cfg t).Core_config.spawn_thread;
-      f th;
+      (try f th with
+      | Thread_crashed _ -> th.crashed <- true
+      | Fabric.Unreachable { src; _ } when Fabric.crashed (fabric t) ~node:src
+        ->
+          (* The thread body called the fabric directly (no API guard);
+             its node died under it. *)
+          th.crashed <- true);
       th.finished <- true;
       ignore (Waitq.wake_all th.done_q ()));
   th

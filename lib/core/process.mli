@@ -22,6 +22,13 @@ exception Segfault of { node : int; addr : Dex_mem.Page.addr }
     the VMA forbids the access. Remote threads are terminated exactly as a
     local segfault would. *)
 
+exception Thread_crashed of { pid : int; tid : int }
+(** The node the thread was executing on fail-stopped and the process runs
+    the [`Abort] crash policy ({!Dex_proto.Proto_config.on_crash}): every
+    subsequent thread-API call on the lost thread raises this. The spawn
+    wrapper absorbs it, so an aborted thread simply finishes — {!join}
+    returns and {!crashed} reports the loss. *)
+
 val create : Cluster.t -> ?origin:int -> unit -> t
 (** Register a new process; [origin] defaults to node 0. *)
 
@@ -56,6 +63,14 @@ val name : thread -> string
 val location : thread -> int
 (** The node the thread currently executes on. *)
 
+val crashed : thread -> bool
+(** The thread was lost to a fail-stop node crash under the [`Abort]
+    policy. A crashed thread counts as finished for {!join}/{!shutdown};
+    under [`Rehome] threads never set this flag — they restart their
+    interrupted operation from the origin instead (delegated service
+    bodies may therefore execute twice; see
+    {!Dex_proto.Proto_config.on_crash}). *)
+
 val self_process : thread -> t
 
 (** {1 Migration} *)
@@ -63,7 +78,9 @@ val self_process : thread -> t
 val migrate : thread -> int -> unit
 (** [migrate th node] relocates the calling thread to [node] — the paper's
     one-line conversion call. Migrating to the current location is a no-op;
-    migrating to the origin is the cheap backward path. *)
+    migrating to the origin is the cheap backward path. Migrating onto a
+    node known (or discovered mid-flight) to have crashed is refused and
+    the thread stays put ([crash.migrations_refused]). *)
 
 type migration_record = {
   m_tid : int;

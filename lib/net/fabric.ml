@@ -4,13 +4,19 @@ open Dex_sim
    constructors never escape the fabric: handlers always see the unwrapped
    inner payload. *)
 type Msg.payload +=
-  | Rel_req of { seq : int; oneway : bool; inner : Msg.payload }
+  | Rel_req of { seq : int; low : int; oneway : bool; inner : Msg.payload }
+      (* [low] is the sender-side watermark: every seq below it has
+         completed and will never be retransmitted, so the receiver may
+         prune its dedup state for them. *)
   | Rel_reply of { seq : int; inner : Msg.payload }
   | Rel_ack of { seq : int }
 
-(* Receiver-side fate of a sequence number. The table is never pruned: a
-   retransmission can arrive arbitrarily late, and forgetting a seq would
-   let it re-run a handler. Entries are small and runs are finite. *)
+(* Receiver-side fate of a sequence number. Entries may only be forgotten
+   once the sender can no longer retransmit that seq — forgetting earlier
+   would let a late retransmission re-run a handler. Two pruning paths
+   guarantee that: an explicit ack of each delivered reply, and the [low]
+   watermark piggybacked on every request (which also reaps acked one-way
+   entries and entries whose reply-ack was lost). *)
 type rel_remote =
   | Rel_in_progress  (* handler dispatched, outcome not yet known *)
   | Rel_acked  (* one-way message: delivery committed and acked *)
@@ -35,10 +41,81 @@ type t = {
   rel_pending : (int, Msg.payload option option ref * (unit -> unit) option ref) Hashtbl.t;
       (* seq -> (result box, waker). The box holds [Some (Some reply)] for
          completed calls and [Some None] for acked one-way sends. *)
+  mutable rel_pruned : int;  (* every seq below this is gone from rel_seen *)
+  dead : bool array;  (* fail-stop ground truth, per node *)
+  detected : bool array;  (* has the failure been declared to subscribers *)
+  mutable crash_subs : (int -> unit) list;  (* in registration order *)
 }
 
 and env = { msg : Msg.t; respond : ?size:int -> Msg.payload -> unit }
 and handler = t -> env -> unit
+
+let engine t = t.engine
+let config t = t.cfg
+let node_count t = t.cfg.Net_config.nodes
+let reliable t = t.chaos <> None
+
+let check_node t node name =
+  if node < 0 || node >= node_count t then
+    invalid_arg (Printf.sprintf "Fabric.%s: bad node %d" name node)
+
+(* --- fail-stop crashes -------------------------------------------------
+
+   A crashed node neither sends nor receives: every delivery whose source
+   or destination is dead is discarded at the receive boundary, exactly
+   like a SIGKILLed process whose NIC keeps the frames but whose kernel
+   never services them. The transport itself stays silent about the death;
+   peers find out the honest way, by exhausting their retransmission
+   budget ([Unreachable]), and then {e declare} the crash so recovery
+   layers (directory reclaim, thread re-homing) can subscribe. A
+   connection-level keepalive backstop declares the crash after one full
+   retry budget even if no traffic happened to be in flight. *)
+
+let crashed t ~node =
+  check_node t node "crashed";
+  t.dead.(node)
+
+let crash_detected t ~node =
+  check_node t node "crash_detected";
+  t.detected.(node)
+
+let on_crash t f = t.crash_subs <- t.crash_subs @ [ f ]
+
+let declare_dead t ~node =
+  check_node t node "declare_dead";
+  if not t.dead.(node) then
+    invalid_arg "Fabric.declare_dead: node is not crashed";
+  if not t.detected.(node) then begin
+    t.detected.(node) <- true;
+    List.iter (fun f -> f node) t.crash_subs
+  end
+
+(* The undithered sum of the sender's whole retransmission schedule: after
+   this long, any peer with traffic in flight to the node has certainly
+   seen [Unreachable]. The keepalive uses the same clock, so detection
+   always happens on the retry-budget timescale. *)
+let detection_budget (c : Net_config.chaos) =
+  let open Net_config in
+  let total = ref 0 in
+  for attempt = 0 to c.max_retransmits do
+    total := !total + min c.rto_cap (max 1 c.rto * (1 lsl min attempt 6))
+  done;
+  !total
+
+let crash t ~node =
+  check_node t node "crash";
+  (match t.chaos with
+  | None ->
+      invalid_arg
+        "Fabric.crash: fail-stop crashes need the reliable transport \
+         (Net_config.chaos)"
+  | Some c ->
+      if not t.dead.(node) then begin
+        t.dead.(node) <- true;
+        Stats.incr t.stats "chaos.node_crashes";
+        Engine.schedule t.engine ~delay:(detection_budget c) (fun () ->
+            if not t.detected.(node) then declare_dead t ~node)
+      end)
 
 let create engine cfg =
   Net_config.validate cfg;
@@ -69,38 +146,45 @@ let create engine cfg =
                   (cfg.Net_config.link_bandwidth_bytes_per_us
                   *. d.Net_config.d_factor)))
         c.Net_config.degrades);
-  {
-    engine;
-    cfg;
-    handlers = Array.make n None;
-    links;
-    send_pools =
-      Array.init (n * n) (fun _ ->
-          Resource.Pool.create engine ~capacity:cfg.Net_config.send_pool_slots);
-    recv_pools =
-      Array.init n (fun _ ->
-          Resource.Pool.create engine ~capacity:cfg.Net_config.recv_pool_slots);
-    sinks =
-      Array.init n (fun _ ->
-          Rdma_sink.create engine ~slots:cfg.Net_config.sink_slots
-            ~copy_ns_per_byte:cfg.Net_config.copy_ns_per_byte);
-    stats = Stats.create ();
-    chaos = cfg.Net_config.chaos;
-    inject_rng = Rng.split chaos_rng;
-    rto_rng = Rng.split chaos_rng;
-    rel_seq = 0;
-    rel_seen = Hashtbl.create 64;
-    rel_pending = Hashtbl.create 16;
-  }
-
-let engine t = t.engine
-let config t = t.cfg
-let node_count t = t.cfg.Net_config.nodes
-let reliable t = t.chaos <> None
-
-let check_node t node name =
-  if node < 0 || node >= node_count t then
-    invalid_arg (Printf.sprintf "Fabric.%s: bad node %d" name node)
+  let t =
+    {
+      engine;
+      cfg;
+      handlers = Array.make n None;
+      links;
+      send_pools =
+        Array.init (n * n) (fun _ ->
+            Resource.Pool.create engine ~capacity:cfg.Net_config.send_pool_slots);
+      recv_pools =
+        Array.init n (fun _ ->
+            Resource.Pool.create engine ~capacity:cfg.Net_config.recv_pool_slots);
+      sinks =
+        Array.init n (fun _ ->
+            Rdma_sink.create engine ~slots:cfg.Net_config.sink_slots
+              ~copy_ns_per_byte:cfg.Net_config.copy_ns_per_byte);
+      stats = Stats.create ();
+      chaos = cfg.Net_config.chaos;
+      inject_rng = Rng.split chaos_rng;
+      rto_rng = Rng.split chaos_rng;
+      rel_seq = 0;
+      rel_seen = Hashtbl.create 64;
+      rel_pending = Hashtbl.create 16;
+      rel_pruned = 0;
+      dead = Array.make n false;
+      detected = Array.make n false;
+      crash_subs = [];
+    }
+  in
+  (* Scheduled fail-stop crashes, planted like the degrades above. *)
+  (match cfg.Net_config.chaos with
+  | None -> ()
+  | Some c ->
+      List.iter
+        (fun cr ->
+          Engine.at engine ~time:cr.Net_config.crash_at (fun () ->
+              crash t ~node:cr.Net_config.crash_node))
+        c.Net_config.crashes);
+  t
 
 let set_handler t ~node handler =
   check_node t node "set_handler";
@@ -170,6 +254,17 @@ let chaos_deliver t c (msg : Msg.t) deliver =
 (* Transport [msg] and invoke [deliver] at the destination. Runs in the
    calling fiber up to the send-side costs, then asynchronously. *)
 let transmit t (msg : Msg.t) deliver =
+  (* Fail-stop guard at the receive boundary: a dead source's in-flight
+     traffic and a dead destination's arrivals are both discarded — frames
+     addressed to a SIGKILLed process land in a NIC nobody services. The
+     check runs at the delivery instant (inside any chaos-injected delay),
+     so copies already jittered into the future still see the node's latest
+     state when they land. *)
+  let deliver () =
+    if t.dead.(msg.Msg.src) || t.dead.(msg.Msg.dst) then
+      Stats.incr t.stats "chaos.crash_drops"
+    else deliver ()
+  in
   Stats.incr t.stats ("sent." ^ msg.kind);
   Stats.add t.stats ("bytes." ^ msg.kind) msg.size;
   if msg.src = msg.dst then begin
@@ -255,6 +350,31 @@ let rel_rto t c ~attempt =
   let jittered = d - (d / 4) + Rng.int t.rto_rng (max 1 ((d / 2) + 1)) in
   max lo (min hi jittered)
 
+(* A settled seq's dedup entry may only be dropped once no copy of that
+   request can still be in flight — dropping earlier would let a straggler
+   re-run the handler. Copies stop being (re)transmitted the moment the seq
+   settles, but already-transmitted copies can linger behind jitter,
+   reordering and queueing; one full capped RTO plus the jitter bound
+   comfortably covers that, so removals are deferred by that grace rather
+   than applied on the spot. *)
+let prune_grace (c : Net_config.chaos) =
+  c.Net_config.rto_cap + c.Net_config.delay_jitter_ns
+
+(* Reap every [rel_seen] entry below the watermark carried by an incoming
+   request: the sender has settled all of them and will never retransmit
+   those seqs again. This is the backstop that also collects acked one-way
+   entries and cached replies whose explicit ack got lost. *)
+let rel_prune t ~low =
+  if low > t.rel_pruned then begin
+    let lo = t.rel_pruned and hi = low - 1 in
+    t.rel_pruned <- low;
+    let delay = match t.chaos with Some c -> prune_grace c | None -> 0 in
+    Engine.schedule t.engine ~delay (fun () ->
+        for s = lo to hi do
+          Hashtbl.remove t.rel_seen s
+        done)
+  end
+
 (* Acks are pure completion events: zero payload bytes on the wire. *)
 let rel_send_ack t ~(req : Msg.t) ~seq =
   let amsg =
@@ -278,6 +398,31 @@ let rel_send_ack t ~(req : Msg.t) ~seq =
           | None -> ())
       | _ -> Stats.incr t.stats "chaos.dup_acks")
 
+(* Requester -> replier ack of a delivered reply, so the replier can drop
+   the cached copy promptly instead of waiting for the watermark to crawl
+   past it. Removal is deferred by the prune grace for the same reason as
+   in [rel_prune]; a lost ack is harmless, the watermark reaps the entry
+   eventually. *)
+let rel_ack_reply t ~(req : Msg.t) ~seq =
+  let amsg =
+    {
+      Msg.src = req.Msg.src;
+      dst = req.Msg.dst;
+      size = 0;
+      kind = req.Msg.kind ^ ".ack";
+      payload = Rel_ack { seq };
+    }
+  in
+  transmit t amsg (fun () ->
+      match Hashtbl.find_opt t.rel_seen seq with
+      | Some (Rel_replied _) ->
+          let delay =
+            match t.chaos with Some c -> prune_grace c | None -> 0
+          in
+          Engine.schedule t.engine ~delay (fun () ->
+              Hashtbl.remove t.rel_seen seq)
+      | _ -> ())
+
 let rel_send_reply t ~(req : Msg.t) ~seq ~size reply =
   let rmsg =
     {
@@ -293,6 +438,8 @@ let rel_send_reply t ~(req : Msg.t) ~seq ~size reply =
       | Some (box, wake) when !box = None ->
           box := Some (Some reply);
           Hashtbl.remove t.rel_pending seq;
+          Engine.spawn t.engine ~label:"rel-reply-ack" (fun () ->
+              rel_ack_reply t ~req ~seq);
           (match !wake with
           | Some w ->
               wake := None;
@@ -302,7 +449,8 @@ let rel_send_reply t ~(req : Msg.t) ~seq ~size reply =
 
 (* Receive a (possibly retransmitted, possibly duplicated) request. Runs in
    the delivery context, so anything that can block goes to a fresh fiber. *)
-let rel_dispatch t (msg : Msg.t) ~seq ~oneway ~inner =
+let rel_dispatch t (msg : Msg.t) ~seq ~low ~oneway ~inner =
+  rel_prune t ~low;
   match Hashtbl.find_opt t.rel_seen seq with
   | Some Rel_in_progress ->
       (* The handler is still running; its eventual reply covers this copy
@@ -344,21 +492,41 @@ let rel_dispatch t (msg : Msg.t) ~seq ~oneway ~inner =
 
 (* Send [payload] reliably and block until the far side acks (one-way) or
    replies (call). Returns [None] for acked one-way sends. *)
+(* The sender-side watermark: every seq below the smallest still-pending
+   one has settled and will never be retransmitted again, so the receiver
+   may reap its dedup state for them (after the prune grace). *)
+let rel_watermark t =
+  Hashtbl.fold (fun s _ acc -> min s acc) t.rel_pending t.rel_seq
+
 let rel_transact t c ~src ~dst ~kind ~size ~oneway payload =
   let seq = fresh_seq t in
-  let msg =
-    { Msg.src; dst; size; kind; payload = Rel_req { seq; oneway; inner = payload } }
-  in
   let box = ref None in
   let wake = ref None in
   Hashtbl.replace t.rel_pending seq (box, wake);
   let rec go attempt =
+    if t.dead.(src) then begin
+      (* The sending node died mid-transaction. Its fiber must unwind
+         promptly — grinding through the remaining retry budget would keep
+         a zombie alive long past the crash. *)
+      Hashtbl.remove t.rel_pending seq;
+      raise (Unreachable { src; dst; kind })
+    end;
+    if t.detected.(dst) then begin
+      (* The peer is already declared dead; retransmitting is pointless. *)
+      Hashtbl.remove t.rel_pending seq;
+      raise (Unreachable { src; dst; kind })
+    end;
     if attempt > c.Net_config.max_retransmits then begin
       Hashtbl.remove t.rel_pending seq;
       raise (Unreachable { src; dst; kind })
     end;
     if attempt > 0 then Stats.incr t.stats "chaos.retransmits";
-    transmit t msg (fun () -> rel_dispatch t msg ~seq ~oneway ~inner:payload);
+    let low = rel_watermark t in
+    let msg =
+      { Msg.src; dst; size; kind; payload = Rel_req { seq; low; oneway; inner = payload } }
+    in
+    transmit t msg (fun () ->
+        rel_dispatch t msg ~seq ~low ~oneway ~inner:payload);
     (* The outcome may already be in the box: transmit blocks this fiber
        through the send-side costs, during which an earlier copy's reply
        can arrive. *)
@@ -437,6 +605,9 @@ let call t ~src ~dst ~kind ~size payload =
       | None -> Engine.suspend t.engine (fun resume -> waiter := Some resume))
 
 let stats t = t.stats
+
+let rel_table_sizes t =
+  (Hashtbl.length t.rel_seen, Hashtbl.length t.rel_pending)
 
 let send_pool_waits t =
   Array.fold_left (fun acc p -> acc + Resource.Pool.waits p) 0 t.send_pools

@@ -45,6 +45,28 @@
     the sender raises {!Unreachable}. Loopback messages skip both fault
     injection and the reliable layer — they never cross the wire.
 
+    The receiver's dedup and cached-reply tables are pruned as traffic
+    settles: every delivered reply is explicitly acked back to the replier,
+    and every request piggybacks a sender-side watermark below which all
+    sequence numbers have settled. Both reclaim paths defer the actual
+    removal by one capped RTO plus the jitter bound, so a straggling copy
+    of a settled request can never find its dedup entry missing and re-run
+    a handler.
+
+    {2 Fail-stop crashes}
+
+    Chaos mode can also kill whole nodes ({!Net_config.chaos.crashes}, or
+    {!crash} directly). From the crash instant the node neither sends nor
+    receives: every delivery whose source or destination is dead is
+    discarded at the receive boundary ([chaos.crash_drops]). The transport
+    stays silent about the death — peers find out the honest way, by
+    exhausting their retransmission budget and seeing {!Unreachable} — but
+    once the failure is {e declared} ({!declare_dead}, or automatically by
+    a keepalive backstop one full retry budget after the crash), the
+    [on_crash] subscribers run so recovery layers (directory reclaim,
+    thread re-homing) can react, and further transactions towards the dead
+    node fail fast instead of burning their retry budget.
+
     With [chaos = None] every code path, RNG draw and engine event is
     identical to a build without chaos support: healthy runs are
     bit-for-bit unaffected. Faults are drawn from a private RNG seeded by
@@ -91,6 +113,32 @@ val reliable : t -> bool
 val set_handler : t -> node:int -> handler -> unit
 (** Install the message dispatcher of [node]. Replaces any previous one. *)
 
+val crash : t -> node:int -> unit
+(** Fail-stop [node] now: it stops sending and receiving, permanently.
+    Counted as [chaos.node_crashes]. Detection is {e not} immediate — see
+    {!declare_dead}. Idempotent. Raises [Invalid_argument] when chaos mode
+    is off (fail-stop crashes need the reliable transport to make the loss
+    observable). *)
+
+val crashed : t -> node:int -> bool
+(** Ground truth: has [node] fail-stopped? *)
+
+val crash_detected : t -> node:int -> bool
+(** Has the failure of [node] been declared to the {!on_crash}
+    subscribers? Always implies [crashed]. *)
+
+val declare_dead : t -> node:int -> unit
+(** Declare a crashed node's failure: runs every {!on_crash} subscriber
+    (in registration order), exactly once per node. Called by recovery
+    layers when {!Unreachable} convinces them the peer is gone, and by the
+    fabric's own keepalive backstop one full retry budget after the crash.
+    Raises [Invalid_argument] if the node has not actually crashed. *)
+
+val on_crash : t -> (int -> unit) -> unit
+(** Subscribe to failure declarations. The callback receives the dead
+    node's id, in a context that must not block (spawn a fiber for any
+    recovery work that needs the fabric). *)
+
 val send : t -> src:int -> dst:int -> kind:string -> size:int -> Msg.payload -> unit
 (** One-way message. Blocks the calling fiber only for the local send-side
     costs (buffer-pool acquisition and posting); transport and delivery
@@ -111,7 +159,16 @@ val stats : t -> Dex_sim.Stats.t
     [chaos.drops], [chaos.dups], [chaos.reorders], [chaos.partition_drops]
     (faults injected), [chaos.timeouts], [chaos.retransmits] (sender
     recovery), [chaos.dup_requests], [chaos.replayed_replies],
-    [chaos.dup_replies], [chaos.dup_acks] (receiver/sender dedup). *)
+    [chaos.dup_replies], [chaos.dup_acks] (receiver/sender dedup),
+    [chaos.node_crashes], [chaos.crash_drops] (fail-stop crashes). *)
+
+val rel_table_sizes : t -> int * int
+(** [(seen, pending)]: current entry counts of the reliable layer's
+    receiver-side dedup/cached-reply table and the sender-side in-flight
+    table. Both are bounded by in-flight traffic (plus a short prune
+    grace); after a quiesced run [pending] is 0 and [seen] holds only the
+    final few one-way seqs no later watermark could reap. [(0, 0)] when
+    chaos is off. *)
 
 val send_pool_waits : t -> int
 (** Total send-buffer-pool exhaustion events across all connections. *)

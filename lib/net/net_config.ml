@@ -12,6 +12,8 @@ type degrade = {
   d_factor : float;
 }
 
+type crash = { crash_node : int; crash_at : Dex_sim.Time_ns.t }
+
 type chaos = {
   chaos_seed : int;
   drop_prob : float;
@@ -20,6 +22,7 @@ type chaos = {
   delay_jitter_ns : Dex_sim.Time_ns.t;
   partitions : partition list;
   degrades : degrade list;
+  crashes : crash list;
   rto : Dex_sim.Time_ns.t;
   rto_cap : Dex_sim.Time_ns.t;
   max_retransmits : int;
@@ -34,6 +37,7 @@ let chaos_default =
     delay_jitter_ns = 0;
     partitions = [];
     degrades = [];
+    crashes = [];
     (* The base RTO must comfortably exceed a healthy round trip including
        handler work: origin-side revocation fan-outs legitimately take
        hundreds of microseconds, and a premature timeout turns every slow
@@ -107,7 +111,14 @@ let validate_chaos nodes c =
       if d.d_at < 0 then invalid_arg "Net_config: degrade time must be >= 0";
       if d.d_factor <= 0.0 then
         invalid_arg "Net_config: degrade factor must be positive")
-    c.degrades
+    c.degrades;
+  List.iter
+    (fun cr ->
+      if cr.crash_node < 0 || cr.crash_node >= nodes then
+        invalid_arg "Net_config: crash node out of range";
+      if cr.crash_at < 0 then
+        invalid_arg "Net_config: crash time must be >= 0")
+    c.crashes
 
 let validate t =
   if t.nodes <= 0 then invalid_arg "Net_config: nodes must be positive";

@@ -28,6 +28,16 @@ type degrade = {
 (** A scheduled bandwidth change on one directed link. Transfers already
     admitted to the link drain at the old rate (store-and-forward). *)
 
+type crash = {
+  crash_node : int;  (** the node that dies *)
+  crash_at : Dex_sim.Time_ns.t;  (** when it stops responding *)
+}
+(** A scheduled fail-stop crash: from [crash_at] on, the node neither
+    receives nor sends fabric messages — exactly as if its process was
+    SIGKILLed. Peers talking to it exhaust their retry budget and see
+    [Fabric.Unreachable]; recovery is the business of the layers above
+    (see [Dex_core.Cluster.crash_node] for the wired-up escalation). *)
+
 type chaos = {
   chaos_seed : int;
       (** seed of the fabric's private fault-injection RNG; same seed, same
@@ -42,6 +52,7 @@ type chaos = {
       (** extra uniformly-distributed delivery delay in [[0, jitter]] *)
   partitions : partition list;  (** scheduled transient partitions *)
   degrades : degrade list;  (** scheduled bandwidth changes *)
+  crashes : crash list;  (** scheduled fail-stop node crashes *)
   rto : Dex_sim.Time_ns.t;
       (** base retransmission timeout of the reliable request layer *)
   rto_cap : Dex_sim.Time_ns.t;
@@ -58,9 +69,10 @@ type chaos = {
     see {!Fabric}. *)
 
 val chaos_default : chaos
-(** All fault probabilities zero, no partitions or degrades, and calibrated
-    retransmission parameters (200 µs base RTO, 2 ms cap, 30 retransmits).
-    Start from this and override the faults you want to inject. *)
+(** All fault probabilities zero, no partitions, degrades or crashes, and
+    calibrated retransmission parameters (200 µs base RTO, 2 ms cap, 30
+    retransmits). Start from this and override the faults you want to
+    inject. *)
 
 type t = {
   nodes : int;  (** number of nodes in the rack *)

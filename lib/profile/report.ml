@@ -51,12 +51,29 @@ let pp_chaos fmt stats =
       (get "chaos.dup_requests")
       (get "chaos.replayed_replies")
 
+(* Crash-recovery digest from the protocol's counters: what the reclaim
+   pass salvaged after fail-stop node crashes. Silent on crash-free
+   runs. *)
+let pp_crash fmt stats =
+  let get = Dex_sim.Stats.get stats in
+  if get "crash.nodes" > 0 then
+    Format.fprintf fmt
+      "crash: nodes=%d pages_reclaimed=%d readers_scrubbed=%d \
+       revokes_skipped=%d escalations=%d grants_refused=%d@."
+      (get "crash.nodes")
+      (get "crash.pages_reclaimed")
+      (get "crash.readers_scrubbed")
+      (get "crash.revokes_skipped")
+      (get "crash.escalations")
+      (get "crash.grants_refused")
+
 let pp_summary ?alloc ?stats ?net fmt events =
   let s = Analysis.summarize ?alloc events in
   Format.fprintf fmt "== DeX page-fault profile ==@.";
   Format.fprintf fmt "%a@." pp_compact s;
   Option.iter (pp_prefetch fmt) stats;
   Option.iter (pp_chaos fmt) net;
+  Option.iter (pp_crash fmt) stats;
   pp_ranked fmt "hottest fault sites" s.Analysis.hottest_sites
     (fun fmt k -> Format.pp_print_string fmt k);
   pp_ranked fmt "hottest objects" s.Analysis.hottest_objects (fun fmt k ->

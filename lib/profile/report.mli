@@ -23,5 +23,10 @@ val pp_chaos : Format.formatter -> Dex_sim.Stats.t -> unit
 (** Just the chaos digest (faults injected vs retransmission recovery);
     prints nothing on a healthy run. *)
 
+val pp_crash : Format.formatter -> Dex_sim.Stats.t -> unit
+(** Just the crash-recovery digest from the protocol's [crash.*] counters
+    ({!Dex_proto.Coherence.stats}); prints nothing when no node crashed.
+    Included in {!pp_summary} automatically when [stats] is passed. *)
+
 val pp_compact : Format.formatter -> Analysis.summary -> unit
 (** One-paragraph digest. *)

@@ -39,30 +39,85 @@ type t = {
   mutable tracer : (Fault_event.t -> unit) option;
 }
 
+(* --- fail-stop reclaim ---------------------------------------------- *)
+
+(* Scrub a dead node out of the ownership metadata. Runs synchronously
+   from the failure declaration (Fabric.on_crash), possibly while origin
+   grant fibers are blocked mid-fan-out with directory locks held — that
+   is safe because every transition those fibers later apply re-checks the
+   requester's liveness and filters dead nodes out of the membership it
+   installs, so the scrub can never be undone by an in-flight grant. *)
+let reclaim_node t ~node =
+  if node = t.origin then
+    failwith
+      "Coherence: the origin fail-stopped — no recovery possible (the \
+       directory and the delegated services died with it)";
+  Stats.incr t.stats "crash.nodes";
+  (* Snapshot first: the scrub mutates the directory while iterating. *)
+  let entries = ref [] in
+  Directory.iter t.dir (fun vpn state -> entries := (vpn, state) :: !entries);
+  List.iter
+    (fun (vpn, state) ->
+      match state with
+      | Directory.Exclusive owner when owner = node ->
+          (* Ownership re-homes to the origin's last-known (staging) copy.
+             Whatever the dead node wrote since its grant was observed by
+             nobody — any reader would have pulled the data back through
+             the origin first — so dropping those writes is linearizable:
+             it is as if they never executed. *)
+          Directory.set_exclusive t.dir vpn t.origin;
+          Stats.incr t.stats "crash.pages_reclaimed"
+      | Directory.Exclusive _ -> ()
+      | Directory.Shared readers ->
+          if Node_set.mem readers node then begin
+            let rest = Node_set.remove readers node in
+            if Node_set.is_empty rest then
+              Directory.set_exclusive t.dir vpn t.origin
+            else Directory.set_shared t.dir vpn rest;
+            Stats.incr t.stats "crash.readers_scrubbed"
+          end)
+    !entries;
+  (* Wholesale amnesia on the dead node's local state: its page tables and
+     store are unreachable hardware now. Its fault table is deliberately
+     NOT dropped: leader fibers still parked there unwind through the
+     Unreachable path and retire their entries, which is what lets the
+     coalesced followers drain instead of deadlocking the engine. *)
+  t.ptables.(node) <- Page_table.create ();
+  t.stores.(node) <- Page_store.create ();
+  Hashtbl.reset t.prefetched.(node);
+  t.inflight.(node) <- []
+
 let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
     =
   let engine = Fabric.engine fabric in
   let n = Fabric.node_count fabric in
   if origin < 0 || origin >= n then invalid_arg "Coherence.create: bad origin";
   let rng = Rng.create ~seed in
-  {
-    fabric;
-    engine;
-    origin;
-    pid;
-    cfg;
-    dir = Directory.create ~origin;
-    ptables = Array.init n (fun _ -> Page_table.create ());
-    stores = Array.init n (fun _ -> Page_store.create ());
-    ftables = Array.init n (fun _ -> Fault_table.create engine ());
-    rngs = Array.init n (fun _ -> Rng.split rng);
-    pf = Prefetch.create ();
-    prefetched = Array.init n (fun _ -> Hashtbl.create 64);
-    inflight = Array.make n [];
-    stats = Stats.create ();
-    fault_latencies = Histogram.create ();
-    tracer = None;
-  }
+  let t =
+    {
+      fabric;
+      engine;
+      origin;
+      pid;
+      cfg;
+      dir = Directory.create ~origin;
+      ptables = Array.init n (fun _ -> Page_table.create ());
+      stores = Array.init n (fun _ -> Page_store.create ());
+      ftables = Array.init n (fun _ -> Fault_table.create engine ());
+      rngs = Array.init n (fun _ -> Rng.split rng);
+      pf = Prefetch.create ();
+      prefetched = Array.init n (fun _ -> Hashtbl.create 64);
+      inflight = Array.make n [];
+      stats = Stats.create ();
+      fault_latencies = Histogram.create ();
+      tracer = None;
+    }
+  in
+  (* Subscribe the reclaim pass at create time, before any process layer
+     gets a chance to: when a failure is declared, ownership metadata is
+     repaired first, thread/futex recovery runs second. *)
+  Fabric.on_crash fabric (fun node -> reclaim_node t ~node);
+  t
 
 let origin t = t.origin
 let pid t = t.pid
@@ -135,48 +190,81 @@ let fanout t ~label jobs =
   | [ job ] -> job ()
   | jobs ->
       let pending = ref (List.length jobs) in
+      let failure = ref None in
       let join = Waitq.create () in
       List.iter
         (fun job ->
           Engine.spawn t.engine ~label (fun () ->
-              job ();
+              (* An exception escaping a spawned fiber aborts the whole
+                 simulation (Fiber_failure); capture it, keep the join
+                 accounting intact, and re-raise in the calling fiber. *)
+              (try job () with e -> if !failure = None then failure := Some e);
               decr pending;
               if !pending = 0 then ignore (Waitq.wake_one join ())))
         jobs;
-      if !pending > 0 then Waitq.wait t.engine join
+      if !pending > 0 then Waitq.wait t.engine join;
+      match !failure with Some e -> raise e | None -> ()
+
+(* A revocation target that exhausts the retry budget IS the failure
+   detector firing: escalate to a declared crash (fail-stop semantics —
+   from here on the node is dead even if the true cause was a partition
+   outliving the budget) and carry on without the ack. The reclaim pass
+   run by the declaration scrubs whatever the dead node still appeared to
+   hold, so treating the revoke as acked-without-data is sound. *)
+let crash_escalate t ~target =
+  Stats.incr t.stats "crash.escalations";
+  if not (Fabric.crashed t.fabric ~node:target) then
+    Fabric.crash t.fabric ~node:target;
+  Fabric.declare_dead t.fabric ~node:target
 
 (* Ask [target] to surrender its copy of [vpn]; returns the page data if
-   [want_data] and the target had it materialized. *)
+   [want_data] and the target had it materialized. Crash-safe: a target
+   already declared dead is skipped, one that dies mid-revocation is
+   escalated — either way the revocation counts as acked without data. *)
 let revoke_rpc t ~target ~vpn ~mode ~want_data =
-  Stats.incr t.stats
-    (match mode with
-    | Messages.Invalidate -> "revoke.invalidate"
-    | Messages.Downgrade -> "revoke.downgrade");
-  match
-    Fabric.call t.fabric ~src:t.origin ~dst:target
-      ~kind:Messages.kind_revoke ~size:t.cfg.Proto_config.ctl_msg_size
-      (Messages.Revoke { pid = t.pid; vpn; mode; want_data })
-  with
-  | Messages.Revoke_ack { data; _ } -> data
-  | _ -> failwith "Coherence: unexpected revoke reply"
+  if Fabric.crash_detected t.fabric ~node:target then begin
+    Stats.incr t.stats "crash.revokes_skipped";
+    None
+  end
+  else begin
+    Stats.incr t.stats
+      (match mode with
+      | Messages.Invalidate -> "revoke.invalidate"
+      | Messages.Downgrade -> "revoke.downgrade");
+    match
+      Fabric.call t.fabric ~src:t.origin ~dst:target
+        ~kind:Messages.kind_revoke ~size:t.cfg.Proto_config.ctl_msg_size
+        (Messages.Revoke { pid = t.pid; vpn; mode; want_data })
+    with
+    | Messages.Revoke_ack { data; _ } -> data
+    | _ -> failwith "Coherence: unexpected revoke reply"
+    | exception Fabric.Unreachable _ ->
+        crash_escalate t ~target;
+        None
+  end
 
 (* Coalesced fan-out: one control message invalidates a whole run of pages
    at [target] (batched grants would otherwise pay one RPC per (page,
    victim) pair). The victim charges a single invalidate-handler entry for
    the batch — that amortization is the point. *)
 let revoke_batch_rpc t ~target ~vpns =
-  Stats.incr t.stats "revoke.batch";
-  Stats.add t.stats "revoke.batch_pages" (List.length vpns);
-  Stats.add t.stats "revoke.invalidate" (List.length vpns);
-  match
-    Fabric.call t.fabric ~src:t.origin ~dst:target
-      ~kind:Messages.kind_invalidate_batch
-      ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length vpns))
-      (Messages.Invalidate_batch
-         { pid = t.pid; vpns; mode = Messages.Invalidate })
-  with
-  | Messages.Invalidate_batch_ack _ -> ()
-  | _ -> failwith "Coherence: unexpected batch revoke reply"
+  if Fabric.crash_detected t.fabric ~node:target then
+    Stats.incr t.stats "crash.revokes_skipped"
+  else begin
+    Stats.incr t.stats "revoke.batch";
+    Stats.add t.stats "revoke.batch_pages" (List.length vpns);
+    Stats.add t.stats "revoke.invalidate" (List.length vpns);
+    match
+      Fabric.call t.fabric ~src:t.origin ~dst:target
+        ~kind:Messages.kind_invalidate_batch
+        ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length vpns))
+        (Messages.Invalidate_batch
+           { pid = t.pid; vpns; mode = Messages.Invalidate })
+    with
+    | Messages.Invalidate_batch_ack _ -> ()
+    | _ -> failwith "Coherence: unexpected batch revoke reply"
+    | exception Fabric.Unreachable _ -> crash_escalate t ~target
+  end
 
 (* Apply a revocation to the origin's own page table. The origin's page
    store is never dropped: it is the staging copy that grants snapshot
@@ -209,54 +297,96 @@ let reclaim_from_owner t ~owner ~vpn ~mode =
 
 (* The core ownership transition. Must run at the origin; may block on
    revocations. Returns [`Nack] when the page is busy. *)
+let requester_gone t ~requester =
+  requester <> t.origin && Fabric.crash_detected t.fabric ~node:requester
+
+(* Drop freshly-declared-dead nodes from a membership about to be
+   installed: a revocation inside the current fan-out may have escalated
+   one of them to a crash after the transition was decided. *)
+let live_set t nodes =
+  Node_set.of_list
+    (List.filter (fun n -> not (Fabric.crash_detected t.fabric ~node:n)) nodes)
+
 let origin_grant t ~requester ~vpn ~access =
-  if not (Directory.try_lock t.dir vpn) then begin
+  if requester_gone t ~requester then begin
+    (* The requester died between sending the request and being serviced:
+       granting would hand a page to a ghost and leave it dangling in the
+       directory forever. *)
+    Stats.incr t.stats "crash.grants_refused";
+    `Nack
+  end
+  else if not (Directory.try_lock t.dir vpn) then begin
     Stats.incr t.stats "grant.nack";
     `Nack
   end
-  else begin
-    (* The origin itself may have a fault in flight on this page (granted
-       but not yet retired); revoking its copy underneath it would lose
-       the pending update. Remote owners get the same protection in their
-       Revoke handler. *)
-    if requester <> t.origin then
-      Fault_table.await_idle t.ftables.(t.origin) ~vpn;
-    let had_copy = Directory.has_valid_copy t.dir vpn requester in
-    (match (access, Directory.state t.dir vpn) with
-    | Perm.Read, Directory.Exclusive owner when owner = requester -> ()
-    | Perm.Read, Directory.Exclusive owner ->
-        reclaim_from_owner t ~owner ~vpn ~mode:Messages.Downgrade;
-        (* The origin mediated the transfer, so it now holds a valid copy
-           alongside the old owner and the requester. *)
-        Directory.set_shared t.dir vpn
-          (Node_set.of_list [ owner; t.origin; requester ])
-    | Perm.Read, Directory.Shared _ -> Directory.add_reader t.dir vpn requester
-    | Perm.Write, Directory.Exclusive owner when owner = requester -> ()
-    | Perm.Write, Directory.Exclusive owner ->
-        reclaim_from_owner t ~owner ~vpn ~mode:Messages.Invalidate;
-        Directory.set_exclusive t.dir vpn requester
-    | Perm.Write, Directory.Shared readers ->
-        let victims =
-          List.filter
-            (fun n -> n <> requester && n <> t.origin)
-            (Node_set.to_list readers)
-        in
-        revoke_parallel t victims ~vpn;
-        if Node_set.mem readers t.origin && requester <> t.origin then
-          revoke_local t ~vpn ~mode:Messages.Invalidate;
-        Directory.set_exclusive t.dir vpn requester);
-    let wire_data =
-      ((not had_copy) || not t.cfg.Proto_config.grant_without_data)
-      && requester <> t.origin
-    in
-    let data =
-      if wire_data then snapshot_if_materialized t.stores.(t.origin) vpn
-      else None
-    in
-    Directory.unlock t.dir vpn;
-    Stats.incr t.stats (if wire_data then "grant.data" else "grant.nodata");
-    `Grant (data, wire_data)
-  end
+  else
+    (* The revocation fan-out below can raise (and, under crashes, the
+       escalation path can run arbitrary recovery); the lock must never
+       outlive this fiber either way. *)
+    Fun.protect
+      ~finally:(fun () -> Directory.unlock t.dir vpn)
+      (fun () ->
+        (* The origin itself may have a fault in flight on this page
+           (granted but not yet retired); revoking its copy underneath it
+           would lose the pending update. Remote owners get the same
+           protection in their Revoke handler. *)
+        if requester <> t.origin then
+          Fault_table.await_idle t.ftables.(t.origin) ~vpn;
+        let had_copy = Directory.has_valid_copy t.dir vpn requester in
+        (match (access, Directory.state t.dir vpn) with
+        | Perm.Read, Directory.Exclusive owner when owner = requester -> ()
+        | Perm.Read, Directory.Exclusive owner ->
+            reclaim_from_owner t ~owner ~vpn ~mode:Messages.Downgrade;
+            (* The origin mediated the transfer, so it now holds a valid
+               copy alongside the old owner and the requester. *)
+            Directory.set_shared t.dir vpn
+              (live_set t [ owner; t.origin; requester ])
+        | Perm.Read, Directory.Shared _ ->
+            Directory.add_reader t.dir vpn requester
+        | Perm.Write, Directory.Exclusive owner when owner = requester -> ()
+        | Perm.Write, Directory.Exclusive owner ->
+            reclaim_from_owner t ~owner ~vpn ~mode:Messages.Invalidate;
+            Directory.set_exclusive t.dir vpn requester
+        | Perm.Write, Directory.Shared readers ->
+            let victims =
+              List.filter
+                (fun n -> n <> requester && n <> t.origin)
+                (Node_set.to_list readers)
+            in
+            revoke_parallel t victims ~vpn;
+            if Node_set.mem readers t.origin && requester <> t.origin then
+              revoke_local t ~vpn ~mode:Messages.Invalidate;
+            Directory.set_exclusive t.dir vpn requester);
+        if requester_gone t ~requester then begin
+          (* The requester's failure was declared while we were blocked in
+             the fan-out, i.e. after the reclaim pass already scrubbed the
+             directory; the transition just applied may have reintroduced
+             the ghost. Undo it: ownership falls back to the origin. *)
+          Stats.incr t.stats "crash.grants_refused";
+          (match Directory.state t.dir vpn with
+          | Directory.Exclusive owner when owner = requester ->
+              Directory.set_exclusive t.dir vpn t.origin
+          | Directory.Shared readers when Node_set.mem readers requester ->
+              let rest = Node_set.remove readers requester in
+              if Node_set.is_empty rest then
+                Directory.set_exclusive t.dir vpn t.origin
+              else Directory.set_shared t.dir vpn rest
+          | _ -> ());
+          `Nack
+        end
+        else begin
+          let wire_data =
+            ((not had_copy) || not t.cfg.Proto_config.grant_without_data)
+            && requester <> t.origin
+          in
+          let data =
+            if wire_data then snapshot_if_materialized t.stores.(t.origin) vpn
+            else None
+          in
+          Stats.incr t.stats
+            (if wire_data then "grant.data" else "grant.nodata");
+          `Grant (data, wire_data)
+        end)
 
 (* Batched ownership transition for a demand page plus its prefetch run.
    Three phases so that the whole revocation fan-out of the batch is
@@ -274,99 +404,131 @@ let origin_grant t ~requester ~vpn ~access =
    the victim-side skip in {!revoke_entry} sound — no new grant for a
    locked page can race the revocation. *)
 let origin_grant_batch t ~requester ~vpns ~access =
-  let reclaims = ref [] in
-  (* victim node -> pages to invalidate there, accumulated in reverse *)
-  let victims : (int, Page.vpn list ref) Hashtbl.t = Hashtbl.create 8 in
-  let add_victim target vpn =
-    match Hashtbl.find_opt victims target with
-    | Some cell -> cell := vpn :: !cell
-    | None -> Hashtbl.add victims target (ref [ vpn ])
-  in
-  (* Phase A *)
-  let decided =
-    List.map
-      (fun vpn ->
-        if not (Directory.try_lock t.dir vpn) then begin
-          Stats.incr t.stats "grant.nack";
-          (vpn, `Nack)
-        end
-        else begin
-          if requester <> t.origin then
-            Fault_table.await_idle t.ftables.(t.origin) ~vpn;
-          let had_copy = Directory.has_valid_copy t.dir vpn requester in
-          let apply =
-            match (access, Directory.state t.dir vpn) with
-            | Perm.Read, Directory.Exclusive owner when owner = requester ->
-                fun () -> ()
-            | Perm.Read, Directory.Exclusive owner ->
-                reclaims := (vpn, owner, Messages.Downgrade) :: !reclaims;
-                fun () ->
-                  Directory.set_shared t.dir vpn
-                    (Node_set.of_list [ owner; t.origin; requester ])
-            | Perm.Read, Directory.Shared _ ->
-                fun () -> Directory.add_reader t.dir vpn requester
-            | Perm.Write, Directory.Exclusive owner when owner = requester ->
-                fun () -> ()
-            | Perm.Write, Directory.Exclusive owner ->
-                reclaims := (vpn, owner, Messages.Invalidate) :: !reclaims;
-                fun () -> Directory.set_exclusive t.dir vpn requester
-            | Perm.Write, Directory.Shared readers ->
-                List.iter
-                  (fun n ->
-                    if n <> requester && n <> t.origin then add_victim n vpn)
-                  (Node_set.to_list readers);
-                let origin_reader = Node_set.mem readers t.origin in
-                fun () ->
-                  if origin_reader && requester <> t.origin then
-                    revoke_local t ~vpn ~mode:Messages.Invalidate;
-                  Directory.set_exclusive t.dir vpn requester
-          in
-          (vpn, `Locked (had_copy, apply))
-        end)
-      vpns
-  in
-  (* Phase B *)
-  let jobs =
-    List.rev_map
-      (fun (vpn, owner, mode) () -> reclaim_from_owner t ~owner ~vpn ~mode)
-      !reclaims
-    @ Hashtbl.fold
-        (fun target cell acc ->
-          if t.cfg.Proto_config.batch_revoke then
-            (fun () -> revoke_batch_rpc t ~target ~vpns:(List.rev !cell))
-            :: acc
-          else
-            List.fold_left
-              (fun acc vpn ->
-                (fun () ->
-                  ignore
-                    (revoke_rpc t ~target ~vpn ~mode:Messages.Invalidate
-                       ~want_data:false))
-                :: acc)
-              acc !cell)
-        victims []
-  in
-  fanout t ~label:"revoke" jobs;
-  (* Phase C *)
-  List.map
-    (fun (vpn, d) ->
-      match d with
-      | `Nack -> (vpn, `Nack)
-      | `Locked (had_copy, apply) ->
-          apply ();
-          let wire_data =
-            ((not had_copy) || not t.cfg.Proto_config.grant_without_data)
-            && requester <> t.origin
-          in
-          let data =
-            if wire_data then snapshot_if_materialized t.stores.(t.origin) vpn
-            else None
-          in
-          Directory.unlock t.dir vpn;
-          Stats.incr t.stats
-            (if wire_data then "grant.data" else "grant.nodata");
-          (vpn, `Grant (data, wire_data)))
-    decided
+  if requester_gone t ~requester then begin
+    Stats.incr t.stats "crash.grants_refused";
+    List.map (fun vpn -> (vpn, `Nack)) vpns
+  end
+  else begin
+    let reclaims = ref [] in
+    (* victim node -> pages to invalidate there, accumulated in reverse *)
+    let victims : (int, Page.vpn list ref) Hashtbl.t = Hashtbl.create 8 in
+    let add_victim target vpn =
+      match Hashtbl.find_opt victims target with
+      | Some cell -> cell := vpn :: !cell
+      | None -> Hashtbl.add victims target (ref [ vpn ])
+    in
+    (* Locks taken in phase A and not yet released by phase C; the protect
+       below is what guarantees no page stays locked when the fan-out
+       raises mid-batch. *)
+    let locked = ref [] in
+    let unlock_one vpn =
+      locked := List.filter (fun v -> v <> vpn) !locked;
+      Directory.unlock t.dir vpn
+    in
+    Fun.protect
+      ~finally:(fun () -> List.iter (Directory.unlock t.dir) !locked)
+      (fun () ->
+        (* Phase A *)
+        let decided =
+          List.map
+            (fun vpn ->
+              if not (Directory.try_lock t.dir vpn) then begin
+                Stats.incr t.stats "grant.nack";
+                (vpn, `Nack)
+              end
+              else begin
+                locked := vpn :: !locked;
+                if requester <> t.origin then
+                  Fault_table.await_idle t.ftables.(t.origin) ~vpn;
+                let had_copy = Directory.has_valid_copy t.dir vpn requester in
+                let apply =
+                  match (access, Directory.state t.dir vpn) with
+                  | Perm.Read, Directory.Exclusive owner when owner = requester
+                    ->
+                      fun () -> ()
+                  | Perm.Read, Directory.Exclusive owner ->
+                      reclaims := (vpn, owner, Messages.Downgrade) :: !reclaims;
+                      fun () ->
+                        Directory.set_shared t.dir vpn
+                          (live_set t [ owner; t.origin; requester ])
+                  | Perm.Read, Directory.Shared _ ->
+                      fun () -> Directory.add_reader t.dir vpn requester
+                  | Perm.Write, Directory.Exclusive owner when owner = requester
+                    ->
+                      fun () -> ()
+                  | Perm.Write, Directory.Exclusive owner ->
+                      reclaims :=
+                        (vpn, owner, Messages.Invalidate) :: !reclaims;
+                      fun () -> Directory.set_exclusive t.dir vpn requester
+                  | Perm.Write, Directory.Shared readers ->
+                      List.iter
+                        (fun n ->
+                          if n <> requester && n <> t.origin then
+                            add_victim n vpn)
+                        (Node_set.to_list readers);
+                      let origin_reader = Node_set.mem readers t.origin in
+                      fun () ->
+                        if origin_reader && requester <> t.origin then
+                          revoke_local t ~vpn ~mode:Messages.Invalidate;
+                        Directory.set_exclusive t.dir vpn requester
+                in
+                (vpn, `Locked (had_copy, apply))
+              end)
+            vpns
+        in
+        (* Phase B *)
+        let jobs =
+          List.rev_map
+            (fun (vpn, owner, mode) () -> reclaim_from_owner t ~owner ~vpn ~mode)
+            !reclaims
+          @ Hashtbl.fold
+              (fun target cell acc ->
+                if t.cfg.Proto_config.batch_revoke then
+                  (fun () -> revoke_batch_rpc t ~target ~vpns:(List.rev !cell))
+                  :: acc
+                else
+                  List.fold_left
+                    (fun acc vpn ->
+                      (fun () ->
+                        ignore
+                          (revoke_rpc t ~target ~vpn ~mode:Messages.Invalidate
+                             ~want_data:false))
+                      :: acc)
+                    acc !cell)
+              victims []
+        in
+        fanout t ~label:"revoke" jobs;
+        (* Phase C. If the requester's failure was declared while phase B
+           was blocked, the reclaim pass has already repaired the
+           directory; applying the decided transitions would reintroduce
+           the ghost, so the whole batch degrades to NACKs instead. *)
+        let ghost = requester_gone t ~requester in
+        if ghost then Stats.incr t.stats "crash.grants_refused";
+        List.map
+          (fun (vpn, d) ->
+            match d with
+            | `Nack -> (vpn, `Nack)
+            | `Locked _ when ghost ->
+                unlock_one vpn;
+                (vpn, `Nack)
+            | `Locked (had_copy, apply) ->
+                apply ();
+                let wire_data =
+                  ((not had_copy)
+                  || not t.cfg.Proto_config.grant_without_data)
+                  && requester <> t.origin
+                in
+                let data =
+                  if wire_data then
+                    snapshot_if_materialized t.stores.(t.origin) vpn
+                  else None
+                in
+                unlock_one vpn;
+                Stats.incr t.stats
+                  (if wire_data then "grant.data" else "grant.nodata");
+                (vpn, `Grant (data, wire_data)))
+          decided)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Node side: fault handling.                                          *)
@@ -404,6 +566,17 @@ let claim_prefetch t ~node ~tid ~vpn ~access =
 (* One protocol attempt as the fault leader. [prefetch] is the run of
    predicted pages to resolve in the same round-trip (remote nodes only;
    empty on retries). *)
+(* A page request that exhausted its retry budget against a live,
+   undetected origin: the origin is not gone, it is slow — typically
+   grinding through a revoke escalation against a dead node on this very
+   request's behalf, which burns the same retry budget the requester has.
+   That false [Unreachable] must not abort the faulting thread. Grants
+   are idempotent, so surfacing the timeout as a NACK and retrying is
+   safe — unlike delegated operations, which must never be replayed. *)
+let retriable_timeout t ~node =
+  (not (Fabric.crashed t.fabric ~node))
+  && not (Fabric.crash_detected t.fabric ~node:t.origin)
+
 let request_once t ~node ~vpn ~access ~prefetch =
   if node = t.origin then begin
     Engine.delay t.engine t.cfg.Proto_config.local_op;
@@ -425,6 +598,9 @@ let request_once t ~node ~vpn ~access ~prefetch =
         Page_table.set t.ptables.(node) vpn access;
         `Granted
     | _ -> failwith "Coherence: unexpected page reply"
+    | exception Fabric.Unreachable _ when retriable_timeout t ~node ->
+        Stats.incr t.stats "crash.requester_retries";
+        `Nack
   end
   else begin
     Stats.incr t.stats "prefetch.batch";
@@ -432,14 +608,32 @@ let request_once t ~node ~vpn ~access ~prefetch =
     let record = { b_demand = vpn; b_vpns = vpn :: prefetch; b_poisoned = [] } in
     t.inflight.(node) <- record :: t.inflight.(node);
     let reply =
-      Fabric.call t.fabric ~src:node ~dst:t.origin
-        ~kind:Messages.kind_page_request_batch
-        ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length prefetch))
-        (Messages.Page_request_batch
-           { pid = t.pid; vpns = record.b_vpns; access })
+      try
+        `Reply
+          (Fabric.call t.fabric ~src:node ~dst:t.origin
+             ~kind:Messages.kind_page_request_batch
+             ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length prefetch))
+             (Messages.Page_request_batch
+                { pid = t.pid; vpns = record.b_vpns; access }))
+      with
+      | Fabric.Unreachable _ when retriable_timeout t ~node ->
+          t.inflight.(node) <-
+            List.filter (fun r -> r != record) t.inflight.(node);
+          Stats.incr t.stats "crash.requester_retries";
+          `Timeout
+      | e ->
+          (* Unreachable mid-batch (this node crashed): the record must not
+             linger, or revocations would poison a batch nobody owns. *)
+          t.inflight.(node) <-
+            List.filter (fun r -> r != record) t.inflight.(node);
+          raise e
     in
     match reply with
-    | Messages.Page_grant_batch { results; _ } ->
+    | `Timeout ->
+        (* The retry goes through the non-batch path (no prefetch on
+           retries), so the dropped batch record is not re-created. *)
+        `Nack
+    | `Reply (Messages.Page_grant_batch { results; _ }) ->
         (* Everything from here to the PTE-update delay below runs in one
            simulation event: the record is removed and every surviving
            grant installed atomically, so a racing revocation sees either
@@ -474,7 +668,7 @@ let request_once t ~node ~vpn ~access ~prefetch =
           Engine.delay t.engine
             (!granted_prefetch * t.cfg.Proto_config.pte_update);
         if !demand_ok then `Granted else `Nack
-    | _ -> failwith "Coherence: unexpected batch reply"
+    | `Reply _ -> failwith "Coherence: unexpected batch reply"
   end
 
 let kind_of_access = function
@@ -515,12 +709,17 @@ let ensure t ~node ~tid ~site ~vpn ~access =
                description of stock Linux — the prepared page is simply
                discarded because the PTE changed under it. *)
             Stats.incr t.stats "fault.duplicate";
-            if node <> t.origin then
-              ignore
-                (Fabric.call t.fabric ~src:node ~dst:t.origin
-                   ~kind:Messages.kind_page_request
-                   ~size:t.cfg.Proto_config.ctl_msg_size
-                   (Messages.Page_request { pid = t.pid; vpn; access }))
+            if node <> t.origin then (
+              try
+                ignore
+                  (Fabric.call t.fabric ~src:node ~dst:t.origin
+                     ~kind:Messages.kind_page_request
+                     ~size:t.cfg.Proto_config.ctl_msg_size
+                     (Messages.Page_request { pid = t.pid; vpn; access }))
+              with Fabric.Unreachable _ when retriable_timeout t ~node ->
+                (* The duplicate's result is discarded anyway; a timeout
+                   toward the live origin is not worth aborting for. *)
+                Stats.incr t.stats "crash.requester_retries")
             else Engine.delay t.engine t.cfg.Proto_config.local_op;
             loop ()
         | Fault_table.Conflict -> loop ()
@@ -539,7 +738,14 @@ let ensure t ~node ~tid ~site ~vpn ~access =
                 incr retries;
                 ignore (Fault_table.finish t.ftables.(node) ~vpn `Retry);
                 backoff t ~node ~attempt:!retries;
-                loop ())
+                loop ()
+            | exception e ->
+                (* This node crashed mid-request (Unreachable). Retire the
+                   fault entry before unwinding so coalesced followers wake
+                   up, re-fault, and drain through the same path instead of
+                   parking forever. *)
+                ignore (Fault_table.finish t.ftables.(node) ~vpn `Retry);
+                raise e)
       end
     in
     loop ();

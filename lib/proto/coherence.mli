@@ -31,7 +31,22 @@
     of blocking: the requester discards poisoned grants when the reply
     lands (the demand page then retries as if NACKed), which closes the
     revoke-overtakes-grant race without ever making an origin grant fiber
-    wait on another grant's reply. *)
+    wait on another grant's reply.
+
+    {2 Fail-stop crashes}
+
+    When the fabric declares a node dead ({!Dex_net.Fabric.declare_dead} —
+    organically, when a revocation exhausts its retry budget and the
+    origin escalates the resulting [Unreachable]; or via the fabric's
+    keepalive backstop), the instance runs {!reclaim_node}: exclusive
+    pages owned by the dead node re-home to the origin's last-known copy,
+    the dead node is scrubbed from every reader set, and its local tables
+    are reset. Grants racing a crash are refused or undone rather than
+    handing pages to a ghost, revocations towards a declared-dead node are
+    skipped, and every origin-side lock and fault-table entry is released
+    on the [Unreachable] exception path, so {!check_invariants} holds
+    after every reclaim. Crashing the {e origin} is unsupported: the
+    directory and the delegated services die with it. *)
 
 type t
 (** One coherence-protocol instance (origin directory + per-node tables). *)
@@ -154,10 +169,22 @@ val backoff_delay : t -> node:int -> attempt:int -> Dex_sim.Time_ns.t
     a degenerate [backoff_base] of 0 never collapses to the 1 ns floor.
     Consumes the node's jitter RNG. Exposed for property tests. *)
 
+val reclaim_node : t -> node:int -> unit
+(** Scrub a dead node out of the ownership metadata: re-home its exclusive
+    pages to the origin ([crash.pages_reclaimed]), drop it from reader
+    sets ([crash.readers_scrubbed], the set's last reader re-homes the
+    page too), and reset its page table, page store, prefetch and
+    in-flight-batch state. Wired to {!Dex_net.Fabric.on_crash} at
+    {!create} time, so it normally runs automatically when a failure is
+    declared; exposed for directed tests. Safe to run while grants are in
+    flight. Raises if [node] is the origin. *)
+
 val stats : t -> Dex_sim.Stats.t
 (** Protocol counters: [grant.data]/[grant.nodata]/[grant.nack],
     [revoke.invalidate]/[revoke.downgrade]/[revoke.batch], [prefetch.*],
-    [fault.poisoned]. *)
+    [fault.poisoned]; after a crash the [crash.*] family — [crash.nodes],
+    [crash.pages_reclaimed], [crash.readers_scrubbed],
+    [crash.revokes_skipped], [crash.escalations], [crash.grants_refused]. *)
 
 val fault_latencies : t -> Dex_sim.Histogram.t
 (** Latency of every protocol fault (leaders only), origin and remote. *)

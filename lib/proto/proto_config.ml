@@ -14,6 +14,7 @@ type t = {
   prefetch_enabled : bool;
   prefetch_depth : int;
   batch_revoke : bool;
+  on_crash : [ `Abort | `Rehome ];
 }
 
 let default =
@@ -36,4 +37,9 @@ let default =
     prefetch_enabled = false;
     prefetch_depth = 8;
     batch_revoke = true;
+    (* Abort is the honest default: a thread whose node fail-stopped lost
+       its register state, so only work the application can re-issue from
+       scratch should survive. Rehome is the opt-in for restartable
+       workers. *)
+    on_crash = `Abort;
   }

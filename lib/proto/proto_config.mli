@@ -45,6 +45,15 @@ type t = {
       (** coalesce the revocation fan-out of a batched grant into one
           {!Messages.Invalidate_batch} per victim node instead of one
           [Revoke] RPC per (page, victim) pair *)
+  on_crash : [ `Abort | `Rehome ];
+      (** fate of threads that were executing on a node that fail-stopped:
+          [`Abort] marks them crashed — a later join observes the loss and
+          any operation through the dead thread handle raises; [`Rehome]
+          moves them back to the origin and retries the interrupted
+          operation there. Rehome is only sound for operations the
+          application can tolerate running twice (the simulator cannot
+          checkpoint register state, so the retried delegate re-executes);
+          the default is [`Abort]. *)
 }
 
 val default : t

@@ -10,13 +10,13 @@ riding out the outage (retransmits > 0) while the workload still completes.
   =============================================================
                                sim time   pages/ms    drops  retransmits  timeouts
     pristine (chaos off)         1.62ms       14.8        0            0         0
-    drop  0.0%                   1.77ms       13.5        0            0         0
-    drop  1.0%                   1.77ms       13.6        0            0         0
-    drop  5.0%                   2.73ms        8.8        6            6         6
-    drop 10.0%                   2.66ms        9.0        8            8         8
-    drop 20.0%                   6.61ms        3.6       24           24        24
-    500us partition              2.45ms        9.8        0            3         3
-    chaos: drops=0 dups=0 reorders=0 partition_drops=3 | timeouts=3 retransmits=3 dup_requests=0 replayed_replies=0
+    drop  0.0%                   2.68ms        9.0        0            0         0
+    drop  1.0%                   2.76ms        8.7        1            1         1
+    drop  5.0%                   3.23ms        7.4        7            5         5
+    drop 10.0%                   3.87ms        6.2       15           11        11
+    drop 20.0%                   7.26ms        3.3       36           25        25
+    500us partition              3.25ms        7.4        0            3         3
+    chaos: drops=0 dups=0 reorders=0 partition_drops=4 | timeouts=3 retransmits=3 dup_requests=0 replayed_replies=0
     -> the 'drop 0.0%' row is the price of reliability alone (acks + timers); rising drop rates trade latency for retransmissions while every run returns the exact pristine answer
 
 The dex_run front-end exposes the same knobs; the profile report gains a
@@ -24,20 +24,18 @@ chaos line showing injected faults vs recovery work:
 
   $ ../../bin/dex_run.exe chaos -n 2 --drop 0.05 --dup 0.02
   == DeX page-fault profile ==
-  faults=35 (R=19 W=16 inval=8) retried=1 mean=49.2us
-  chaos: drops=2 dups=1 reorders=0 partition_drops=0 | timeouts=3 retransmits=3 dup_requests=4 replayed_replies=3
+  faults=56 (R=19 W=37 inval=19) retried=0 mean=26.5us
+  chaos: drops=5 dups=4 reorders=2 partition_drops=0 | timeouts=2 retransmits=2 dup_requests=1 replayed_replies=0
   hottest fault sites:
+        36  flag_update
         17  table_scan
-        15  flag_update
          1  barrier.arrive
          1  barrier.check
          1  barrier.gen
   hottest objects:
+        36  hot_flag
         17  table
-        15  hot_flag
          3  barrier
-  contended pages (NACK retries):
-    0x10000000: 1 retried faults, mean 470.7us
   fault frequency (10ms buckets):
-         0.0ms ###########################################
-  sim time: 2.85ms
+         0.0ms ############################################################
+  sim time: 4.29ms

@@ -767,6 +767,188 @@ let test_chaos_end_to_end () =
   check_bool "reliable layer recovered lost messages" true
     (get "chaos.retransmits" > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Fail-stop node crashes: a worker node dies mid-run, the origin
+   reclaims its pages and threads, and the survivors' answers are
+   unaffected. The fabric carries no other faults so the runs are
+   deterministic; detection rides the retry budget (~340us here).        *)
+
+let crash_net ?(max_retransmits = 4) ~nodes () =
+  let open Dex_net.Net_config in
+  let chaos =
+    {
+      chaos_default with
+      chaos_seed = 11;
+      rto = Time_ns.us 20;
+      rto_cap = Time_ns.us 100;
+      max_retransmits;
+    }
+  in
+  { (default ~nodes ()) with chaos = Some chaos }
+
+(* Shared workload: a survivor on node 1 stores a shared flag every round
+   (so the victim's cached copy keeps getting revoked and its next load
+   must cross the fabric — that remote access is what unwinds the zombie
+   after its node dies); a victim on node 3 loads the flag and counts
+   rounds. Each also stores its own private counter word. *)
+let run_crash_workload ~policy =
+  let nodes = 4 in
+  let proto = { Dex_proto.Proto_config.default with on_crash = policy } in
+  let cl = Dex.cluster ~nodes ~net:(crash_net ~nodes ()) ~proto () in
+  let s_rounds = 16 and v_rounds = 16 in
+  let s_progress = ref 0 and v_progress = ref 0 in
+  let s_final = ref 0L in
+  let victim_crashed = ref false in
+  let proc =
+    Dex.run cl (fun proc main ->
+        (* One page per word: packing them onto one page would make even
+           the "private" counters ping-pong with the flag's revocations,
+           and whether the dead node owns anything at the crash instant
+           would be a coin flip. *)
+        let flag = Process.memalign main ~align:4096 ~bytes:8 ~tag:"flag" in
+        let s_ctr = Process.memalign main ~align:4096 ~bytes:8 ~tag:"s_ctr" in
+        let v_ctr = Process.memalign main ~align:4096 ~bytes:8 ~tag:"v_ctr" in
+        let survivor =
+          Process.spawn proc (fun th ->
+              Process.migrate th 1;
+              for r = 1 to s_rounds do
+                Process.store th flag (Int64.of_int r);
+                Process.store th s_ctr (Int64.of_int r);
+                Process.compute th ~ns:(us 40);
+                s_progress := r
+              done;
+              Process.migrate th (Process.origin proc))
+        in
+        let victim =
+          Process.spawn proc (fun th ->
+              Process.migrate th 3;
+              for r = 1 to v_rounds do
+                ignore (Process.load th flag);
+                Process.store th v_ctr (Int64.of_int r);
+                Process.compute th ~ns:(us 80);
+                v_progress := r
+              done;
+              Process.migrate th (Process.origin proc))
+        in
+        let watchdog =
+          Process.spawn proc (fun th ->
+              (* Fire after the victim's first-migration reconstruction
+                 (~850us) completes, so the crash catches it mid-rounds
+                 rather than mid-flight. *)
+              Process.compute th ~ns:(us 1300);
+              Cluster.crash_node cl ~node:3)
+        in
+        List.iter Process.join [ watchdog; survivor; victim ];
+        victim_crashed := Process.crashed victim;
+        s_final := Process.load main s_ctr)
+  in
+  let coh = Process.coherence proc in
+  Dex_proto.Coherence.check_invariants coh;
+  check_bool "node 3 is recorded dead" true (Cluster.node_crashed cl ~node:3);
+  let ghosts = ref 0 in
+  Dex_mem.Directory.iter
+    (Dex_proto.Coherence.directory coh)
+    (fun _ st ->
+      match st with
+      | Dex_mem.Directory.Exclusive 3 -> incr ghosts
+      | Dex_mem.Directory.Shared s when Dex_mem.Node_set.mem s 3 -> incr ghosts
+      | _ -> ());
+  check_int "no directory entry references the dead node" 0 !ghosts;
+  check_bool "reclaim found pages to re-home" true
+    (Stats.get (Dex_proto.Coherence.stats coh) "crash.pages_reclaimed" > 0);
+  check_int "survivor completed every round" s_rounds !s_progress;
+  Alcotest.(check int64)
+    "survivor's memory is intact" (Int64.of_int s_rounds) !s_final;
+  (proc, !victim_crashed, !v_progress, v_rounds)
+
+let test_crash_recovery_abort () =
+  let proc, victim_crashed, v_progress, v_rounds =
+    run_crash_workload ~policy:`Abort
+  in
+  check_bool "victim thread reports crashed" true victim_crashed;
+  check_bool "victim did not finish its rounds" true (v_progress < v_rounds);
+  check_int "exactly one thread aborted" 1
+    (Stats.get (Process.stats proc) "crash.threads_aborted")
+
+let test_crash_recovery_rehome () =
+  let proc, victim_crashed, v_progress, v_rounds =
+    run_crash_workload ~policy:`Rehome
+  in
+  check_bool "re-homed thread is not crashed" false victim_crashed;
+  check_int "re-homed thread finished every round" v_rounds v_progress;
+  check_int "exactly one thread re-homed" 1
+    (Stats.get (Process.stats proc) "crash.threads_rehomed")
+
+(* Satellite: the futex queues under crash, straight against the module.
+   Cancelled waiters resume with [`Crashed], and are invisible to both
+   [wake] and [waiters] — an address whose waiters all died wakes 0. *)
+let test_futex_cancel_unit () =
+  let engine = Engine.create () in
+  let fx = Futex.create engine in
+  let a = 4096 and b = 8192 in
+  let verdicts = ref [] in
+  let park owner addr =
+    Engine.spawn engine (fun () ->
+        (* Bind the verdict before touching [verdicts]: consing directly
+           would read [!verdicts] BEFORE the wait suspends (right-to-left
+           evaluation) and clobber every append made while parked. *)
+        let r = Futex.wait ~owner fx ~addr in
+        verdicts := (owner, r) :: !verdicts)
+  in
+  park 1 a;
+  park 2 a;
+  park 1 b;
+  Engine.spawn engine (fun () ->
+      Engine.delay engine (us 1);
+      check_int "two live waiters on a" 2 (Futex.waiters fx ~addr:a);
+      check_int "cancel reaps node-1 waiters everywhere" 2
+        (Futex.cancel fx ~owned_by:(fun o -> o = 1));
+      check_int "cancelled waiter invisible on a" 1 (Futex.waiters fx ~addr:a);
+      check_int "all waiters on b died: none left" 0 (Futex.waiters fx ~addr:b);
+      check_int "waking the dead address wakes 0" 0
+        (Futex.wake fx ~addr:b ~count:10);
+      check_int "survivor still wakeable" 1 (Futex.wake fx ~addr:a ~count:10);
+      check_int "queue fully drained" 0 (Futex.waiters fx ~addr:a));
+  Engine.run_until_quiescent engine;
+  let v owner = List.filter (fun (o, _) -> o = owner) !verdicts in
+  check_bool "node-1 waiters saw the crash verdict" true
+    (List.for_all (fun (_, r) -> r = `Crashed) (v 1) && List.length (v 1) = 2);
+  check_bool "node-2 waiter saw a real wake" true (v 2 = [ (2, `Woken) ])
+
+(* Satellite, end to end: a thread parked in futex_wait on a node that
+   dies. The crash hook cancels its origin-side waiter, so a later wake
+   finds nobody — no ghost swallows a wake meant for survivors.           *)
+let test_futex_wake_after_crash () =
+  let nodes = 3 in
+  (* A delegated futex_wait keeps a reliable transaction open against the
+     origin for the whole park; a stock 4-retransmit budget (340us) would
+     falsely expire it against a perfectly live origin long before the
+     crash fires. Give the park enough rope to outlive the schedule. *)
+  let cl =
+    Dex.cluster ~nodes ~net:(crash_net ~max_retransmits:12 ~nodes ()) ()
+  in
+  let woken = ref (-1) in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let w = Process.malloc main ~bytes:8 ~tag:"futexword" in
+        let waiter =
+          Process.spawn proc (fun th ->
+              Process.migrate th 1;
+              ignore (Process.futex_wait th ~addr:w ~expected:0L))
+        in
+        (* Let the waiter migrate (~850us) and park, then kill its node
+           and wait out the detection budget so the cancel has run. *)
+        Process.compute main ~ns:(us 1500);
+        Cluster.crash_node cl ~node:1;
+        Process.compute main ~ns:(Time_ns.ms 4);
+        woken := Process.futex_wake main ~addr:w ~count:10;
+        Process.join waiter)
+  in
+  check_int "no ghost waiter woken" 0 !woken;
+  check_int "the parked waiter was cancelled" 1
+    (Stats.get (Process.stats proc) "crash.futex_cancelled");
+  Dex_proto.Coherence.check_invariants (Process.coherence proc)
+
 let () =
   Alcotest.run "dex_core"
     [
@@ -860,5 +1042,15 @@ let () =
         [
           Alcotest.test_case "migration + delegation + futex under chaos"
             `Quick test_chaos_end_to_end;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "node crash: abort policy" `Quick
+            test_crash_recovery_abort;
+          Alcotest.test_case "node crash: rehome policy" `Quick
+            test_crash_recovery_rehome;
+          Alcotest.test_case "futex cancel (unit)" `Quick test_futex_cancel_unit;
+          Alcotest.test_case "futex wake after node crash" `Quick
+            test_futex_wake_after_crash;
         ] );
     ]

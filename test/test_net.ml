@@ -295,8 +295,8 @@ let test_sink_accounting () =
 (* --- chaos mode -------------------------------------------------------- *)
 
 let chaos_cfg ?(nodes = 2) ?(seed = 7) ?(drop = 0.0) ?(dup = 0.0)
-    ?(reorder = 0.0) ?(jitter = 0) ?(partitions = []) ?(degrades = []) ?rto
-    ?max_retransmits () =
+    ?(reorder = 0.0) ?(jitter = 0) ?(partitions = []) ?(degrades = [])
+    ?(crashes = []) ?rto ?max_retransmits () =
   let c =
     {
       Net_config.chaos_default with
@@ -307,6 +307,7 @@ let chaos_cfg ?(nodes = 2) ?(seed = 7) ?(drop = 0.0) ?(dup = 0.0)
       delay_jitter_ns = jitter;
       partitions;
       degrades;
+      crashes;
     }
   in
   let c =
@@ -507,6 +508,101 @@ let test_chaos_config_validation () =
           [ { Net_config.d_src = 0; d_dst = 1; d_at = 0; d_factor = 0.0 } ];
       })
 
+(* Satellite regression: the reliable layer's dedup and pending tables must
+   drain once traffic quiesces — replies are acked and settled entries are
+   forgotten (after a grace window covering in-flight straggler copies). *)
+let test_chaos_tables_pruned () =
+  let e = Engine.create () in
+  let fabric =
+    Fabric.create e
+      (chaos_cfg ~seed:5 ~drop:0.2 ~dup:0.3 ~rto:(Time_ns.us 20) ())
+  in
+  Fabric.set_handler fabric ~node:1 echo_handler;
+  for i = 1 to 50 do
+    Engine.spawn e (fun () ->
+        ignore
+          (Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping i)))
+  done;
+  Engine.run_until_quiescent e;
+  (* A dropped reply-ack can leave its entry stranded; the next message's
+     piggybacked watermark prunes every settled predecessor, so one more
+     round trip drains the tail of the chaotic burst. *)
+  Engine.spawn e (fun () ->
+      ignore
+        (Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping 0)));
+  Engine.run_until_quiescent e;
+  let seen, pending = Fabric.rel_table_sizes fabric in
+  check_int "no pending transactions" 0 pending;
+  check_bool
+    (Printf.sprintf "dedup table pruned after quiescence (%d left)" seen)
+    true (seen <= 2)
+
+(* --- fail-stop crashes ------------------------------------------------- *)
+
+let test_crash_blackhole_and_detection () =
+  let e = Engine.create () in
+  let fabric =
+    Fabric.create e
+      (chaos_cfg ~nodes:3 ~rto:(Time_ns.us 10) ~max_retransmits:3 ())
+  in
+  Fabric.set_handler fabric ~node:1 echo_handler;
+  Fabric.set_handler fabric ~node:2 echo_handler;
+  let order = ref [] in
+  Fabric.on_crash fabric (fun node -> order := ("a", node) :: !order);
+  Fabric.on_crash fabric (fun node -> order := ("b", node) :: !order);
+  Engine.spawn e (fun () ->
+      ignore
+        (Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping 1));
+      Fabric.crash fabric ~node:1;
+      check_bool "dead immediately" true (Fabric.crashed fabric ~node:1);
+      check_bool "not yet detected" false (Fabric.crash_detected fabric ~node:1);
+      (* Talking to the dead node exhausts the retry budget. *)
+      match
+        Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping 2)
+      with
+      | _ -> Alcotest.fail "expected Unreachable"
+      | exception Fabric.Unreachable { dst = 1; _ } ->
+          Fabric.declare_dead fabric ~node:1;
+          check_bool "now detected" true (Fabric.crash_detected fabric ~node:1));
+  Engine.run_until_quiescent e;
+  check_bool "deliveries to the dead node were black-holed" true
+    (chaos_stat fabric "chaos.crash_drops" > 0);
+  check_int "crash counted" 1 (chaos_stat fabric "chaos.node_crashes");
+  Alcotest.(check (list (pair string int)))
+    "subscribers ran once, in registration order"
+    [ ("a", 1); ("b", 1) ]
+    (List.rev !order)
+
+(* A scheduled crash with zero traffic towards the dead node must still be
+   declared via the keepalive backstop (detection budget), and the healthy
+   pair must keep working. *)
+let test_crash_scheduled_and_keepalive () =
+  let e = Engine.create () in
+  let fabric =
+    Fabric.create e
+      (chaos_cfg ~nodes:3 ~rto:(Time_ns.us 10) ~max_retransmits:2
+         ~crashes:[ { Net_config.crash_node = 2; crash_at = Time_ns.us 5 } ]
+         ())
+  in
+  Fabric.set_handler fabric ~node:1 echo_handler;
+  Fabric.set_handler fabric ~node:2 echo_handler;
+  let declared_at = ref (-1) in
+  Fabric.on_crash fabric (fun node ->
+      if node = 2 then declared_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      ignore
+        (Fabric.call fabric ~src:0 ~dst:1 ~kind:"ping" ~size:64 (Msg.Ping 7)));
+  Engine.run_until_quiescent e;
+  check_bool "dead at the scheduled time" true (Fabric.crashed fabric ~node:2);
+  check_bool "keepalive declared the silent death" true
+    (!declared_at > Time_ns.us 5);
+  check_bool "crash requires chaos mode" true
+    (match
+       Fabric.crash (Fabric.create (Engine.create ()) (small_cfg ())) ~node:1
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "dex_net"
     [
@@ -555,5 +651,14 @@ let () =
             test_chaos_degrade_slows_link;
           Alcotest.test_case "chaos config validation" `Quick
             test_chaos_config_validation;
+          Alcotest.test_case "tables pruned after quiescence" `Quick
+            test_chaos_tables_pruned;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "black-hole + organic detection" `Quick
+            test_crash_blackhole_and_detection;
+          Alcotest.test_case "scheduled crash + keepalive backstop" `Quick
+            test_crash_scheduled_and_keepalive;
         ] );
     ]

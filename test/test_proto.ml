@@ -623,6 +623,142 @@ let prop_backoff_clamped =
       let delay = Coherence.backoff_delay coh ~node:1 ~attempt in
       delay >= 1 && delay >= d - (d / 4) && delay <= d + (d / 4))
 
+(* --- fail-stop crashes ------------------------------------------------- *)
+
+(* A chaos fabric with fast retransmission so Unreachable escalation fires
+   quickly in directed tests. *)
+let crash_net ?(crashes = []) ~nodes () =
+  let open Dex_net.Net_config in
+  let chaos =
+    {
+      chaos_default with
+      chaos_seed = 7;
+      rto = Time_ns.us 20;
+      rto_cap = Time_ns.us 100;
+      max_retransmits = 4;
+      crashes;
+    }
+  in
+  { (default ~nodes ()) with chaos = Some chaos }
+
+(* Satellite regression: a revocation that exhausts its retry budget
+   against a dead node unwinds with [Unreachable] through the origin's
+   grant path — the directory entry must come out unlocked and the write
+   must still be granted (the dead copy counts as invalidated). *)
+let test_unreachable_leaves_no_lock () =
+  let engine, coh, fabric =
+    setup_with_fabric ~nodes:3 ~net:(crash_net ~nodes:3 ()) ()
+  in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 7L;
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr0);
+      Dex_net.Fabric.crash fabric ~node:1;
+      (* Node 2's write must revoke node 1's read copy; the dead node
+         never acks, the origin escalates and completes the grant. *)
+      Coherence.store_i64 coh ~node:2 ~tid:2 addr0 9L);
+  Engine.run_until_quiescent engine;
+  let vpn = Page.page_of_addr addr0 in
+  check_bool "page not left locked" false
+    (Directory.locked (Coherence.directory coh) vpn);
+  check_bool "retry-budget exhaustion escalated to a crash declaration" true
+    (Stats.get (Coherence.stats coh) "crash.escalations" > 0);
+  (match Directory.state (Coherence.directory coh) vpn with
+  | Directory.Exclusive 2 -> ()
+  | _ -> Alcotest.fail "the surviving writer owns the page");
+  Coherence.check_invariants coh
+
+(* Reclaim semantics: exclusive pages of the dead node re-home to the
+   origin's last-known copy (the unobserved write never happened), reader
+   sets are scrubbed, the dead node's tables are reset. *)
+let test_reclaim_rehomes_ownership () =
+  let engine, coh, fabric =
+    setup_with_fabric ~nodes:3 ~net:(crash_net ~nodes:3 ()) ()
+  in
+  let addr_b = addr0 + Page.size in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 7L;
+      Coherence.store_i64 coh ~node:1 ~tid:1 addr0 42L;
+      (* page B: node 1 and node 2 are both readers *)
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr_b);
+      ignore (Coherence.load_i64 coh ~node:2 ~tid:2 addr_b));
+  Engine.run_until_quiescent engine;
+  run_fiber engine (fun () ->
+      Dex_net.Fabric.crash fabric ~node:1;
+      Dex_net.Fabric.declare_dead fabric ~node:1);
+  let dir = Coherence.directory coh in
+  (match Directory.state dir (Page.page_of_addr addr0) with
+  | Directory.Exclusive 0 -> ()
+  | _ -> Alcotest.fail "dead node's exclusive page re-homed to the origin");
+  (match Directory.state dir (Page.page_of_addr addr_b) with
+  | Directory.Shared s ->
+      check_bool "dead node scrubbed from the reader set" false
+        (Node_set.mem s 1)
+  | Directory.Exclusive _ -> Alcotest.fail "page B should stay shared");
+  check_int "dead node's page table reset" 0
+    (Page_table.count (Coherence.page_table coh ~node:1));
+  check_bool "pages reclaimed counted" true
+    (Stats.get (Coherence.stats coh) "crash.pages_reclaimed" > 0);
+  check_bool "reader scrub counted" true
+    (Stats.get (Coherence.stats coh) "crash.readers_scrubbed" > 0);
+  Coherence.check_invariants coh;
+  (* The unobserved write is as if it never executed. *)
+  let v = ref 0L in
+  run_fiber engine (fun () -> v := Coherence.load_i64 coh ~node:0 ~tid:0 addr0);
+  check_i64 "origin's last-known copy survives" 7L !v;
+  (* The origin itself can never be reclaimed. *)
+  check_bool "reclaiming the origin is refused" true
+    (match Coherence.reclaim_node coh ~node:0 with
+    | () -> false
+    | exception Failure _ -> true)
+
+(* Satellite: the SC property suite re-run with a scheduled mid-run crash
+   of a non-origin node. Fibers caught on the dead node absorb their own
+   unwind (there is no Process-layer guard at this level); everyone else
+   must finish, the invariants must hold, and no directory entry may still
+   name the dead node. *)
+let prop_invariants_with_crash ~name () =
+  QCheck.Test.make ~name ~count:25
+    QCheck.(
+      pair small_int
+        (list_of_size Gen.(1 -- 20)
+           (triple (int_bound 3) (int_bound 3) bool)))
+    (fun (seed, threads) ->
+      let net =
+        crash_net ~nodes:4
+          ~crashes:
+            [ { Dex_net.Net_config.crash_node = 3; crash_at = Time_ns.us 120 } ]
+          ()
+      in
+      let engine, coh, fabric = setup_with_fabric ~nodes:4 ~seed ~net () in
+      List.iteri
+        (fun tid (node, slot, is_write) ->
+          Engine.spawn engine (fun () ->
+              let addr = addr0 + (slot * Page.size) in
+              try
+                for i = 1 to 5 do
+                  if is_write then
+                    Coherence.store_i64 coh ~node ~tid addr (Int64.of_int i)
+                  else ignore (Coherence.load_i64 coh ~node ~tid addr);
+                  Engine.delay engine (Time_ns.us 3)
+                done
+              with
+              | Dex_net.Fabric.Unreachable _
+              when Dex_net.Fabric.crashed fabric ~node
+              ->
+                ()))
+        threads;
+      Engine.run_until_quiescent engine;
+      Coherence.check_invariants coh;
+      check_bool "crash declared" true
+        (Dex_net.Fabric.crash_detected fabric ~node:3);
+      let ghost = ref false in
+      Directory.iter (Coherence.directory coh) (fun _ st ->
+          match st with
+          | Directory.Exclusive 3 -> ghost := true
+          | Directory.Shared s when Node_set.mem s 3 -> ghost := true
+          | _ -> ());
+      not !ghost)
+
 (* Runs after the chaos property cases (alcotest executes suites in order):
    the sequential-consistency results above are only meaningful evidence if
    faults were actually injected and recovered from. *)
@@ -720,4 +856,17 @@ let () =
             Alcotest.test_case "chaos fault paths exercised" `Quick
               test_chaos_fault_paths_exercised;
           ] );
+      ( "crash",
+        [
+          Alcotest.test_case "mid-protocol Unreachable leaves no lock" `Quick
+            test_unreachable_leaves_no_lock;
+          Alcotest.test_case "reclaim re-homes ownership" `Quick
+            test_reclaim_rehomes_ownership;
+        ]
+        @ qsuite
+            [
+              prop_invariants_with_crash
+                ~name:"invariants + ghost-free directory under mid-run crash"
+                ();
+            ] );
     ]
