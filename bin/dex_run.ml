@@ -350,10 +350,125 @@ let crash_cmd =
           reclaimed")
     Term.(const run $ nodes_arg $ crash_node_arg $ crash_at_arg $ policy_arg)
 
+let failover_cmd =
+  let mode_arg =
+    let doc = "Replication mode: $(b,sync) or $(b,async)." in
+    Arg.(value & opt string "sync" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let lag_arg =
+    let doc = "Maximum unacked log entries in async mode." in
+    Arg.(value & opt int 8 & info [ "lag" ] ~docv:"N" ~doc)
+  in
+  let crash_at_arg =
+    let doc = "Simulated time at which the origin fail-stops, microseconds." in
+    Arg.(value & opt int 1500 & info [ "crash-at-us" ] ~docv:"US" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Increments each writer performs on the shared counter." in
+    Arg.(value & opt int 40 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let run nodes mode lag crash_at_us rounds =
+    if nodes < 2 then begin
+      Format.eprintf "failover: replication needs at least 2 nodes@.";
+      exit 2
+    end;
+    let replication =
+      match mode with
+      | "sync" -> `Sync
+      | "async" -> `Async lag
+      | s ->
+          Format.eprintf "failover: unknown mode %S (sync or async)@." s;
+          exit 2
+    in
+    let chaos =
+      {
+        Dex_net.Net_config.chaos_default with
+        Dex_net.Net_config.chaos_seed = 11;
+        rto = Dex_sim.Time_ns.us 20;
+        rto_cap = Dex_sim.Time_ns.us 100;
+        max_retransmits = 4;
+      }
+    in
+    let net =
+      {
+        (Dex_net.Net_config.default ~nodes ()) with
+        Dex_net.Net_config.chaos = Some chaos;
+      }
+    in
+    let proto =
+      {
+        Dex_proto.Proto_config.default with
+        Dex_proto.Proto_config.replication;
+        on_crash = `Rehome;
+      }
+    in
+    let cl = Dex_core.Dex.cluster ~nodes ~net ~proto () in
+    let module P = Dex_core.Process in
+    let writers = nodes - 1 in
+    let final = ref (-1L) in
+    (* Writers on every non-origin node hammer one shared counter; the
+       origin fail-stops mid-run. Main rides out the crash off-origin —
+       anything left on the origin dies with it. *)
+    let proc =
+      Dex_core.Dex.run cl (fun proc main ->
+          let counter = P.memalign main ~align:4096 ~bytes:8 ~tag:"counter" in
+          P.store main counter 0L;
+          let threads =
+            List.init writers (fun i ->
+                P.spawn proc ~name:(Printf.sprintf "w%d" (i + 1)) (fun th ->
+                    P.migrate th (i + 1);
+                    for _ = 1 to rounds do
+                      ignore (P.fetch_add th counter 1L);
+                      P.compute th ~ns:(Dex_sim.Time_ns.us 30)
+                    done))
+          in
+          P.migrate main (if nodes > 2 then 2 else 1);
+          P.compute main ~ns:(Dex_sim.Time_ns.us crash_at_us);
+          Dex_core.Cluster.crash_node cl ~node:0;
+          List.iter P.join threads;
+          final := P.load main counter)
+    in
+    let expect = writers * rounds in
+    Format.printf "failover: origin 0 dies @%.1fms (%s replication, %d writers x %d rounds)@."
+      (Dex_sim.Time_ns.to_ms_f (Dex_sim.Time_ns.us crash_at_us))
+      mode writers rounds;
+    Format.printf "  counter: %Ld/%d %s@." !final expect
+      (if !final = Int64.of_int expect then "(no lost writes)"
+       else
+         Printf.sprintf "(%Ld lost - %s)"
+           (Int64.sub (Int64.of_int expect) !final)
+           (match replication with
+           | `Sync -> "UNEXPECTED under sync"
+           | `Async _ -> "bounded by the async lag"));
+    Format.printf "  origin now: node %d@." (P.origin proc);
+    let coh = P.coherence proc in
+    Dex_profile.Report.pp_ha
+      ~coh:(Dex_proto.Coherence.stats coh)
+      Format.std_formatter (P.stats proc);
+    let pget = Dex_sim.Stats.get (P.stats proc) in
+    Format.printf "recovery: threads_aborted=%d threads_rehomed=%d \
+                   delegations_retried=%d@."
+      (pget "crash.threads_aborted")
+      (pget "crash.threads_rehomed")
+      (pget "ha.delegations_retried");
+    Dex_proto.Coherence.check_invariants coh;
+    Format.printf "post-failover invariants: ok@.";
+    Format.printf "sim time: %.2fms@."
+      (Dex_sim.Time_ns.to_ms_f (Dex_core.Dex.elapsed cl));
+    if replication = `Sync && !final <> Int64.of_int expect then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Fail-stop the origin mid-run and report the standby promotion \
+          (origin replication)")
+    Term.(
+      const run $ nodes_arg $ mode_arg $ lag_arg $ crash_at_arg $ rounds_arg)
+
 let main =
   let doc = "DeX: scaling applications beyond machine boundaries (simulated)" in
   Cmd.group
     (Cmd.info "dex_run" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; sweep_cmd; profile_cmd; chaos_cmd; crash_cmd ]
+    [ list_cmd; run_cmd; sweep_cmd; profile_cmd; chaos_cmd; crash_cmd; failover_cmd ]
 
 let () = exit (Cmd.eval' main)

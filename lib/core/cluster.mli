@@ -48,7 +48,11 @@ val crash_node : t -> node:int -> unit
     (retry-budget exhaustion or the keepalive backstop) — see
     {!Dex_net.Fabric.crash}. Requires the chaos fabric
     ({!Dex_net.Net_config.chaos}); crashes can also be pre-scheduled with
-    the chaos [crashes] knob. Crashing a process origin is unsupported. *)
+    the chaos [crashes] knob. Crashing a process origin is only survivable
+    when that process armed origin replication
+    ({!Dex_proto.Proto_config.replication}): the standby is promoted and
+    service resumes. With replication off it is unsupported — the
+    directory dies with the origin. *)
 
 val node_crashed : t -> node:int -> bool
 (** Ground truth: has [node] fail-stopped (whether or not survivors have

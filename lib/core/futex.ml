@@ -7,6 +7,7 @@ open Dex_sim
    wedge every surviving thread parked behind it. *)
 type waiter = {
   w_owner : int;
+  w_tid : int;
   mutable w_live : bool;
   w_resume : [ `Woken | `Crashed ] -> unit;
 }
@@ -23,25 +24,29 @@ let queue t addr =
       Hashtbl.add t.queues addr q;
       q
 
-let wait ?(owner = -1) t ~addr =
+let wait ?(owner = -1) ?(tid = -1) t ~addr =
   let q = queue t addr in
   Engine.suspend t.engine (fun resume ->
-      Queue.push { w_owner = owner; w_live = true; w_resume = resume } q)
+      Queue.push
+        { w_owner = owner; w_tid = tid; w_live = true; w_resume = resume }
+        q)
 
-let wake t ~addr ~count =
+let wake_tids t ~addr ~count =
   let q = queue t addr in
-  let rec go woken =
-    if woken >= count then woken
+  let rec go woken tids =
+    if woken >= count then List.rev tids
     else
       match Queue.take_opt q with
-      | None -> woken
-      | Some w when not w.w_live -> go woken (* tombstone, costs nothing *)
+      | None -> List.rev tids
+      | Some w when not w.w_live -> go woken tids (* tombstone, costs nothing *)
       | Some w ->
           w.w_live <- false;
           w.w_resume `Woken;
-          go (woken + 1)
+          go (woken + 1) (w.w_tid :: tids)
   in
-  go 0
+  go 0 []
+
+let wake t ~addr ~count = List.length (wake_tids t ~addr ~count)
 
 let waiters t ~addr =
   match Hashtbl.find_opt t.queues addr with

@@ -16,17 +16,25 @@ type t
 
 val create : Dex_sim.Engine.t -> t
 
-val wait : ?owner:int -> t -> addr:Dex_mem.Page.addr -> [ `Woken | `Crashed ]
+val wait :
+  ?owner:int -> ?tid:int -> t -> addr:Dex_mem.Page.addr ->
+  [ `Woken | `Crashed ]
 (** Enqueue the calling fiber on the futex at [addr] and block until a
     wake ([`Woken]) or until [owner]'s node is cancelled by a crash
-    ([`Crashed]). [owner] defaults to [-1]: never cancelled. The atomic
-    value check against the futex word is the caller's responsibility (it
-    must run in the same engine event). *)
+    ([`Crashed]). [owner] defaults to [-1]: never cancelled. [tid]
+    (default [-1]) tags the waiter for {!wake_tids} reporting — the HA
+    replication log records exactly which thread consumed each wake. The
+    atomic value check against the futex word is the caller's
+    responsibility (it must run in the same engine event). *)
 
 val wake : t -> addr:Dex_mem.Page.addr -> count:int -> int
 (** Wake up to [count] live waiters in FIFO order; returns how many were
     woken. Cancelled waiters are skipped and never counted — waking an
     address whose waiters all died returns 0. *)
+
+val wake_tids : t -> addr:Dex_mem.Page.addr -> count:int -> int list
+(** Like {!wake}, but returns the woken waiters' [tid] tags in wake
+    order (untagged waiters report [-1]). *)
 
 val waiters : t -> addr:Dex_mem.Page.addr -> int
 (** Number of live (non-cancelled) waiters parked on [addr]. *)

@@ -4,6 +4,9 @@ module Fabric = Dex_net.Fabric
 module Msg = Dex_net.Msg
 module Coherence = Dex_proto.Coherence
 module M = Core_messages
+module Ha = Dex_ha.Ha
+module Log_entry = Dex_ha.Log_entry
+module Replica = Dex_ha.Replica
 
 exception Segfault of { node : int; addr : Page.addr }
 exception Thread_crashed of { pid : int; tid : int }
@@ -29,7 +32,8 @@ type migration_record = {
 type t = {
   cluster : Cluster.t;
   pid : int;
-  origin : int;
+  mutable origin : int;  (* changes when a standby is promoted *)
+  ha : Ha.t option;  (* origin replication, per Proto_config.replication *)
   coh : Coherence.t;
   alloc : Allocator.t;
   vmas : Vma_tree.t array;
@@ -61,6 +65,7 @@ and thread = {
 let cluster t = t.cluster
 let pid t = t.pid
 let origin t = t.origin
+let ha t = t.ha
 let coherence t = t.coh
 let allocator t = t.alloc
 let vma_tree t ~node = t.vmas.(node)
@@ -85,6 +90,36 @@ let find_thread t tid =
 let install_vma tree vma =
   ignore (Vma_tree.remove_range tree ~start:vma.Vma.start ~len:vma.Vma.len);
   Vma_tree.insert tree vma
+
+(* ------------------------------------------------------------------ *)
+(* Origin replication plumbing. All three are single pointer tests when
+   replication is off, so the default configuration pays nothing.       *)
+
+let ha_log t e = match t.ha with Some ha -> Ha.append ha e | None -> ()
+let ha_fence t = match t.ha with Some ha -> Ha.fence ha | None -> ()
+let ha_resolve t = match t.ha with Some ha -> Ha.resolve ha | None -> None
+
+(* Run [f ~dst] against the current origin; when the {e origin} fail-stops
+   under the call, stall until the HA layer promotes a standby, then retry
+   against the new origin. Crashes of the calling node itself are not
+   handled here — they keep unwinding to {!guard}, which applies the
+   thread crash policy. Without replication the resolver answers [None]
+   and the exception propagates exactly as before. *)
+let rec origin_rpc t ~src ~stat f =
+  let dst = t.origin in
+  try f ~dst
+  with
+  | Fabric.Unreachable _ as e
+    when dst <> src
+         && Fabric.crashed (fabric t) ~node:dst
+         && not (Fabric.crashed (fabric t) ~node:src) -> (
+      if not (Fabric.crash_detected (fabric t) ~node:dst) then
+        Fabric.declare_dead (fabric t) ~node:dst;
+      match ha_resolve t with
+      | Some o when o <> dst ->
+          Stats.incr t.stats stat;
+          origin_rpc t ~src ~stat f
+      | Some _ | None -> raise e)
 
 (* ------------------------------------------------------------------ *)
 (* Fail-stop crash handling for the thread API.                        *)
@@ -146,9 +181,9 @@ let rec vma_check th ~addr ~len ~access ~queried =
         (* The local view may be missing or stale: ask the origin. *)
         Stats.incr t.stats "vma.sync";
         match
-          Fabric.call (fabric t) ~src:node ~dst:t.origin ~kind:M.kind_vma
-            ~size:64
-            (M.Vma_query { pid = t.pid; addr })
+          origin_rpc t ~src:node ~stat:"ha.vma_syncs_retried" (fun ~dst ->
+              Fabric.call (fabric t) ~src:node ~dst ~kind:M.kind_vma ~size:64
+                (M.Vma_query { pid = t.pid; addr }))
         with
         | M.Vma_info (Some vma) ->
             install_vma t.vmas.(node) vma;
@@ -169,9 +204,15 @@ let delegate ?(resp_size = 64) th run =
       if th.location = t.origin then run ()
       else begin
         Stats.incr t.stats "delegation";
-        Fabric.call (fabric t) ~src:th.location ~dst:t.origin
-          ~kind:M.kind_delegate ~size:64
-          (M.Delegate { pid = t.pid; tid = th.tid; resp_size; run })
+        (* A failover mid-call re-executes [run] at the promoted origin
+           (like [`Rehome], the simulator cannot checkpoint a syscall
+           mid-flight); the futex wake ledger makes the stock sync
+           primitives safe against the replay. *)
+        origin_rpc t ~src:th.location ~stat:"ha.delegations_retried"
+          (fun ~dst ->
+            Fabric.call (fabric t) ~src:th.location ~dst
+              ~kind:M.kind_delegate ~size:64
+              (M.Delegate { pid = t.pid; tid = th.tid; resp_size; run }))
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -285,20 +326,38 @@ let futex_wait th ~addr ~expected =
   let t = th.proc in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.futex_op;
-    (* Atomic check-and-sleep: the value read below and the enqueue happen
-       in the same engine event, so no wakeup can slip in between. *)
-    let v =
-      Coherence.load_i64 t.coh ~node:t.origin ~tid:th.tid ~site:"futex" addr
+    let redelivered =
+      match t.ha with
+      | Some ha -> Ha.take_wake ha ~addr ~tid:th.tid
+      | None -> false
     in
-    if v <> expected then M.Ret_bool false
-    else
-      match Futex.wait ~owner:th.location t.futex ~addr with
-      | `Woken -> M.Ret_bool true
-      | `Crashed ->
-          (* The waiter's node died while it was parked: report a spurious
-             wake. Sync primitives re-check their state in a loop, and the
-             caller's own fiber unwinds through {!guard} anyway. *)
-          M.Ret_bool false
+    if redelivered then
+      (* The old origin consumed a wake for this thread but died before
+         the verdict reached it; the replicated ledger re-delivers. *)
+      M.Ret_bool true
+    else begin
+      (* Atomic check-and-sleep: the value read below and the enqueue
+         happen in the same engine event, so no wakeup can slip in
+         between. *)
+      let v =
+        Coherence.load_i64 t.coh ~node:t.origin ~tid:th.tid ~site:"futex" addr
+      in
+      if v <> expected then M.Ret_bool false
+      else begin
+        ha_log t
+          (Log_entry.Futex_wait { addr; tid = th.tid; owner = th.location });
+        match Futex.wait ~owner:th.location ~tid:th.tid t.futex ~addr with
+        | `Woken -> M.Ret_bool true
+        | `Crashed ->
+            (* The waiter's node died while it was parked: report a
+               spurious wake. Sync primitives re-check their state in a
+               loop, and the caller's own fiber unwinds through {!guard}
+               anyway. *)
+            ha_log t
+              (Log_entry.Futex_unpark { addr; tid = th.tid; woken = false });
+            M.Ret_bool false
+      end
+    end
   in
   match delegate th run with M.Ret_bool b -> b | _ -> assert false
 
@@ -306,7 +365,14 @@ let futex_wake th ~addr ~count =
   let t = th.proc in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.futex_op;
-    M.Ret_int (Futex.wake t.futex ~addr ~count)
+    let tids = Futex.wake_tids t.futex ~addr ~count in
+    (* Each consumed wake is logged before the woken waiter's (or this
+       waker's) reply leaves the origin — the fence in the router makes
+       the ledger entry durable first under [`Sync]. *)
+    List.iter
+      (fun tid -> ha_log t (Log_entry.Futex_unpark { addr; tid; woken = true }))
+      tids;
+    M.Ret_int (List.length tids)
   in
   match delegate th run with M.Ret_int n -> n | _ -> assert false
 
@@ -400,26 +466,34 @@ let worker_loop t node queue () =
   go ()
 
 (* Broadcast a node-wide operation to every live remote worker and join
-   all acknowledgements. Must run at the origin. *)
-let broadcast_node_op t op =
+   all acknowledgements. Must run at the origin. If the origin fail-stops
+   under the broadcast, re-resolve it (blocking through a promotion) and
+   rebroadcast from the survivor — the per-node operations are idempotent,
+   so the partial first round is harmless. *)
+let rec broadcast_node_op t op =
+  let src = t.origin in
   let targets = ref [] in
   Array.iteri
     (fun node state ->
+      (* A worker ON the origin exists only after a standby promotion
+         (the promoted node keeps the worker it had as a remote); it gets
+         the op over loopback like any other. *)
       match state with
-      | Ready _ when node <> t.origin -> targets := node :: !targets
-      | Ready _ | Creating _ | Absent -> ())
+      | Ready _ -> targets := node :: !targets
+      | Creating _ | Absent -> ())
     t.workers;
   match !targets with
   | [] -> ()
   | targets ->
       let pending = ref (List.length targets) in
       let join = Waitq.create () in
+      let src_died = ref false in
       List.iter
         (fun node ->
           Engine.spawn (engine t) ~label:"node-op" (fun () ->
               (match
-                 Fabric.call (fabric t) ~src:t.origin ~dst:node
-                   ~kind:M.kind_node_op ~size:96
+                 Fabric.call (fabric t) ~src ~dst:node ~kind:M.kind_node_op
+                   ~size:96
                    (M.Node_op { pid = t.pid; op })
                with
               | M.Node_op_ack -> ()
@@ -430,11 +504,23 @@ let broadcast_node_op t op =
                      everything it had anyway). *)
                   if not (Fabric.crash_detected (fabric t) ~node) then
                     Fabric.declare_dead (fabric t) ~node
+              | exception Fabric.Unreachable _
+                when Fabric.crashed (fabric t) ~node:src ->
+                  src_died := true;
+                  if not (Fabric.crash_detected (fabric t) ~node:src) then
+                    Fabric.declare_dead (fabric t) ~node:src
               | _ -> failwith "Process: unexpected node-op reply");
               decr pending;
               if !pending = 0 then ignore (Waitq.wake_one join ())))
         targets;
-      Waitq.wait (engine t) join
+      Waitq.wait (engine t) join;
+      if !src_died then
+        match ha_resolve t with
+        | Some o when o <> src -> broadcast_node_op t op
+        | Some _ | None ->
+            (* No promotion path: the origin crash is fatal anyway (the
+               crash handler refuses it); just unwind this fiber. *)
+            raise (Fabric.Unreachable { src; dst = src; kind = M.kind_node_op })
 
 (* ------------------------------------------------------------------ *)
 (* VMA-manipulating system calls (origin-side, possibly delegated).     *)
@@ -450,7 +536,9 @@ let mmap th ?(perm = Perm.rw) ~len ~tag () =
       failwith "Process.mmap: zone exhausted";
     (* Guard page between mappings. *)
     t.mmap_next <- addr + len + Page.size;
-    Vma_tree.insert t.vmas.(t.origin) (Vma.make ~start:addr ~len ~perm ~tag);
+    let vma = Vma.make ~start:addr ~len ~perm ~tag in
+    Vma_tree.insert t.vmas.(t.origin) vma;
+    ha_log t (Log_entry.Vma_set vma);
     M.Ret_int addr
   in
   match delegate th run with M.Ret_int a -> a | _ -> assert false
@@ -460,9 +548,12 @@ let munmap th ~addr ~len =
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.vma_op;
     ignore (Vma_tree.remove_range t.vmas.(t.origin) ~start:addr ~len);
+    ha_log t (Log_entry.Vma_remove { start = addr; len });
     let first, last = Page.pages_of_range addr ~len in
     ignore (Coherence.zap_range t.coh ~first ~last ~node:t.origin);
-    (* Shrinks are broadcast eagerly (§III-D). *)
+    (* Shrinks are broadcast eagerly (§III-D); the shrink must be durable
+       on the standby before any remote node observes it. *)
+    ha_fence t;
     broadcast_node_op t (M.Vma_shrink { start = addr; len });
     Coherence.forget_range t.coh ~first ~last;
     M.Ret_unit
@@ -474,11 +565,13 @@ let mprotect th ~addr ~len ~perm =
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.vma_op;
     ignore (Vma_tree.protect_range t.vmas.(t.origin) ~start:addr ~len ~perm);
+    ha_log t (Log_entry.Vma_protect { start = addr; len; perm });
     (* Downgrades must reach every node before the call returns;
        permissive changes propagate lazily via on-demand sync. *)
     if not (perm.Perm.read && perm.Perm.write) then begin
       let first, last = Page.pages_of_range addr ~len in
       ignore (Coherence.zap_range t.coh ~first ~last ~node:t.origin);
+      ha_fence t;
       broadcast_node_op t (M.Vma_protect { start = addr; len; perm })
     end;
     M.Ret_unit
@@ -679,20 +772,40 @@ let handle_migrate_back t ~tid ~remote_ns resume =
    {e after} {!Coherence.reclaim_node}, which subscribed first, so the
    ownership metadata is already clean when threads are re-homed. *)
 let handle_node_crash t ~node =
-  if node = t.origin then
-    failwith
-      "Process: origin crash is unsupported (the directory and every \
-       delegated service die with it)";
+  let origin_died = node = t.origin in
+  if origin_died then
+    (match t.ha with
+    | Some ha when Ha.armed ha ->
+        (* The HA layer's own subscriber (priority 10) already queued the
+           promotion fiber; this pass only cleans up local casualties. *)
+        ()
+    | Some _ ->
+        failwith
+          "Process: origin crash with replication disabled (the standby \
+           was lost first) is unsupported"
+    | None ->
+        failwith
+          "Process: origin crash is unsupported (the directory and every \
+           delegated service die with it)");
   (* Wake origin-side delegate fibers parked in the futex on behalf of
      threads that lived on the dead node — before any re-homing below
-     changes thread locations, or the owner tags would lie. *)
-  let cancelled = Futex.cancel t.futex ~owned_by:(fun owner -> owner = node) in
+     changes thread locations, or the owner tags would lie. An origin
+     crash kills the futex service itself: every parked delegate fiber is
+     a casualty, whatever node its thread lives on (the survivors' threads
+     retry the wait against the promoted origin). *)
+  let cancelled =
+    if origin_died then Futex.cancel t.futex ~owned_by:(fun _ -> true)
+    else Futex.cancel t.futex ~owned_by:(fun owner -> owner = node)
+  in
   if cancelled > 0 then Stats.add t.stats "crash.futex_cancelled" cancelled;
-  (* Apply the crash policy to every thread caught on the dead node. *)
+  (* Apply the crash policy to every thread caught on the dead node.
+     Threads standing on the dead origin are beyond re-homing — their
+     register state died with the node that also held the directory — so
+     they abort under either policy. *)
   List.iter
     (fun th ->
       if (not th.finished) && th.location = node then
-        match on_crash_policy t with
+        match (if origin_died then `Abort else on_crash_policy t) with
         | `Abort ->
             th.crashed <- true;
             Stats.incr t.stats "crash.threads_aborted"
@@ -736,11 +849,18 @@ let router t (env : Fabric.env) =
         true
     | M.Delegate { pid; resp_size; run; _ } when pid = t.pid ->
         Engine.delay (engine t) (cfg t).Core_config.delegation_dispatch;
-        env.Fabric.respond ~size:resp_size (run ());
+        let r = run () in
+        (* Replicate-before-externalize: whatever the syscall mutated
+           (futex state, VMAs, allocations) must be on the standby before
+           the reply publishes the effect to another node. *)
+        ha_fence t;
+        env.Fabric.respond ~size:resp_size r;
         true
     | M.Vma_query { pid; addr } when pid = t.pid ->
         Engine.delay (engine t) (cfg t).Core_config.vma_op;
-        env.Fabric.respond (M.Vma_info (Vma_tree.find t.vmas.(t.origin) addr));
+        let r = M.Vma_info (Vma_tree.find t.vmas.(t.origin) addr) in
+        ha_fence t;
+        env.Fabric.respond r;
         true
     | M.Node_op { pid; op } when pid = t.pid -> (
         match t.workers.(msg.Msg.dst) with
@@ -762,11 +882,36 @@ let create cluster ?(origin = 0) () =
     invalid_arg "Process.create: bad origin";
   let pid = Cluster.fresh_pid cluster in
   let seed = Rng.int (Cluster.rng cluster) 1_000_000 in
+  let stats = Stats.create () in
+  let ha =
+    match (Cluster.proto_config cluster).Dex_proto.Proto_config.replication
+    with
+    | `Off -> None
+    | (`Sync | `Async _) as mode ->
+        let nodes = Cluster.nodes cluster in
+        if nodes < 2 then
+          invalid_arg "Process.create: replication needs at least two nodes";
+        let standby =
+          match
+            (Cluster.proto_config cluster).Dex_proto.Proto_config.standby
+          with
+          | Some s ->
+              if s = origin || s < 0 || s >= nodes then
+                invalid_arg "Process.create: bad standby node";
+              s
+          | None -> if origin = 0 then 1 else 0
+        in
+        Some
+          (Ha.create ~engine:(Cluster.engine cluster)
+             ~fabric:(Cluster.fabric cluster) ~stats ~pid ~mode ~origin
+             ~standby)
+  in
   let t =
     {
       cluster;
       pid;
       origin;
+      ha;
       coh =
         Coherence.create ~cfg:(Cluster.proto_config cluster) ~seed ~pid
           (Cluster.fabric cluster) ~origin;
@@ -774,7 +919,7 @@ let create cluster ?(origin = 0) () =
       vmas = Array.init (Cluster.nodes cluster) (fun _ -> Vma_tree.create ());
       futex = Futex.create (Cluster.engine cluster);
       vfs = Vfs.create ();
-      stats = Stats.create ();
+      stats;
       next_tid = 0;
       threads = [];
       workers = Array.make (Cluster.nodes cluster) Absent;
@@ -782,22 +927,77 @@ let create cluster ?(origin = 0) () =
       mmap_next = Layout.mmap_base;
     }
   in
+  (* Wire the replication log into the protocol layer before any state is
+     created, so the initial layout below is already logged. *)
+  (match t.ha with
+  | None -> ()
+  | Some ha ->
+      Coherence.set_commit_barrier t.coh (Some (fun () -> Ha.fence ha));
+      Coherence.set_origin_resolver t.coh (Some (fun () -> Ha.resolve ha));
+      Coherence.set_origin_write_hook t.coh
+        (Some
+           (fun vpn ->
+             (* Origin-local dirtying never crosses the wire, so the
+                directory observer cannot see it; ship the fresh bytes. *)
+             let store = Coherence.page_store t.coh ~node:t.origin in
+             if Page_store.mem store vpn then
+               Ha.append ha
+                 (Log_entry.Page_data
+                    { vpn; data = Page_store.snapshot store vpn })));
+      Directory.set_observer
+        (Coherence.directory t.coh)
+        (Some
+           (fun vpn state ->
+             Ha.append ha
+               (match state with
+               | Some s -> Log_entry.Dir_set { vpn; state = s }
+               | None -> Log_entry.Dir_forget { vpn })));
+      Ha.set_promote_hook ha (fun ~new_origin replica ->
+          (* Runs in the promotion fiber, after directory reclaim for the
+             dead origin was skipped in favor of this full rebuild. *)
+          Coherence.promote t.coh ~new_origin
+            ~dir_entries:(Replica.dir_snapshot replica)
+            ~page_data:(Replica.page_data replica);
+          t.origin <- new_origin;
+          (* The replicated tree IS the authoritative layout now; the
+             promoted node's lazily synced view is a strict subset. *)
+          t.vmas.(new_origin) <- Replica.vma_tree replica;
+          Coherence.fence_survivors t.coh;
+          (* Bootstrap snapshot seeding the next replication generation. *)
+          let vmas = ref [] in
+          Vma_tree.iter t.vmas.(new_origin) (fun vma ->
+              vmas := Log_entry.Vma_set vma :: !vmas);
+          let store = Coherence.page_store t.coh ~node:new_origin in
+          let pages =
+            Page_store.fold store ~init:[] ~f:(fun vpn data acc ->
+                Log_entry.Page_data { vpn; data = Bytes.copy data } :: acc)
+          in
+          let dirs =
+            List.map
+              (fun (vpn, state) -> Log_entry.Dir_set { vpn; state })
+              (Directory.snapshot (Coherence.directory t.coh))
+          in
+          dirs @ pages @ List.rev !vmas);
+      Cluster.add_router cluster (Ha.router ha));
   (* Classic static layout at the origin; remote nodes learn VMAs on
      demand. *)
   let tree = t.vmas.(origin) in
-  Vma_tree.insert tree
-    (Vma.make ~start:Layout.text_base ~len:Layout.text_size ~perm:Perm.ro
-       ~tag:"text");
-  Vma_tree.insert tree
-    (Vma.make ~start:Layout.globals_base ~len:Layout.globals_size
-       ~perm:Perm.rw ~tag:"globals");
-  Vma_tree.insert tree
-    (Vma.make ~start:Layout.heap_base ~len:Layout.heap_size ~perm:Perm.rw
-       ~tag:"heap");
+  let layout_vma ~start ~len ~perm ~tag =
+    let vma = Vma.make ~start ~len ~perm ~tag in
+    Vma_tree.insert tree vma;
+    ha_log t (Log_entry.Vma_set vma)
+  in
+  layout_vma ~start:Layout.text_base ~len:Layout.text_size ~perm:Perm.ro
+    ~tag:"text";
+  layout_vma ~start:Layout.globals_base ~len:Layout.globals_size
+    ~perm:Perm.rw ~tag:"globals";
+  layout_vma ~start:Layout.heap_base ~len:Layout.heap_size ~perm:Perm.rw
+    ~tag:"heap";
   Cluster.add_router cluster (router t);
-  (* Coherence.create already subscribed its reclaim pass; registration
-     order makes ownership reclaim run before thread/worker recovery. *)
-  Fabric.on_crash (Cluster.fabric cluster) (fun node ->
+  (* Subscriber priorities spell out the recovery order: directory reclaim
+     (0, in Coherence.create), standby promotion (10, in Ha.create), then
+     thread/worker recovery here. *)
+  Fabric.on_crash ~priority:20 (Cluster.fabric cluster) (fun node ->
       handle_node_crash t ~node);
   t
 
@@ -818,14 +1018,15 @@ let spawn t ?name:(thread_name = "worker") f =
   in
   t.threads <- th :: t.threads;
   (* Thread-private VMAs live in the origin's authoritative tree. *)
-  Vma_tree.insert t.vmas.(t.origin)
-    (Vma.make ~start:(Layout.stack_for ~tid) ~len:Layout.stack_size
-       ~perm:Perm.rw
-       ~tag:(Printf.sprintf "stack:%d" tid));
-  Vma_tree.insert t.vmas.(t.origin)
-    (Vma.make ~start:(Layout.tls_for ~tid) ~len:Layout.tls_slot_size
-       ~perm:Perm.rw
-       ~tag:(Printf.sprintf "tls:%d" tid));
+  let private_vma ~start ~len ~tag =
+    let vma = Vma.make ~start ~len ~perm:Perm.rw ~tag in
+    Vma_tree.insert t.vmas.(t.origin) vma;
+    ha_log t (Log_entry.Vma_set vma)
+  in
+  private_vma ~start:(Layout.stack_for ~tid) ~len:Layout.stack_size
+    ~tag:(Printf.sprintf "stack:%d" tid);
+  private_vma ~start:(Layout.tls_for ~tid) ~len:Layout.tls_slot_size
+    ~tag:(Printf.sprintf "tls:%d" tid);
   Engine.spawn (engine t) ~label:th.thread_name (fun () ->
       Engine.delay (engine t) (cfg t).Core_config.spawn_thread;
       (try f th with

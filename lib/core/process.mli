@@ -30,13 +30,25 @@ exception Thread_crashed of { pid : int; tid : int }
     returns and {!crashed} reports the loss. *)
 
 val create : Cluster.t -> ?origin:int -> unit -> t
-(** Register a new process; [origin] defaults to node 0. *)
+(** Register a new process; [origin] defaults to node 0. When
+    {!Dex_proto.Proto_config.replication} is not [`Off], this also arms
+    origin replication towards {!Dex_proto.Proto_config.standby} (default:
+    the lowest non-origin node) — see {!ha}. *)
 
 val cluster : t -> Cluster.t
 
 val pid : t -> int
 
 val origin : t -> int
+(** The current origin node. Changes when a standby is promoted after an
+    origin crash. *)
+
+val ha : t -> Dex_ha.Ha.t option
+(** The origin-replication layer, when armed. With replication armed an
+    origin fail-stop no longer kills the process: the standby replays the
+    replication log, takes over the directory/futex/VMA services under a
+    new epoch, and surviving threads stall through the failover instead of
+    aborting (threads resident on the dead origin itself still abort). *)
 
 val coherence : t -> Dex_proto.Coherence.t
 

@@ -1,0 +1,302 @@
+open Dex_sim
+module Fabric = Dex_net.Fabric
+module Msg = Dex_net.Msg
+
+type state = Active | Promoting | Disabled
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  stats : Stats.t;
+  pid : int;
+  mode : [ `Sync | `Async of int ];
+  mutable origin : int;
+  mutable standby : int;
+  mutable state : state;
+  (* Origin-side log. Sequence numbers count appended entries; [shipped]
+     entries have been handed to the in-flight shipper batch, [acked] is
+     the standby's applied watermark. Compaction replaces a still-queued
+     entry in place, so it never moves sequence numbers. *)
+  mutable next_seq : int;
+  mutable shipped : int;
+  mutable acked : int;
+  mutable pending_rev : Log_entry.t list;  (* newest first, unshipped *)
+  mutable deferred_rev : Log_entry.t list;  (* arrived during a failover *)
+  mutable shipping : bool;  (* a shipper fiber is alive *)
+  fence_q : unit Waitq.t;  (* fibers blocked in {!fence} *)
+  resolve_q : unit Waitq.t;  (* fibers blocked in {!resolve} *)
+  (* Standby side: the replica plus the applied entries retained for the
+     promotion-time replay-determinism check. *)
+  mutable replica : Replica.t;
+  mutable replica_origin : int;  (* origin the current generation is rooted at *)
+  mutable applied_rev : Log_entry.t list;
+  (* Promoted-origin side: the ledger of wakes consumed at the dead
+     origin, served to retried futex waits. *)
+  mutable promoted : Replica.t option;
+  mutable promote_hook : (new_origin:int -> Replica.t -> Log_entry.t list) option;
+  mutable detect_ns : Time_ns.t;  (* when the origin's death was declared *)
+}
+
+let origin t = t.origin
+let standby t = t.standby
+let mode t = t.mode
+let active t = t.state = Active
+let armed t = match t.state with Active | Promoting -> true | Disabled -> false
+let lag t = t.next_seq - t.acked
+let set_promote_hook t f = t.promote_hook <- Some f
+
+let disable t =
+  if t.state <> Disabled then begin
+    t.state <- Disabled;
+    t.pending_rev <- [];
+    t.deferred_rev <- [];
+    ignore (Waitq.wake_all t.fence_q ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shipping: an on-demand fiber drains the pending queue in batches and
+   retires when the queue is empty, so a quiescent run never holds a
+   parked shipper (which would read as a deadlock to the engine).       *)
+
+let rec kick t =
+  if (not t.shipping) && t.state = Active && t.pending_rev <> [] then begin
+    t.shipping <- true;
+    Engine.spawn t.engine ~label:"ha-ship" (fun () -> ship t)
+  end
+
+and ship t =
+  if t.state <> Active || t.pending_rev = [] then t.shipping <- false
+  else begin
+    let batch = List.rev t.pending_rev in
+    t.pending_rev <- [];
+    let first_seq = t.shipped in
+    let n = List.length batch in
+    t.shipped <- first_seq + n;
+    let size =
+      List.fold_left (fun acc e -> acc + Log_entry.wire_size e) 0 batch
+    in
+    Stats.incr t.stats "ha.ship_batches";
+    Stats.add t.stats "ha.entries_shipped" n;
+    match
+      Fabric.call t.fabric ~src:t.origin ~dst:t.standby
+        ~kind:Ha_messages.kind_repl ~size
+        (Ha_messages.Repl_append { pid = t.pid; first_seq; entries = batch })
+    with
+    | Ha_messages.Repl_ack { pid = _; watermark } ->
+        if watermark > t.acked then begin
+          Stats.add t.stats "ha.entries_acked" (watermark - t.acked);
+          t.acked <- watermark
+        end;
+        ignore (Waitq.wake_all t.fence_q ());
+        ship t
+    | _ -> failwith "Ha: unexpected replication reply"
+    | exception Fabric.Unreachable _ ->
+        t.shipping <- false;
+        if Fabric.crashed t.fabric ~node:t.standby then begin
+          (* The standby died. Declaring the failure runs our own crash
+             subscriber, which disables replication and releases fences. *)
+          if not (Fabric.crash_detected t.fabric ~node:t.standby) then
+            Fabric.declare_dead t.fabric ~node:t.standby
+          else disable t
+        end
+        else if not (Fabric.crashed t.fabric ~node:t.origin) then
+          (* Neither endpoint crashed yet the budget ran out: treat the
+             link as lost and stop replicating rather than wedging every
+             fence forever. *)
+          disable t
+  (* else: the origin itself died mid-ship; the promotion path owns the
+     aftermath and this fiber just retires. *)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Origin-side API.                                                     *)
+
+let append t e =
+  match t.state with
+  | Disabled -> ()
+  | Promoting ->
+      (* Mutations that race the failover (origin-local activity at the
+         promoted node before re-arming completes) are queued and shipped
+         after the re-arm snapshot; every entry is idempotent against it. *)
+      t.deferred_rev <- e :: t.deferred_rev
+  | Active ->
+      Stats.incr t.stats "ha.entries";
+      (match (e, t.pending_rev) with
+      | ( Log_entry.Page_data { vpn; _ },
+          Log_entry.Page_data { vpn = v; _ } :: rest )
+        when v = vpn ->
+          (* Still queued: the newest image of the page wins. *)
+          Stats.incr t.stats "ha.compacted";
+          t.pending_rev <- e :: rest
+      | _ ->
+          t.next_seq <- t.next_seq + 1;
+          t.pending_rev <- e :: t.pending_rev);
+      kick t
+
+let lag_ok t =
+  match t.mode with
+  | `Sync -> t.acked >= t.next_seq
+  | `Async lag -> t.next_seq - t.acked <= lag
+
+let fence t =
+  match t.state with
+  | Disabled | Promoting -> ()
+  | Active ->
+      if not (lag_ok t) then begin
+        Stats.incr t.stats "ha.fence_waits";
+        while t.state = Active && not (lag_ok t) do
+          kick t;
+          Waitq.wait t.engine t.fence_q
+        done
+      end
+
+let resolve t =
+  (match t.state with
+  | Promoting -> Waitq.wait t.engine t.resolve_q
+  | Active | Disabled -> ());
+  if Fabric.crashed t.fabric ~node:t.origin then None else Some t.origin
+
+let take_wake t ~addr ~tid =
+  match t.promoted with
+  | Some ledger when Replica.take_wake ledger ~addr ~tid ->
+      Stats.incr t.stats "ha.wakes_redelivered";
+      (* Tell the next standby the verdict is delivered. *)
+      append t (Log_entry.Futex_unpark { addr; tid; woken = false });
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Failover.                                                            *)
+
+let rearm t =
+  t.next_seq <- 0;
+  t.shipped <- 0;
+  t.acked <- 0;
+  t.pending_rev <- [];
+  t.applied_rev <- [];
+  let nodes = Fabric.node_count t.fabric in
+  let rec pick i =
+    if i >= nodes then None
+    else if i <> t.origin && not (Fabric.crashed t.fabric ~node:i) then Some i
+    else pick (i + 1)
+  in
+  match pick 0 with
+  | None ->
+      (* Nobody left to replicate to; a further origin crash is fatal. *)
+      t.deferred_rev <- [];
+      t.state <- Disabled
+  | Some s ->
+      t.standby <- s;
+      t.replica_origin <- t.origin;
+      t.replica <- Replica.create ~origin:t.origin;
+      let deferred = List.rev t.deferred_rev in
+      t.deferred_rev <- [];
+      t.state <- Active;
+      append t (Log_entry.Reset { origin = t.origin });
+      (* Full snapshot of the promoted state (the bootstrap the promotion
+         hook computed), then whatever trickled in during the failover. *)
+      (match t.promoted with
+      | Some ledger ->
+          List.iter
+            (fun (addr, tid) ->
+              append t (Log_entry.Futex_unpark { addr; tid; woken = true }))
+            (Replica.pending_wakes ledger)
+      | None -> ());
+      List.iter (append t) deferred
+
+let promote_fiber t bootstrap_of_hook =
+  (* Replay the retained log against a fresh replica: the standby's
+     incrementally maintained image and the from-scratch replay must be
+     bit-identical, or the log itself is not a faithful serialization. *)
+  let applied = List.rev t.applied_rev in
+  let fresh = Replica.create ~origin:t.replica_origin in
+  List.iter (Replica.apply fresh) applied;
+  if not (Replica.equal fresh t.replica) then
+    failwith "Ha: replication log replay diverged from the standby replica";
+  Stats.add t.stats "ha.replay_entries" (List.length applied);
+  let new_origin = t.standby in
+  let bootstrap = bootstrap_of_hook ~new_origin t.replica in
+  t.origin <- new_origin;
+  t.promoted <- Some t.replica;
+  Stats.incr t.stats "ha.failovers";
+  Stats.add t.stats "ha.failover_ns" (Engine.now t.engine - t.detect_ns);
+  rearm t;
+  (match t.state with
+  | Active -> List.iter (append t) bootstrap
+  | Promoting | Disabled -> ());
+  (* Only now may stalled requesters retry: the new origin is serving and
+     every retried fault is back under replication. *)
+  ignore (Waitq.wake_all t.resolve_q ())
+
+let handle_crash t node =
+  match t.state with
+  | Active when node = t.origin -> (
+      match t.promote_hook with
+      | None ->
+          (* Nobody wired a promotion path; stay out of the way (the
+             process layer will refuse the crash loudly). *)
+          disable t
+      | Some hook ->
+          t.state <- Promoting;
+          t.detect_ns <- Engine.now t.engine;
+          (* Fibers blocked on the dead origin's fences must unwind. *)
+          ignore (Waitq.wake_all t.fence_q ());
+          Engine.spawn t.engine ~label:"ha-promote" (fun () ->
+              promote_fiber t hook))
+  | Active when node = t.standby ->
+      Stats.incr t.stats "ha.standby_lost";
+      disable t
+  | Active | Promoting | Disabled -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Standby-side message handling.                                       *)
+
+let router t (env : Fabric.env) =
+  match env.Fabric.msg.Msg.payload with
+  | Ha_messages.Repl_append { pid; first_seq; entries } when pid = t.pid ->
+      List.iter
+        (fun e ->
+          Replica.apply t.replica e;
+          t.applied_rev <- e :: t.applied_rev)
+        entries;
+      env.Fabric.respond
+        (Ha_messages.Repl_ack
+           { pid = t.pid; watermark = first_seq + List.length entries });
+      true
+  | _ -> false
+
+let create ~engine ~fabric ~stats ~pid ~mode ~origin ~standby =
+  if standby = origin then invalid_arg "Ha.create: standby equals origin";
+  if standby < 0 || standby >= Fabric.node_count fabric then
+    invalid_arg "Ha.create: bad standby node";
+  let t =
+    {
+      engine;
+      fabric;
+      stats;
+      pid;
+      mode;
+      origin;
+      standby;
+      state = Active;
+      next_seq = 0;
+      shipped = 0;
+      acked = 0;
+      pending_rev = [];
+      deferred_rev = [];
+      shipping = false;
+      fence_q = Waitq.create ();
+      resolve_q = Waitq.create ();
+      replica = Replica.create ~origin;
+      replica_origin = origin;
+      applied_rev = [];
+      promoted = None;
+      promote_hook = None;
+      detect_ns = 0;
+    }
+  in
+  (* Between directory reclaim (0) and process-level thread recovery (20):
+     by the time threads are re-homed or aborted, the promotion fiber is
+     already queued and the fences are released. *)
+  Fabric.on_crash ~priority:10 fabric (fun node -> handle_crash t node);
+  t

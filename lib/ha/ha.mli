@@ -1,0 +1,99 @@
+(** Origin replication: a write-ahead log of directory and delegation
+    mutations streamed to a standby, plus standby promotion on origin
+    failure.
+
+    The origin is DeX's one stateful anchor — ownership directory, VMA
+    layout, futexes, file service all live there — so PR 3's crash
+    recovery had to stop short of it. This layer closes the gap:
+
+    {ul
+    {- {b Log.} Every externally observable origin mutation is appended as
+       a {!Log_entry.t} ({!append}) and shipped to the standby in batches
+       over the ordinary reliable fabric. The standby applies entries to a
+       {!Replica} and acks a watermark.}
+    {- {b Modes.} [`Sync] makes {!fence} block until the whole log is
+       acked before any origin reply externalizes its effects — an origin
+       crash then loses nothing. [`Async lag] only blocks when more than
+       [lag] entries are unacked — bounded-lag shipping, cheaper fences,
+       and a crash may lose up to that suffix (the failover epoch fence
+       zaps survivor copies the replica no longer vouches for).}
+    {- {b Failover.} When the fabric declares the origin dead, the crash
+       subscriber (priority 10 — after directory reclaim at 0, before
+       thread re-homing at 20) spawns the promotion fiber: it replays the
+       retained log against a fresh replica and checks the result is
+       bit-identical to the incrementally built one, hands the replica to
+       the process layer's promotion hook ({!Dex_proto.Coherence.promote}
+       + epoch fencing), re-arms replication towards the next standby with
+       a fresh snapshot generation, and finally releases every requester
+       blocked in {!resolve}. Survivor threads experience a stalled fault,
+       not an abort.}} *)
+
+type t
+
+val create :
+  engine:Dex_sim.Engine.t ->
+  fabric:Dex_net.Fabric.t ->
+  stats:Dex_sim.Stats.t ->
+  pid:int ->
+  mode:[ `Sync | `Async of int ] ->
+  origin:int ->
+  standby:int ->
+  t
+(** Arm replication from [origin] to [standby]. Registers the failover
+    crash subscriber at priority 10. [stats] receives the [ha.*] counters
+    (typically the owning process's table). *)
+
+val origin : t -> int
+(** Current origin (changes at promotion). *)
+
+val standby : t -> int
+(** Current standby (changes when replication re-arms). *)
+
+val mode : t -> [ `Sync | `Async of int ]
+
+val active : t -> bool
+(** Replication is streaming (not disabled, no failover in progress). *)
+
+val armed : t -> bool
+(** An origin crash right now would be survivable: replication is active,
+    or a promotion is already in flight. *)
+
+val lag : t -> int
+(** Appended-but-unacked entry count. *)
+
+val set_promote_hook :
+  t -> (new_origin:int -> Replica.t -> Log_entry.t list) -> unit
+(** Install the promotion callback. It must install the replica as the
+    live origin state (directory, page data, VMA tree, process origin) and
+    return the bootstrap snapshot entries used to seed the next
+    replication generation. Runs in the promotion fiber and may block on
+    the fabric (epoch fencing). *)
+
+val append : t -> Log_entry.t -> unit
+(** Append one entry to the replication log. No-op when disabled; queued
+    behind the re-arm snapshot during a failover. Consecutive queued
+    [Page_data] entries for the same page compact to the newest image. *)
+
+val fence : t -> unit
+(** Block until the log satisfies the mode's durability bound ([`Sync]:
+    everything acked; [`Async lag]: at most [lag] unacked). Call before
+    externalizing any effect whose loss the log must cover. Returns
+    immediately when replication is disabled or failing over. *)
+
+val resolve : t -> int option
+(** Where is the origin? Blocks while a promotion is in flight, then
+    returns the (new) origin, or [None] if the origin is dead and no
+    promotion can happen. Wired as the coherence layer's origin
+    resolver. *)
+
+val take_wake : t -> addr:Dex_mem.Page.addr -> tid:int -> bool
+(** Consume a replicated pending wake for a retried futex wait at the
+    promoted origin ([ha.wakes_redelivered]). *)
+
+val router : t -> Dex_net.Fabric.env -> bool
+(** Standby-side message dispatcher (apply [Repl_append], ack). Register
+    with the cluster router chain. *)
+
+val handle_crash : t -> int -> unit
+(** The priority-10 crash subscriber (registered by {!create}; exposed for
+    directed tests). *)

@@ -1,0 +1,5 @@
+type Dex_net.Msg.payload +=
+  | Repl_append of { pid : int; first_seq : int; entries : Log_entry.t list }
+  | Repl_ack of { pid : int; watermark : int }
+
+let kind_repl = "repl_log"

@@ -1,0 +1,12 @@
+(** Wire messages of the origin replication log. *)
+
+type Dex_net.Msg.payload +=
+  | Repl_append of { pid : int; first_seq : int; entries : Log_entry.t list }
+      (** origin → standby: the log suffix starting at [first_seq]. Sized
+          as the sum of the entries' {!Log_entry.wire_size}, so bulk page
+          shipping rides the RDMA path automatically. *)
+  | Repl_ack of { pid : int; watermark : int }
+      (** standby → origin: every entry below [watermark] is applied. *)
+
+val kind_repl : string
+(** Statistics class of replication-log messages. *)

@@ -2,11 +2,22 @@ type state = Exclusive of int | Shared of Node_set.t
 
 type entry = { mutable state : state; mutable busy : bool }
 
-type t = { origin : int; pages : entry Radix_tree.t }
+type t = {
+  origin : int;
+  pages : entry Radix_tree.t;
+  mutable observer : (Page.vpn -> state option -> unit) option;
+}
 
-let create ~origin = { origin; pages = Radix_tree.create () }
+let create ~origin = { origin; pages = Radix_tree.create (); observer = None }
 
 let origin t = t.origin
+
+let set_observer t obs = t.observer <- obs
+
+let observer t = t.observer
+
+let notify t p st =
+  match t.observer with None -> () | Some f -> f p st
 
 let entry t p =
   match Radix_tree.find t.pages p with
@@ -23,17 +34,23 @@ let state t p =
 
 let is_tracked t p = Radix_tree.mem t.pages p
 
-let set_exclusive t p node = (entry t p).state <- Exclusive node
+let set_exclusive t p node =
+  (entry t p).state <- Exclusive node;
+  notify t p (Some (Exclusive node))
 
 let set_shared t p readers =
   if Node_set.is_empty readers then
     invalid_arg "Directory.set_shared: empty reader set";
-  (entry t p).state <- Shared readers
+  (entry t p).state <- Shared readers;
+  notify t p (Some (Shared readers))
 
 let add_reader t p node =
   let e = entry t p in
   match e.state with
-  | Shared readers -> e.state <- Shared (Node_set.add readers node)
+  | Shared readers ->
+      let readers = Node_set.add readers node in
+      e.state <- Shared readers;
+      notify t p (Some (Shared readers))
   | Exclusive owner when owner = node -> ()
   | Exclusive _ ->
       invalid_arg "Directory.add_reader: page exclusively owned elsewhere"
@@ -59,11 +76,28 @@ let unlock t p =
 let locked t p =
   match Radix_tree.find t.pages p with Some e -> e.busy | None -> false
 
-let forget t p = Radix_tree.remove t.pages p
+let forget t p =
+  Radix_tree.remove t.pages p;
+  notify t p None
 
 let tracked_pages t = Radix_tree.length t.pages
 
 let iter t f = Radix_tree.iter t.pages (fun p e -> f p e.state)
+
+let snapshot t =
+  let acc = ref [] in
+  iter t (fun p st -> acc := (p, st) :: !acc);
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+let restore ~origin entries =
+  let t = create ~origin in
+  List.iter
+    (fun (p, st) ->
+      match st with
+      | Exclusive node -> set_exclusive t p node
+      | Shared readers -> set_shared t p readers)
+    entries;
+  t
 
 let check_invariants t =
   iter t (fun p -> function

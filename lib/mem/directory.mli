@@ -17,6 +17,17 @@ val create : origin:int -> t
 
 val origin : t -> int
 
+val set_observer : t -> (Page.vpn -> state option -> unit) option -> unit
+(** Install (or clear) a mutation observer, called after every state
+    change: [Some state] for {!set_exclusive}/{!set_shared}/{!add_reader},
+    [None] for {!forget}. Implicit entry creation (an untracked page read
+    back as [Exclusive origin]) is not a mutation and is never reported.
+    Used by the HA layer to feed the replication log. *)
+
+val observer : t -> (Page.vpn -> state option -> unit) option
+(** The currently installed observer, so a rebuilt directory (standby
+    promotion) can inherit it. *)
+
 val state : t -> Page.vpn -> state
 (** Current ownership; untracked pages are [Exclusive origin]. *)
 
@@ -53,6 +64,15 @@ val forget : t -> Page.vpn -> unit
 val tracked_pages : t -> int
 
 val iter : t -> (Page.vpn -> state -> unit) -> unit
+
+val snapshot : t -> (Page.vpn * state) list
+(** Canonical image of every tracked entry, sorted by vpn — two
+    directories with the same ownership state produce structurally equal
+    snapshots regardless of mutation order. Busy flags are transient
+    protocol state and are not captured. *)
+
+val restore : origin:int -> (Page.vpn * state) list -> t
+(** Rebuild a directory from a {!snapshot} — standby bootstrap. *)
 
 val check_invariants : t -> unit
 (** Test hook: exclusive entries carry a valid node; shared entries are

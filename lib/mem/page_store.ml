@@ -43,3 +43,5 @@ let drop t p = Radix_tree.remove t p
 
 let materialized t = Radix_tree.length t
 let mem t p = Radix_tree.mem t p
+
+let fold t ~init ~f = Radix_tree.fold t ~init ~f:(fun p b acc -> f p b acc)

@@ -33,3 +33,7 @@ val materialized : t -> int
 
 val mem : t -> Page.vpn -> bool
 (** Whether the page is resident (has ever been written or installed). *)
+
+val fold : t -> init:'a -> f:(Page.vpn -> bytes -> 'a -> 'a) -> 'a
+(** Fold over resident pages. The bytes are the live buffers — copy before
+    stashing them anywhere (standby bootstrap snapshots do). *)

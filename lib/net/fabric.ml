@@ -10,6 +10,13 @@ type Msg.payload +=
          prune its dedup state for them. *)
   | Rel_reply of { seq : int; inner : Msg.payload }
   | Rel_ack of { seq : int }
+  | Rel_busy of { seq : int }
+      (* receiver → sender: the request is delivered and its handler is
+         still running — a long-blocking call (a parked futex wait, a
+         grant grinding through a revoke escalation), not a lost message.
+         Refills the sender's retransmit budget instead of completing the
+         transaction, so slow handlers and dead peers stay
+         distinguishable: a dead peer never sends one. *)
 
 (* Receiver-side fate of a sequence number. Entries may only be forgotten
    once the sender can no longer retransmit that seq — forgetting earlier
@@ -38,13 +45,20 @@ type t = {
   rto_rng : Rng.t;  (* retransmission-timeout jitter *)
   mutable rel_seq : int;  (* next request sequence number, fabric-global *)
   rel_seen : (int, rel_remote) Hashtbl.t;
-  rel_pending : (int, Msg.payload option option ref * (unit -> unit) option ref) Hashtbl.t;
-      (* seq -> (result box, waker). The box holds [Some (Some reply)] for
-         completed calls and [Some None] for acked one-way sends. *)
+  rel_pending :
+    ( int,
+      Msg.payload option option ref * (unit -> unit) option ref * bool ref )
+    Hashtbl.t;
+      (* seq -> (result box, waker, busy). The box holds [Some (Some
+         reply)] for completed calls and [Some None] for acked one-way
+         sends; [busy] records a {!Rel_busy} since the last retransmit. *)
   mutable rel_pruned : int;  (* every seq below this is gone from rel_seen *)
   dead : bool array;  (* fail-stop ground truth, per node *)
   detected : bool array;  (* has the failure been declared to subscribers *)
-  mutable crash_subs : (int -> unit) list;  (* in registration order *)
+  mutable crash_subs : (int * int * (int -> unit)) list;
+      (* (priority, registration seq, callback), kept sorted: lower
+         priority runs first, registration order breaks ties *)
+  mutable crash_sub_seq : int;
 }
 
 and env = { msg : Msg.t; respond : ?size:int -> Msg.payload -> unit }
@@ -79,7 +93,13 @@ let crash_detected t ~node =
   check_node t node "crash_detected";
   t.detected.(node)
 
-let on_crash t f = t.crash_subs <- t.crash_subs @ [ f ]
+let on_crash ?(priority = 0) t f =
+  let seq = t.crash_sub_seq in
+  t.crash_sub_seq <- seq + 1;
+  t.crash_subs <-
+    List.stable_sort
+      (fun (p1, s1, _) (p2, s2, _) -> compare (p1, s1) (p2, s2))
+      ((priority, seq, f) :: t.crash_subs)
 
 let declare_dead t ~node =
   check_node t node "declare_dead";
@@ -87,7 +107,7 @@ let declare_dead t ~node =
     invalid_arg "Fabric.declare_dead: node is not crashed";
   if not t.detected.(node) then begin
     t.detected.(node) <- true;
-    List.iter (fun f -> f node) t.crash_subs
+    List.iter (fun (_, _, f) -> f node) t.crash_subs
   end
 
 (* The undithered sum of the sender's whole retransmission schedule: after
@@ -173,6 +193,7 @@ let create engine cfg =
       dead = Array.make n false;
       detected = Array.make n false;
       crash_subs = [];
+      crash_sub_seq = 0;
     }
   in
   (* Scheduled fail-stop crashes, planted like the degrades above. *)
@@ -388,7 +409,7 @@ let rel_send_ack t ~(req : Msg.t) ~seq =
   in
   transmit t amsg (fun () ->
       match Hashtbl.find_opt t.rel_pending seq with
-      | Some (box, wake) when !box = None ->
+      | Some (box, wake, _) when !box = None ->
           box := Some None;
           Hashtbl.remove t.rel_pending seq;
           (match !wake with
@@ -397,6 +418,25 @@ let rel_send_ack t ~(req : Msg.t) ~seq =
               w ()
           | None -> ())
       | _ -> Stats.incr t.stats "chaos.dup_acks")
+
+(* Keepalive for a call whose handler is still running at the receiver:
+   zero payload, does not complete the transaction, only refills the
+   sender's retransmit budget (consumed by [rel_transact] at its next
+   timeout). *)
+let rel_send_busy t ~(req : Msg.t) ~seq =
+  let bmsg =
+    {
+      Msg.src = req.Msg.dst;
+      dst = req.Msg.src;
+      size = 0;
+      kind = req.Msg.kind ^ ".busy";
+      payload = Rel_busy { seq };
+    }
+  in
+  transmit t bmsg (fun () ->
+      match Hashtbl.find_opt t.rel_pending seq with
+      | Some (box, _, busy) when !box = None -> busy := true
+      | _ -> ())
 
 (* Requester -> replier ack of a delivered reply, so the replier can drop
    the cached copy promptly instead of waiting for the watermark to crawl
@@ -435,7 +475,7 @@ let rel_send_reply t ~(req : Msg.t) ~seq ~size reply =
   in
   transmit t rmsg (fun () ->
       match Hashtbl.find_opt t.rel_pending seq with
-      | Some (box, wake) when !box = None ->
+      | Some (box, wake, _) when !box = None ->
           box := Some (Some reply);
           Hashtbl.remove t.rel_pending seq;
           Engine.spawn t.engine ~label:"rel-reply-ack" (fun () ->
@@ -454,8 +494,12 @@ let rel_dispatch t (msg : Msg.t) ~seq ~low ~oneway ~inner =
   match Hashtbl.find_opt t.rel_seen seq with
   | Some Rel_in_progress ->
       (* The handler is still running; its eventual reply covers this copy
-         too. Nothing to replay yet. *)
-      Stats.incr t.stats "chaos.dup_requests"
+         too. Nothing to replay yet — but tell the sender the call is in
+         good hands, or a handler that legitimately blocks longer than the
+         retransmit budget (a parked futex wait) reads as a dead peer. *)
+      Stats.incr t.stats "chaos.dup_requests";
+      Engine.spawn t.engine ~label:"rel-busy" (fun () ->
+          rel_send_busy t ~req:msg ~seq)
   | Some Rel_acked ->
       Stats.incr t.stats "chaos.dup_requests";
       Engine.spawn t.engine ~label:"rel-ack" (fun () ->
@@ -502,7 +546,8 @@ let rel_transact t c ~src ~dst ~kind ~size ~oneway payload =
   let seq = fresh_seq t in
   let box = ref None in
   let wake = ref None in
-  Hashtbl.replace t.rel_pending seq (box, wake);
+  let busy = ref false in
+  Hashtbl.replace t.rel_pending seq (box, wake, busy);
   let rec go attempt =
     if t.dead.(src) then begin
       (* The sending node died mid-transaction. Its fiber must unwind
@@ -548,6 +593,14 @@ let rel_transact t c ~src ~dst ~kind ~size ~oneway payload =
         in
         match outcome with
         | `Done -> ( match !box with Some r -> r | None -> assert false)
+        | `Timeout when !busy ->
+            (* The receiver vouched for the call since our last transmit:
+               the handler is alive, just slow. Refill the budget (the RTO
+               stays at its current backoff — no point hammering a peer
+               that already has the request). *)
+            busy := false;
+            Stats.incr t.stats "chaos.busy_waits";
+            go attempt
         | `Timeout ->
             Stats.incr t.stats "chaos.timeouts";
             go (attempt + 1))

@@ -129,15 +129,20 @@ val crash_detected : t -> node:int -> bool
 
 val declare_dead : t -> node:int -> unit
 (** Declare a crashed node's failure: runs every {!on_crash} subscriber
-    (in registration order), exactly once per node. Called by recovery
+    (in priority order), exactly once per node. Called by recovery
     layers when {!Unreachable} convinces them the peer is gone, and by the
     fabric's own keepalive backstop one full retry budget after the crash.
     Raises [Invalid_argument] if the node has not actually crashed. *)
 
-val on_crash : t -> (int -> unit) -> unit
+val on_crash : ?priority:int -> t -> (int -> unit) -> unit
 (** Subscribe to failure declarations. The callback receives the dead
     node's id, in a context that must not block (spawn a fiber for any
-    recovery work that needs the fabric). *)
+    recovery work that needs the fabric). Subscribers run in ascending
+    [priority] (default [0]); equal priorities run in registration order.
+    The ordering is load-bearing — directory reclaim (priority 0) must
+    complete before HA promotion (10) and thread re-homing (20), so each
+    layer states its place explicitly instead of relying on who happened
+    to register first. *)
 
 val send : t -> src:int -> dst:int -> kind:string -> size:int -> Msg.payload -> unit
 (** One-way message. Blocks the calling fiber only for the local send-side

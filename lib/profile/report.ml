@@ -67,6 +67,36 @@ let pp_crash fmt stats =
       (get "crash.escalations")
       (get "crash.grants_refused")
 
+(* Origin-replication digest: log volume and fence cost from the process
+   counters, plus — when a failover actually ran — what the promotion did,
+   pulled from the protocol counters ([coh]). Silent when replication was
+   off. *)
+let pp_ha ?coh fmt stats =
+  let get = Dex_sim.Stats.get stats in
+  if get "ha.entries" > 0 || get "ha.failovers" > 0 then begin
+    Format.fprintf fmt
+      "ha: entries=%d shipped=%d acked=%d compacted=%d batches=%d \
+       fence_waits=%d@."
+      (get "ha.entries") (get "ha.entries_shipped") (get "ha.entries_acked")
+      (get "ha.compacted") (get "ha.ship_batches") (get "ha.fence_waits");
+    let cget name =
+      match coh with None -> 0 | Some s -> Dex_sim.Stats.get s name
+    in
+    if get "ha.failovers" > 0 then
+      Format.fprintf fmt
+        "ha failover: count=%d replayed=%d detect_to_serve=%.1fus \
+         stalled_faults=%d stale_nacks=%d fence_zapped=%d fence_demoted=%d \
+         wakes_redelivered=%d@."
+        (get "ha.failovers") (get "ha.replay_entries")
+        (float_of_int (get "ha.failover_ns") /. 1000.0)
+        (cget "ha.stalled_faults")
+        (cget "ha.stale_epoch_nacks")
+        (cget "ha.fence_zapped") (cget "ha.fence_demoted")
+        (get "ha.wakes_redelivered");
+    if get "ha.standby_lost" > 0 then
+      Format.fprintf fmt "ha: standby lost - replication disabled@."
+  end
+
 let pp_summary ?alloc ?stats ?net fmt events =
   let s = Analysis.summarize ?alloc events in
   Format.fprintf fmt "== DeX page-fault profile ==@.";

@@ -28,5 +28,16 @@ val pp_crash : Format.formatter -> Dex_sim.Stats.t -> unit
     ({!Dex_proto.Coherence.stats}); prints nothing when no node crashed.
     Included in {!pp_summary} automatically when [stats] is passed. *)
 
+val pp_ha : ?coh:Dex_sim.Stats.t -> Format.formatter -> Dex_sim.Stats.t -> unit
+(** Origin-replication digest from the process's [ha.*] counters
+    ({!Dex_core.Process.stats}): log entries appended/shipped/acked,
+    same-page compactions, fence waits — and, when a standby was actually
+    promoted, a failover line with the replayed-entry count, the
+    detection-to-serving latency, and how the survivors were repaired
+    (stalled faults, stale-epoch NACKs, fence zaps/demotions, redelivered
+    futex wakes; those come from [coh], the protocol stats
+    {!Dex_proto.Coherence.stats}). Prints nothing when replication was
+    off. *)
+
 val pp_compact : Format.formatter -> Analysis.summary -> unit
 (** One-paragraph digest. *)

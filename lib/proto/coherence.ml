@@ -21,10 +21,13 @@ type batch_record = {
 type t = {
   fabric : Fabric.t;
   engine : Engine.t;
-  origin : int;
+  mutable origin : int;  (* re-pointed by promote on standby failover *)
+  mutable epoch : int;  (* bumped by promote; 0 while the origin never died *)
+  origin_view : int array;  (* per node: where this node sends its faults *)
+  epoch_view : int array;  (* per node: the epoch it stamps on them *)
   pid : int;
   cfg : Proto_config.t;
-  dir : Directory.t;
+  mutable dir : Directory.t;  (* replaced wholesale by promote *)
   ptables : Page_table.t array;
   stores : Page_store.t array;
   ftables : outcome Fault_table.t array;
@@ -37,6 +40,17 @@ type t = {
   stats : Stats.t;
   fault_latencies : Histogram.t;
   mutable tracer : (Fault_event.t -> unit) option;
+  mutable barrier : (unit -> unit) option;
+      (* HA commit fence: blocks until the replication log is acked far
+         enough for the configured mode; called before any grant reply
+         leaves the origin *)
+  mutable resolver : (unit -> int option) option;
+      (* HA origin re-resolution: blocks a requester whose origin is
+         declared dead until failover completes (the stall-not-abort
+         path); None result means no standby can take over *)
+  mutable on_origin_write : (Page.vpn -> unit) option;
+      (* HA data capture: fired after every mutation of the origin's page
+         store, so typed page contents reach the replication log *)
 }
 
 (* --- fail-stop reclaim ---------------------------------------------- *)
@@ -98,6 +112,9 @@ let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
       fabric;
       engine;
       origin;
+      epoch = 0;
+      origin_view = Array.make n origin;
+      epoch_view = Array.make n 0;
       pid;
       cfg;
       dir = Directory.create ~origin;
@@ -111,15 +128,24 @@ let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
       stats = Stats.create ();
       fault_latencies = Histogram.create ();
       tracer = None;
+      barrier = None;
+      resolver = None;
+      on_origin_write = None;
     }
   in
-  (* Subscribe the reclaim pass at create time, before any process layer
-     gets a chance to: when a failure is declared, ownership metadata is
-     repaired first, thread/futex recovery runs second. *)
-  Fabric.on_crash fabric (fun node -> reclaim_node t ~node);
+  (* Subscribe the reclaim pass at create time and at priority 0, before
+     any HA promotion (10) or process recovery (20): when a failure is
+     declared, ownership metadata is repaired first. An origin death is
+     left to the HA layer when one is wired (a resolver is installed);
+     without HA, reclaim_node's refusal is the PR 3 behavior. *)
+  Fabric.on_crash ~priority:0 fabric (fun node ->
+      match t.resolver with
+      | Some _ when node = t.origin -> ()
+      | _ -> reclaim_node t ~node);
   t
 
 let origin t = t.origin
+let epoch t = t.epoch
 let pid t = t.pid
 let cfg t = t.cfg
 let node_count t = Array.length t.ptables
@@ -130,8 +156,18 @@ let fault_table t ~node = t.ftables.(node)
 let stats t = t.stats
 let fault_latencies t = t.fault_latencies
 let set_tracer t tracer = t.tracer <- tracer
+let set_commit_barrier t f = t.barrier <- f
+let set_origin_resolver t f = t.resolver <- f
+let set_origin_write_hook t f = t.on_origin_write <- f
 
 let emit t event = match t.tracer with None -> () | Some f -> f event
+
+let commit_fence t = match t.barrier with None -> () | Some f -> f ()
+
+(* Feed a mutation of the origin's staging store to the replication log.
+   No-op (one pointer test) unless the HA layer installed the hook. *)
+let origin_store_mutated t vpn =
+  match t.on_origin_write with None -> () | Some f -> f vpn
 
 (* Only ship real bytes for pages the typed API materialized; the wire
    cost of a full page is charged regardless (see grant sizes). *)
@@ -205,13 +241,31 @@ let fanout t ~label jobs =
       if !pending > 0 then Waitq.wait t.engine join;
       match !failure with Some e -> raise e | None -> ()
 
+(* Raised inside an origin-side handler when the origin itself turns out
+   to be the crashed endpoint of a failed RPC. The fiber is a zombie: its
+   reply would be dropped by the fabric, the promoted standby's replica is
+   the authoritative continuation of the state it was mutating, and — most
+   importantly — it must not keep running, or its directory writes would
+   race the promotion rebuild. {!handler} catches it and retires the
+   fiber; the requester's exhausted retries route it to the new origin. *)
+exception Origin_dead
+
 (* A revocation target that exhausts the retry budget IS the failure
    detector firing: escalate to a declared crash (fail-stop semantics —
    from here on the node is dead even if the true cause was a partition
    outliving the budget) and carry on without the ack. The reclaim pass
    run by the declaration scrubs whatever the dead node still appeared to
-   hold, so treating the revoke as acked-without-data is sound. *)
-let crash_escalate t ~target =
+   hold, so treating the revoke as acked-without-data is sound.
+
+   The one failure that must NOT be pinned on the target: the sending
+   origin itself died, which fast-unwinds every RPC it has in flight.
+   Blaming the (live) victim would declare the wrong node dead — and when
+   that victim is the replication standby, it would tear down the exact
+   machinery about to run the failover. [src] is the origin the RPC was
+   issued from, captured before the call: by the time a zombie fiber
+   resumes, [t.origin] may already point at the promoted standby. *)
+let crash_escalate t ~src ~target =
+  if Fabric.crashed t.fabric ~node:src then raise Origin_dead;
   Stats.incr t.stats "crash.escalations";
   if not (Fabric.crashed t.fabric ~node:target) then
     Fabric.crash t.fabric ~node:target;
@@ -231,15 +285,16 @@ let revoke_rpc t ~target ~vpn ~mode ~want_data =
       (match mode with
       | Messages.Invalidate -> "revoke.invalidate"
       | Messages.Downgrade -> "revoke.downgrade");
+    let src = t.origin in
     match
-      Fabric.call t.fabric ~src:t.origin ~dst:target
-        ~kind:Messages.kind_revoke ~size:t.cfg.Proto_config.ctl_msg_size
-        (Messages.Revoke { pid = t.pid; vpn; mode; want_data })
+      Fabric.call t.fabric ~src ~dst:target ~kind:Messages.kind_revoke
+        ~size:t.cfg.Proto_config.ctl_msg_size
+        (Messages.Revoke { pid = t.pid; vpn; mode; want_data; epoch = t.epoch })
     with
     | Messages.Revoke_ack { data; _ } -> data
     | _ -> failwith "Coherence: unexpected revoke reply"
     | exception Fabric.Unreachable _ ->
-        crash_escalate t ~target;
+        crash_escalate t ~src ~target;
         None
   end
 
@@ -254,16 +309,17 @@ let revoke_batch_rpc t ~target ~vpns =
     Stats.incr t.stats "revoke.batch";
     Stats.add t.stats "revoke.batch_pages" (List.length vpns);
     Stats.add t.stats "revoke.invalidate" (List.length vpns);
+    let src = t.origin in
     match
-      Fabric.call t.fabric ~src:t.origin ~dst:target
+      Fabric.call t.fabric ~src ~dst:target
         ~kind:Messages.kind_invalidate_batch
         ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length vpns))
         (Messages.Invalidate_batch
-           { pid = t.pid; vpns; mode = Messages.Invalidate })
+           { pid = t.pid; vpns; mode = Messages.Invalidate; epoch = t.epoch })
     with
     | Messages.Invalidate_batch_ack _ -> ()
     | _ -> failwith "Coherence: unexpected batch revoke reply"
-    | exception Fabric.Unreachable _ -> crash_escalate t ~target
+    | exception Fabric.Unreachable _ -> crash_escalate t ~src ~target
   end
 
 (* Apply a revocation to the origin's own page table. The origin's page
@@ -287,12 +343,33 @@ let revoke_parallel t targets ~vpn =
        targets)
 
 (* Pull fresh page data back to the origin from the current exclusive
-   owner, downgrading or invalidating its copy. *)
+   owner, downgrading or invalidating its copy.
+
+   With a commit barrier armed (origin replication), an invalidating
+   reclaim goes in two phases: downgrade the owner (it keeps a read copy),
+   replicate the pulled-back data, and only then invalidate. Destroying
+   the owner's only copy before the standby acked the bytes would open an
+   un-failover-able window — an origin crash in it would roll the page
+   back to the last replicated image even in `Sync mode. The page stays
+   directory-locked throughout, so no write can sneak into the gap. *)
 let reclaim_from_owner t ~owner ~vpn ~mode =
   if owner = t.origin then revoke_local t ~vpn ~mode
   else begin
-    let data = revoke_rpc t ~target:owner ~vpn ~mode ~want_data:true in
-    Option.iter (Page_store.install t.stores.(t.origin) vpn) data
+    let two_phase = t.barrier <> None && mode = Messages.Invalidate in
+    let first = if two_phase then Messages.Downgrade else mode in
+    let data = revoke_rpc t ~target:owner ~vpn ~mode:first ~want_data:true in
+    Option.iter
+      (fun d ->
+        Page_store.install t.stores.(t.origin) vpn d;
+        origin_store_mutated t vpn)
+      data;
+    if two_phase then begin
+      Stats.incr t.stats "ha.two_phase_reclaims";
+      commit_fence t;
+      ignore
+        (revoke_rpc t ~target:owner ~vpn ~mode:Messages.Invalidate
+           ~want_data:false)
+    end
   end
 
 (* The core ownership transition. Must run at the origin; may block on
@@ -572,10 +649,38 @@ let claim_prefetch t ~node ~tid ~vpn ~access =
    request's behalf, which burns the same retry budget the requester has.
    That false [Unreachable] must not abort the faulting thread. Grants
    are idempotent, so surfacing the timeout as a NACK and retrying is
-   safe — unlike delegated operations, which must never be replayed. *)
-let retriable_timeout t ~node =
-  (not (Fabric.crashed t.fabric ~node))
-  && not (Fabric.crash_detected t.fabric ~node:t.origin)
+   safe — unlike delegated operations, which must never be replayed.
+
+   With an HA resolver installed, a dead origin is a different story:
+   exhaust-the-budget IS the failure detector (escalate an undeclared
+   crash), then stall in the resolver until the standby is promoted,
+   adopt the new origin address, and retry there — the thread sees a
+   long fault, never an abort. *)
+let request_failure t ~node ~dst =
+  if Fabric.crashed t.fabric ~node then `Reraise
+  else begin
+    (match t.resolver with
+    | Some _
+      when Fabric.crashed t.fabric ~node:dst
+           && not (Fabric.crash_detected t.fabric ~node:dst) ->
+        Stats.incr t.stats "crash.escalations";
+        Fabric.declare_dead t.fabric ~node:dst
+    | _ -> ());
+    if Fabric.crash_detected t.fabric ~node:dst then
+      match t.resolver with
+      | Some resolve -> (
+          match resolve () with
+          | Some o ->
+              t.origin_view.(node) <- o;
+              Stats.incr t.stats "ha.stalled_faults";
+              `Nack
+          | None -> `Reraise)
+      | None -> `Reraise
+    else begin
+      Stats.incr t.stats "crash.requester_retries";
+      `Nack
+    end
+  end
 
 let request_once t ~node ~vpn ~access ~prefetch =
   if node = t.origin then begin
@@ -585,45 +690,67 @@ let request_once t ~node ~vpn ~access ~prefetch =
     | `Grant _ ->
         Page_table.set t.ptables.(node) vpn access;
         `Granted
+    | exception Origin_dead ->
+        (* The faulting thread runs ON the origin and the origin died
+           under its own revocation fan-out. Surface the standard
+           node-death signal so the thread crash policy applies. *)
+        raise
+          (Fabric.Unreachable { src = node; dst = node; kind = Messages.kind_revoke })
   end
   else if prefetch = [] then begin
+    let dst = t.origin_view.(node) in
     match
-      Fabric.call t.fabric ~src:node ~dst:t.origin
+      Fabric.call t.fabric ~src:node ~dst
         ~kind:Messages.kind_page_request ~size:t.cfg.Proto_config.ctl_msg_size
-        (Messages.Page_request { pid = t.pid; vpn; access })
+        (Messages.Page_request
+           { pid = t.pid; vpn; access; epoch = t.epoch_view.(node) })
     with
     | Messages.Page_nack _ -> `Nack
+    | Messages.Page_stale { epoch; _ } ->
+        (* Failover happened while we still addressed the old epoch: adopt
+           the new one and retry — the view already points at whoever
+           answered. *)
+        t.epoch_view.(node) <- epoch;
+        `Nack
     | Messages.Page_grant { data; _ } ->
         Option.iter (Page_store.install t.stores.(node) vpn) data;
         Page_table.set t.ptables.(node) vpn access;
         `Granted
     | _ -> failwith "Coherence: unexpected page reply"
-    | exception Fabric.Unreachable _ when retriable_timeout t ~node ->
-        Stats.incr t.stats "crash.requester_retries";
-        `Nack
+    | exception (Fabric.Unreachable _ as e) -> (
+        match request_failure t ~node ~dst with
+        | `Nack -> `Nack
+        | `Reraise -> raise e)
   end
   else begin
     Stats.incr t.stats "prefetch.batch";
     Stats.add t.stats "prefetch.issued" (List.length prefetch);
     let record = { b_demand = vpn; b_vpns = vpn :: prefetch; b_poisoned = [] } in
     t.inflight.(node) <- record :: t.inflight.(node);
+    let dst = t.origin_view.(node) in
     let reply =
       try
         `Reply
-          (Fabric.call t.fabric ~src:node ~dst:t.origin
+          (Fabric.call t.fabric ~src:node ~dst
              ~kind:Messages.kind_page_request_batch
              ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length prefetch))
              (Messages.Page_request_batch
-                { pid = t.pid; vpns = record.b_vpns; access }))
+                {
+                  pid = t.pid;
+                  vpns = record.b_vpns;
+                  access;
+                  epoch = t.epoch_view.(node);
+                }))
       with
-      | Fabric.Unreachable _ when retriable_timeout t ~node ->
+      | Fabric.Unreachable _ as e -> (
           t.inflight.(node) <-
             List.filter (fun r -> r != record) t.inflight.(node);
-          Stats.incr t.stats "crash.requester_retries";
-          `Timeout
+          match request_failure t ~node ~dst with
+          | `Nack -> `Timeout
+          | `Reraise -> raise e)
       | e ->
-          (* Unreachable mid-batch (this node crashed): the record must not
-             linger, or revocations would poison a batch nobody owns. *)
+          (* The record must not linger when the call fails, or
+             revocations would poison a batch nobody owns. *)
           t.inflight.(node) <-
             List.filter (fun r -> r != record) t.inflight.(node);
           raise e
@@ -632,6 +759,11 @@ let request_once t ~node ~vpn ~access ~prefetch =
     | `Timeout ->
         (* The retry goes through the non-batch path (no prefetch on
            retries), so the dropped batch record is not re-created. *)
+        `Nack
+    | `Reply (Messages.Page_stale { epoch; _ }) ->
+        t.inflight.(node) <-
+          List.filter (fun r -> r != record) t.inflight.(node);
+        t.epoch_view.(node) <- epoch;
         `Nack
     | `Reply (Messages.Page_grant_batch { results; _ }) ->
         (* Everything from here to the PTE-update delay below runs in one
@@ -710,16 +842,26 @@ let ensure t ~node ~tid ~site ~vpn ~access =
                discarded because the PTE changed under it. *)
             Stats.incr t.stats "fault.duplicate";
             if node <> t.origin then (
+              let dst = t.origin_view.(node) in
               try
                 ignore
-                  (Fabric.call t.fabric ~src:node ~dst:t.origin
+                  (Fabric.call t.fabric ~src:node ~dst
                      ~kind:Messages.kind_page_request
                      ~size:t.cfg.Proto_config.ctl_msg_size
-                     (Messages.Page_request { pid = t.pid; vpn; access }))
-              with Fabric.Unreachable _ when retriable_timeout t ~node ->
+                     (Messages.Page_request
+                        {
+                          pid = t.pid;
+                          vpn;
+                          access;
+                          epoch = t.epoch_view.(node);
+                        }))
+              with Fabric.Unreachable _ as e -> (
                 (* The duplicate's result is discarded anyway; a timeout
-                   toward the live origin is not worth aborting for. *)
-                Stats.incr t.stats "crash.requester_retries")
+                   toward the live origin is not worth aborting for, and a
+                   dead origin just means waiting out the failover. *)
+                match request_failure t ~node ~dst with
+                | `Nack -> ()
+                | `Reraise -> raise e))
             else Engine.delay t.engine t.cfg.Proto_config.local_op;
             loop ()
         | Fault_table.Conflict -> loop ()
@@ -798,7 +940,8 @@ let store_i64 t ~node ~tid ?(site = "?") addr v =
   check_node t node "store_i64";
   let vpn = Page.page_of_addr addr in
   ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
-  Page_store.write_i64 t.stores.(node) vpn ~offset:(Page.offset_in_page addr) v
+  Page_store.write_i64 t.stores.(node) vpn ~offset:(Page.offset_in_page addr) v;
+  if node = t.origin then origin_store_mutated t vpn
 
 (* 32-bit and byte accessors share a page with their 64-bit neighbours;
    the protocol is oblivious to the width. Stored little-endian within the
@@ -829,7 +972,8 @@ let store_i32 t ~node ~tid ?(site = "?") addr v =
     Int64.shift_left (Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL) shift
   in
   Page_store.write_i64 t.stores.(node) vpn ~offset
-    (Int64.logor (Int64.logand cell (Int64.lognot mask)) v64)
+    (Int64.logor (Int64.logand cell (Int64.lognot mask)) v64);
+  if node = t.origin then origin_store_mutated t vpn
 
 let load_byte t ~node ~tid ?(site = "?") addr =
   check_node t node "load_byte";
@@ -841,7 +985,8 @@ let store_byte t ~node ~tid ?(site = "?") addr v =
   check_node t node "store_byte";
   let vpn = Page.page_of_addr addr in
   ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
-  Page_store.write_byte t.stores.(node) vpn ~offset:(Page.offset_in_page addr) v
+  Page_store.write_byte t.stores.(node) vpn ~offset:(Page.offset_in_page addr) v;
+  if node = t.origin then origin_store_mutated t vpn
 
 let cas_i64 t ~node ~tid ?(site = "?") addr ~expected ~desired =
   check_node t node "cas_i64";
@@ -853,6 +998,7 @@ let cas_i64 t ~node ~tid ?(site = "?") addr ~expected ~desired =
   let current = Page_store.read_i64 t.stores.(node) vpn ~offset in
   if current = expected then begin
     Page_store.write_i64 t.stores.(node) vpn ~offset desired;
+    if node = t.origin then origin_store_mutated t vpn;
     true
   end
   else false
@@ -864,6 +1010,7 @@ let fetch_add_i64 t ~node ~tid ?(site = "?") addr delta =
   let offset = Page.offset_in_page addr in
   let current = Page_store.read_i64 t.stores.(node) vpn ~offset in
   Page_store.write_i64 t.stores.(node) vpn ~offset (Int64.add current delta);
+  if node = t.origin then origin_store_mutated t vpn;
   current
 
 let zap_range t ~first ~last ~node =
@@ -902,25 +1049,51 @@ let apply_invalidation t ~node ~vpn ~mode =
       retries = 0;
     }
 
-let handler t (env : Fabric.env) =
+(* Victim-side epoch bookkeeping for origin-to-node traffic: adopt a
+   newer epoch (and the sender as the new origin), refuse an older one.
+   Returns [true] when the message is from a dead epoch and must be
+   acked without effect — its sender no longer speaks for the pages. *)
+let stale_origin_traffic t ~node ~src ~epoch =
+  if epoch > t.epoch_view.(node) then begin
+    t.epoch_view.(node) <- epoch;
+    t.origin_view.(node) <- src
+  end;
+  if epoch < t.epoch_view.(node) then begin
+    Stats.incr t.stats "ha.stale_revokes";
+    true
+  end
+  else false
+
+let handler_unguarded t (env : Fabric.env) =
   let msg = env.Fabric.msg in
   match msg.Msg.payload with
-  | Messages.Page_request { pid; vpn; access } when pid = t.pid ->
+  | Messages.Page_request { pid; vpn; access; epoch } when pid = t.pid ->
       if msg.Msg.dst <> t.origin then
         failwith "Coherence: page request addressed to a non-origin node";
       Engine.delay t.engine t.cfg.Proto_config.origin_handler;
-      (match origin_grant t ~requester:msg.Msg.src ~vpn ~access with
-      | `Nack ->
-          env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
-            (Messages.Page_nack { pid = t.pid; vpn })
-      | `Grant (data, wire_data) ->
-          let size =
-            if wire_data then t.cfg.Proto_config.page_msg_size
-            else t.cfg.Proto_config.ctl_msg_size
-          in
-          env.Fabric.respond ~size (Messages.Page_grant { pid = t.pid; vpn; data }));
+      if epoch <> t.epoch then begin
+        Stats.incr t.stats "ha.stale_epoch_nacks";
+        env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+          (Messages.Page_stale { pid = t.pid; epoch = t.epoch })
+      end
+      else
+        (match origin_grant t ~requester:msg.Msg.src ~vpn ~access with
+        | `Nack ->
+            env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+              (Messages.Page_nack { pid = t.pid; vpn })
+        | `Grant (data, wire_data) ->
+            (* Replicate before externalize: the ownership transition must
+               be on the standby before the requester can observe it. *)
+            commit_fence t;
+            let size =
+              if wire_data then t.cfg.Proto_config.page_msg_size
+              else t.cfg.Proto_config.ctl_msg_size
+            in
+            env.Fabric.respond ~size
+              (Messages.Page_grant { pid = t.pid; vpn; data }));
       true
-  | Messages.Page_request_batch { pid; vpns; access } when pid = t.pid ->
+  | Messages.Page_request_batch { pid; vpns; access; epoch } when pid = t.pid
+    ->
       if msg.Msg.dst <> t.origin then
         failwith "Coherence: page request addressed to a non-origin node";
       (* One handler entry amortized over the run; each extra page costs a
@@ -928,61 +1101,290 @@ let handler t (env : Fabric.env) =
       Engine.delay t.engine
         (t.cfg.Proto_config.origin_handler
         + ((List.length vpns - 1) * t.cfg.Proto_config.local_op));
-      let results = origin_grant_batch t ~requester:msg.Msg.src ~vpns ~access in
-      let data_pages =
-        List.fold_left
-          (fun n (_, r) ->
-            match r with `Grant (_, true) -> n + 1 | _ -> n)
-          0 results
-      in
-      let size =
-        t.cfg.Proto_config.ctl_msg_size
-        + data_pages
-          * (t.cfg.Proto_config.page_msg_size - t.cfg.Proto_config.ctl_msg_size)
-      in
-      env.Fabric.respond ~size
-        (Messages.Page_grant_batch
-           {
-             pid = t.pid;
-             results =
-               List.map
-                 (fun (vpn, r) ->
-                   ( vpn,
-                     match r with
-                     | `Nack -> Messages.Batch_nack
-                     | `Grant (data, _) -> Messages.Batch_grant data ))
-                 results;
-           });
+      if epoch <> t.epoch then begin
+        Stats.incr t.stats "ha.stale_epoch_nacks";
+        env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+          (Messages.Page_stale { pid = t.pid; epoch = t.epoch })
+      end
+      else begin
+        let results =
+          origin_grant_batch t ~requester:msg.Msg.src ~vpns ~access
+        in
+        let data_pages =
+          List.fold_left
+            (fun n (_, r) ->
+              match r with `Grant (_, true) -> n + 1 | _ -> n)
+            0 results
+        in
+        if
+          List.exists
+            (fun (_, r) -> match r with `Grant _ -> true | `Nack -> false)
+            results
+        then commit_fence t;
+        let size =
+          t.cfg.Proto_config.ctl_msg_size
+          + data_pages
+            * (t.cfg.Proto_config.page_msg_size
+             - t.cfg.Proto_config.ctl_msg_size)
+        in
+        env.Fabric.respond ~size
+          (Messages.Page_grant_batch
+             {
+               pid = t.pid;
+               results =
+                 List.map
+                   (fun (vpn, r) ->
+                     ( vpn,
+                       match r with
+                       | `Nack -> Messages.Batch_nack
+                       | `Grant (data, _) -> Messages.Batch_grant data ))
+                   results;
+             })
+      end;
       true
-  | Messages.Revoke { pid; vpn; mode; want_data } when pid = t.pid ->
+  | Messages.Revoke { pid; vpn; mode; want_data; epoch } when pid = t.pid ->
       let node = msg.Msg.dst in
-      (* A fault in flight on this page must complete before the
-         revocation applies, or PTE updates would interleave; in-flight
-         batched grants are poisoned instead (see revoke_entry). *)
-      revoke_entry t ~node ~vpn;
-      Engine.delay t.engine t.cfg.Proto_config.invalidate_handler;
-      let data =
-        if want_data then snapshot_if_materialized t.stores.(node) vpn
-        else None
-      in
-      apply_invalidation t ~node ~vpn ~mode;
-      let size =
-        if want_data then t.cfg.Proto_config.page_msg_size
-        else t.cfg.Proto_config.ctl_msg_size
-      in
-      env.Fabric.respond ~size (Messages.Revoke_ack { pid = t.pid; vpn; data });
+      if stale_origin_traffic t ~node ~src:msg.Msg.src ~epoch then begin
+        env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+          (Messages.Revoke_ack { pid = t.pid; vpn; data = None })
+      end
+      else begin
+        (* A fault in flight on this page must complete before the
+           revocation applies, or PTE updates would interleave; in-flight
+           batched grants are poisoned instead (see revoke_entry). *)
+        revoke_entry t ~node ~vpn;
+        Engine.delay t.engine t.cfg.Proto_config.invalidate_handler;
+        let data =
+          if want_data then snapshot_if_materialized t.stores.(node) vpn
+          else None
+        in
+        apply_invalidation t ~node ~vpn ~mode;
+        let size =
+          if want_data then t.cfg.Proto_config.page_msg_size
+          else t.cfg.Proto_config.ctl_msg_size
+        in
+        env.Fabric.respond ~size
+          (Messages.Revoke_ack { pid = t.pid; vpn; data })
+      end;
       true
-  | Messages.Invalidate_batch { pid; vpns; mode } when pid = t.pid ->
+  | Messages.Invalidate_batch { pid; vpns; mode; epoch } when pid = t.pid ->
       let node = msg.Msg.dst in
-      List.iter (fun vpn -> revoke_entry t ~node ~vpn) vpns;
-      (* A single handler entry for the whole run — the victim-side half
-         of the fan-out amortization. *)
+      if stale_origin_traffic t ~node ~src:msg.Msg.src ~epoch then begin
+        env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+          (Messages.Invalidate_batch_ack { pid = t.pid })
+      end
+      else begin
+        List.iter (fun vpn -> revoke_entry t ~node ~vpn) vpns;
+        (* A single handler entry for the whole run — the victim-side half
+           of the fan-out amortization. *)
+        Engine.delay t.engine t.cfg.Proto_config.invalidate_handler;
+        List.iter (fun vpn -> apply_invalidation t ~node ~vpn ~mode) vpns;
+        env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+          (Messages.Invalidate_batch_ack { pid = t.pid })
+      end;
+      true
+  | Messages.Epoch_fence { pid; epoch = _; keep } when pid = t.pid ->
+      let node = msg.Msg.dst in
+      (* Grants in flight when the origin died are from the dead epoch:
+         poison every in-flight batch outright, their replies (which will
+         never arrive anyway — the sender is dead) must not install. *)
+      List.iter (fun r -> r.b_poisoned <- r.b_vpns) t.inflight.(node);
       Engine.delay t.engine t.cfg.Proto_config.invalidate_handler;
-      List.iter (fun vpn -> apply_invalidation t ~node ~vpn ~mode) vpns;
+      (* Reconcile local copies against what the promoted replica still
+         vouches for. Under `Sync replication the keep list covers every
+         copy and nothing is zapped; under `Async the zapped pages are
+         exactly the lost log suffix. Deliberately does NOT wait on local
+         fault entries: their leaders are parked on the dead origin and
+         drain through the resolver — a grant from the new origin is
+         authoritative over anything zapped here. *)
+      let entries = ref [] in
+      Page_table.iter t.ptables.(node) (fun vpn access ->
+          entries := (vpn, access) :: !entries);
+      let zapped = ref 0 in
+      List.iter
+        (fun (vpn, access) ->
+          match List.assoc_opt vpn keep with
+          | Some Perm.Write -> ()
+          | Some Perm.Read ->
+              if access = Perm.Write then begin
+                Page_table.downgrade t.ptables.(node) vpn;
+                incr zapped
+              end
+          | None ->
+              note_prefetch_waste t ~node ~vpn;
+              Page_table.invalidate t.ptables.(node) vpn;
+              Page_store.drop t.stores.(node) vpn;
+              incr zapped)
+        !entries;
+      if !zapped > 0 then Stats.add t.stats "ha.fence_zapped" !zapped;
+      (* Keep pages with no local copy at all: the directory committed a
+         grant whose reply never arrived (it died with the old origin).
+         Report them so the new origin can demote the dangling entries —
+         a later grant-without-data against them would hand out ownership
+         of bytes this node does not have. A downgraded copy (read PTE
+         under a Write keep) is NOT missing: the bytes are current and
+         ownership can be re-granted without data. *)
+      let missing =
+        List.filter_map
+          (fun (vpn, _) ->
+            if Page_table.allows t.ptables.(node) vpn Perm.Read then None
+            else Some vpn)
+          keep
+      in
+      (* The epoch itself is NOT adopted here: the fence is a memory
+         barrier, not an address handshake. The node learns the new
+         origin/epoch in-band, through the resolver and the first
+         Page_stale NACK of its next fault. *)
       env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
-        (Messages.Invalidate_batch_ack { pid = t.pid });
+        (Messages.Epoch_fence_ack { pid = t.pid; zapped = !zapped; missing });
       true
   | _ -> false
+
+(* The origin died under this handler mid-operation (see {!Origin_dead}):
+   retire the fiber. The locks it held were released on unwind, the reply
+   it owed will never be sent — the requester's exhausted retries take it
+   through the resolver to the promoted origin instead. *)
+let handler t (env : Fabric.env) =
+  try handler_unguarded t env
+  with Origin_dead ->
+    Stats.incr t.stats "ha.orphaned_handlers";
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Standby promotion (HA failover).                                    *)
+
+(* Install the replica's ownership image as the new authoritative state.
+   Runs in the promotion fiber on the standby, after the old origin's
+   failure was declared (so crash_detected filters the dead out of the
+   rebuilt membership). [dir_entries] is the replica directory snapshot,
+   [page_data] the replicated origin-store contents. *)
+let promote t ~new_origin ~dir_entries ~page_data =
+  let old = t.origin in
+  if new_origin = old then invalid_arg "Coherence.promote: origin unchanged";
+  if Fabric.crashed t.fabric ~node:new_origin then
+    invalid_arg "Coherence.promote: standby is dead";
+  let dir = Directory.create ~origin:new_origin in
+  (* Which pages the standby already held a valid copy of, per the
+     replicated image: for those, its local store is at least as fresh as
+     the logged origin staging copy and must not be overwritten. *)
+  let standby_had = Hashtbl.create 64 in
+  List.iter
+    (fun (vpn, state) ->
+      let recorded =
+        match state with
+        | Directory.Exclusive owner -> owner = new_origin
+        | Directory.Shared readers -> Node_set.mem readers new_origin
+      in
+      (* The record alone is not enough: a grant TO the standby commits
+         before its reply leaves the origin, so the entry may describe a
+         copy whose bytes died in flight. Only a valid local PTE proves
+         the bytes arrived; otherwise the replicated image (logged, by
+         append order, before that grant committed) is the fresh one. *)
+      if recorded && Page_table.allows t.ptables.(new_origin) vpn Perm.Read
+      then Hashtbl.replace standby_had vpn ())
+    dir_entries;
+  List.iter
+    (fun (vpn, state) ->
+      match state with
+      | Directory.Exclusive owner ->
+          if owner <> old && not (Fabric.crash_detected t.fabric ~node:owner)
+          then Directory.set_exclusive dir vpn owner
+          (* else: the entry is dropped and the page reverts to implicit
+             Exclusive new_origin — it re-homes to the promoted standby,
+             whose store holds the replicated data. Same linearizability
+             argument as reclaim_node: whatever the dead origin wrote
+             since the last logged snapshot was observed by nobody. *)
+      | Directory.Shared readers ->
+          let live =
+            List.filter
+              (fun n ->
+                n <> old && not (Fabric.crash_detected t.fabric ~node:n))
+              (Node_set.to_list readers)
+          in
+          Directory.set_shared dir vpn (Node_set.of_list (new_origin :: live)))
+    dir_entries;
+  List.iter
+    (fun (vpn, data) ->
+      if not (Hashtbl.mem standby_had vpn) then
+        Page_store.install t.stores.(new_origin) vpn data)
+    page_data;
+  (* The replication observer follows the authoritative directory —
+     installed only now, so the rebuild above is not itself re-logged
+     (the HA layer re-snapshots when it re-arms towards a new standby). *)
+  Directory.set_observer dir (Directory.observer t.dir);
+  Directory.set_observer t.dir None;
+  (* The dead origin's local state is unreachable hardware now. *)
+  t.ptables.(old) <- Page_table.create ();
+  t.stores.(old) <- Page_store.create ();
+  Hashtbl.reset t.prefetched.(old);
+  t.inflight.(old) <- [];
+  t.dir <- dir;
+  t.origin <- new_origin;
+  t.epoch <- t.epoch + 1;
+  t.origin_view.(new_origin) <- new_origin;
+  t.epoch_view.(new_origin) <- t.epoch;
+  Stats.incr t.stats "ha.promotions"
+
+(* Second half of the failover: fence every survivor into the new epoch.
+   Each one gets the list of (page, strongest access) the promoted
+   directory still vouches for on it and zaps the rest. Runs in the
+   promotion fiber, before the resolver releases stalled requesters, so
+   no survivor can fault against the new origin with unreconciled
+   state. *)
+let fence_survivors t =
+  let n = node_count t in
+  let keeps = Array.make n [] in
+  Directory.iter t.dir (fun vpn state ->
+      match state with
+      | Directory.Exclusive owner ->
+          if owner <> t.origin then
+            keeps.(owner) <- (vpn, Perm.Write) :: keeps.(owner)
+      | Directory.Shared readers ->
+          List.iter
+            (fun r ->
+              if r <> t.origin then keeps.(r) <- (vpn, Perm.Read) :: keeps.(r))
+            (Node_set.to_list readers));
+  let jobs = ref [] in
+  let src = t.origin in
+  for node = n - 1 downto 0 do
+    if node <> t.origin && not (Fabric.crash_detected t.fabric ~node) then
+      jobs :=
+        (fun () ->
+          match
+            Fabric.call t.fabric ~src ~dst:node
+              ~kind:Messages.kind_epoch_fence
+              ~size:
+                (t.cfg.Proto_config.ctl_msg_size
+                + (8 * List.length keeps.(node)))
+              (Messages.Epoch_fence
+                 { pid = t.pid; epoch = t.epoch; keep = keeps.(node) })
+          with
+          | Messages.Epoch_fence_ack { missing; _ } ->
+              (* The survivor holds none of these despite the replicated
+                 directory vouching for them: the grant reply died with
+                 the old origin. Demote the entries — the page re-homes to
+                 the promoted origin, whose store carries the replicated
+                 image (logged, by append order, before the ownership
+                 transition committed). The survivor's retried fault then
+                 gets a fresh data grant. *)
+              List.iter
+                (fun vpn ->
+                  Stats.incr t.stats "ha.fence_demoted";
+                  match Directory.state t.dir vpn with
+                  | Directory.Exclusive owner when owner = node ->
+                      Directory.forget t.dir vpn
+                  | Directory.Shared readers when Node_set.mem readers node ->
+                      let rest = Node_set.remove readers node in
+                      if Node_set.is_empty rest then Directory.forget t.dir vpn
+                      else Directory.set_shared t.dir vpn rest
+                  | _ -> ())
+                missing
+          | _ -> failwith "Coherence: unexpected fence reply"
+          | exception Fabric.Unreachable _ -> crash_escalate t ~src ~target:node)
+        :: !jobs
+  done;
+  fanout t ~label:"epoch-fence" !jobs;
+  Stats.incr t.stats "ha.epoch_fences"
 
 (* ------------------------------------------------------------------ *)
 (* Invariant checking (tests).                                         *)

@@ -45,8 +45,21 @@
     handing pages to a ghost, revocations towards a declared-dead node are
     skipped, and every origin-side lock and fault-table entry is released
     on the [Unreachable] exception path, so {!check_invariants} holds
-    after every reclaim. Crashing the {e origin} is unsupported: the
-    directory and the delegated services die with it. *)
+    after every reclaim. Without the HA layer, crashing the {e origin} is
+    unsupported: the directory and the delegated services die with it.
+
+    {2 Origin failover (HA)}
+
+    With {!Proto_config.replication} on, the process layer wires this
+    instance to {!Dex_ha}: a {!set_commit_barrier} fence runs before any
+    grant reply leaves the origin, every directory mutation streams to a
+    standby through the {!Dex_mem.Directory} observer, and an origin death
+    is handled by {!promote} + {!fence_survivors} instead of
+    {!reclaim_node}. Every coherence request carries an epoch number;
+    requests stamped with a dead epoch are NACKed with [Page_stale]
+    ([ha.stale_epoch_nacks]) so survivors adopt the new origin, which they
+    located by stalling in the {!set_origin_resolver} hook until the
+    promotion completed — a failover is a long fault, not an abort. *)
 
 type t
 (** One coherence-protocol instance (origin directory + per-node tables). *)
@@ -179,12 +192,77 @@ val reclaim_node : t -> node:int -> unit
     declared; exposed for directed tests. Safe to run while grants are in
     flight. Raises if [node] is the origin. *)
 
+(** {2 Origin failover hooks}
+
+    Installed by the process layer when {!Proto_config.replication} is on;
+    all default to absent, in which case every path below is bit-identical
+    to a build without them. *)
+
+val epoch : t -> int
+(** The current origin epoch: 0 at creation, bumped by every {!promote}.
+    Stamped on every outgoing coherence request (each node stamps its own
+    {e view} of the epoch, which may lag until a [Page_stale] NACK or an
+    in-band revocation teaches it the new one). *)
+
+val set_commit_barrier : t -> (unit -> unit) option -> unit
+(** Hook run at the origin immediately before a grant reply (single or
+    batched, when it carries at least one grant) leaves the origin — the
+    "replicate before externalize" fence. The HA layer blocks here until
+    the standby's ack watermark covers the log ([`Sync]) or the unacked
+    suffix is within the configured lag ([`Async n]). Origin-local
+    operations never pass through the barrier. *)
+
+val set_origin_resolver : t -> (unit -> int option) option -> unit
+(** Hook consulted when a request towards the origin fails with
+    [Unreachable] and the origin is (or becomes) declared dead: the
+    resolver blocks the faulting fiber until a standby has been promoted
+    and returns the new origin ([Some node], and the fault retries there —
+    counted as [ha.stalled_faults]), or [None] when no standby remains
+    (the [Unreachable] is re-raised, PR-3 behavior). Without a resolver
+    installed, origin death keeps its historical [failwith]. *)
+
+val set_origin_write_hook : t -> (Dex_mem.Page.vpn -> unit) option -> unit
+(** Hook fired after every mutation of the {e origin's} page store: typed
+    stores/CAS/fetch-add executed at the origin, and page data pulled back
+    by {!reclaim_node}. The HA layer uses it to ship page contents whose
+    dirtying never crosses the wire (directory observation alone cannot
+    see origin-local writes to pages the origin already owns). *)
+
+val promote : t ->
+  new_origin:int ->
+  dir_entries:(Dex_mem.Page.vpn * Dex_mem.Directory.state) list ->
+  page_data:(Dex_mem.Page.vpn * bytes) list ->
+  unit
+(** Install the replica as the new directory and make [new_origin] the
+    origin: the directory is rebuilt from [dir_entries] re-homed onto
+    [new_origin] (entries owned by dead nodes or the old origin re-home;
+    reader sets are filtered to live nodes and gain the new origin),
+    [page_data] backfills the new origin's page store {e except} for pages
+    it already held a valid copy of (its own copy is at least as fresh),
+    the old origin's local tables are reset, and the epoch is bumped.
+    Counted as [ha.promotions]. Raises [Invalid_argument] if [new_origin]
+    is the current origin or is itself declared dead. Call from the HA
+    promotion fiber only, then {!fence_survivors}. *)
+
+val fence_survivors : t -> unit
+(** Broadcast [Epoch_fence] from the (already promoted) new origin to every
+    other live node: each survivor poisons its in-flight batches and zaps
+    every local PTE/copy the promoted directory no longer vouches for
+    (under [`Sync] replication the keep-list covers everything and nothing
+    is zapped). Survivors deliberately do {e not} adopt the new epoch from
+    the fence — they learn it in-band from their first [Page_stale] NACK —
+    so the fence never races the resolver. A survivor unreachable during
+    the fence is escalated to crashed. Counted as [ha.epoch_fences]. *)
+
 val stats : t -> Dex_sim.Stats.t
 (** Protocol counters: [grant.data]/[grant.nodata]/[grant.nack],
     [revoke.invalidate]/[revoke.downgrade]/[revoke.batch], [prefetch.*],
     [fault.poisoned]; after a crash the [crash.*] family — [crash.nodes],
     [crash.pages_reclaimed], [crash.readers_scrubbed],
-    [crash.revokes_skipped], [crash.escalations], [crash.grants_refused]. *)
+    [crash.revokes_skipped], [crash.escalations], [crash.grants_refused];
+    after a failover the [ha.*] family — [ha.promotions],
+    [ha.epoch_fences], [ha.fence_zapped], [ha.stale_epoch_nacks],
+    [ha.stale_revokes], [ha.stalled_faults]. *)
 
 val fault_latencies : t -> Dex_sim.Histogram.t
 (** Latency of every protocol fault (leaders only), origin and remote. *)

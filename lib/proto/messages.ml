@@ -7,13 +7,16 @@ type Dex_net.Msg.payload +=
       pid : int;
       vpn : Dex_mem.Page.vpn;
       access : Dex_mem.Perm.access;
+      epoch : int;
     }
   | Page_grant of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
   | Page_nack of { pid : int; vpn : Dex_mem.Page.vpn }
+  | Page_stale of { pid : int; epoch : int }
   | Page_request_batch of {
       pid : int;
       vpns : Dex_mem.Page.vpn list;
       access : Dex_mem.Perm.access;
+      epoch : int;
     }
   | Page_grant_batch of {
       pid : int;
@@ -24,16 +27,29 @@ type Dex_net.Msg.payload +=
       vpn : Dex_mem.Page.vpn;
       mode : revoke_mode;
       want_data : bool;
+      epoch : int;
     }
   | Revoke_ack of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
   | Invalidate_batch of {
       pid : int;
       vpns : Dex_mem.Page.vpn list;
       mode : revoke_mode;
+      epoch : int;
     }
   | Invalidate_batch_ack of { pid : int }
+  | Epoch_fence of {
+      pid : int;
+      epoch : int;
+      keep : (Dex_mem.Page.vpn * Dex_mem.Perm.access) list;
+    }
+  | Epoch_fence_ack of {
+      pid : int;
+      zapped : int;
+      missing : Dex_mem.Page.vpn list;
+    }
 
 let kind_page_request = "page_req"
 let kind_page_request_batch = "page_req_batch"
 let kind_revoke = "revoke"
 let kind_invalidate_batch = "revoke_batch"
+let kind_epoch_fence = "epoch_fence"

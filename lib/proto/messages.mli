@@ -19,18 +19,27 @@ type Dex_net.Msg.payload +=
       pid : int;
       vpn : Dex_mem.Page.vpn;
       access : Dex_mem.Perm.access;
+      epoch : int;
     }
-      (** node → origin: fault on [vpn]; requester is the message source *)
+      (** node → origin: fault on [vpn]; requester is the message source.
+          [epoch] is the requester's view of the origin epoch — part of
+          the 64-byte control header, not extra wire bytes; always [0]
+          unless a failover has promoted a standby. *)
   | Page_grant of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
       (** origin → node: ownership granted; [data] carries page contents
           when the requester lacked a valid copy and the page is
           materialized *)
   | Page_nack of { pid : int; vpn : Dex_mem.Page.vpn }
       (** origin → node: page busy, back off and retry *)
+  | Page_stale of { pid : int; epoch : int }
+      (** origin → node: your epoch is stale — a failover has happened.
+          Carries the current epoch; the requester adopts it and retries
+          (counted as [ha.stale_epoch_nacks] at the origin). *)
   | Page_request_batch of {
       pid : int;
       vpns : Dex_mem.Page.vpn list;
       access : Dex_mem.Perm.access;
+      epoch : int;
     }
       (** node → origin: one demand fault (head of [vpns]) plus
           sequential-prefetch candidates, resolved in one round-trip. Each
@@ -48,6 +57,7 @@ type Dex_net.Msg.payload +=
       vpn : Dex_mem.Page.vpn;
       mode : revoke_mode;
       want_data : bool;
+      epoch : int;
     }  (** origin → owner: surrender ownership *)
   | Revoke_ack of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes option }
       (** owner → origin: done; [data] ships the page back when the origin
@@ -56,12 +66,38 @@ type Dex_net.Msg.payload +=
       pid : int;
       vpns : Dex_mem.Page.vpn list;
       mode : revoke_mode;
+      epoch : int;
     }
       (** origin → reader: surrender every copy in [vpns] — the batched
           revocation fan-out for runs of pages; one message per victim
           node regardless of run length *)
   | Invalidate_batch_ack of { pid : int }
       (** reader → origin: every page of the batch surrendered *)
+  | Epoch_fence of {
+      pid : int;
+      epoch : int;
+      keep : (Dex_mem.Page.vpn * Dex_mem.Perm.access) list;
+    }
+      (** new origin → survivor, during failover: the old epoch is dead.
+          [keep] lists every (page, strongest access) the promoted replica
+          still vouches for on the destination; the survivor zaps every
+          other local PTE/copy and poisons in-flight batches. Under [`Sync]
+          replication the fence zaps nothing; under [`Async] the zapped
+          copies are exactly the lost log suffix. *)
+  | Epoch_fence_ack of {
+      pid : int;
+      zapped : int;
+      missing : Dex_mem.Page.vpn list;
+    }
+      (** survivor → new origin: fence applied; [zapped] local copies were
+          discarded (counted as [ha.fence_zapped]). [missing] lists the
+          [keep] pages the survivor holds {e no} copy of — the replicated
+          directory recorded a grant whose reply died with the old origin.
+          The new origin demotes those entries (the page re-homes to it;
+          its store holds the replicated image, which by log order is
+          exactly what the lost grant carried), so the survivor's retried
+          fault is served with data instead of a dangling
+          grant-without-data. *)
 
 val kind_page_request : string
 (** Statistics class of {!Page_request} messages. *)
@@ -74,3 +110,6 @@ val kind_revoke : string
 
 val kind_invalidate_batch : string
 (** Statistics class of {!Invalidate_batch} messages. *)
+
+val kind_epoch_fence : string
+(** Statistics class of {!Epoch_fence} messages. *)

@@ -15,6 +15,8 @@ type t = {
   prefetch_depth : int;
   batch_revoke : bool;
   on_crash : [ `Abort | `Rehome ];
+  replication : [ `Off | `Sync | `Async of int ];
+  standby : int option;
 }
 
 let default =
@@ -42,4 +44,11 @@ let default =
        scratch should survive. Rehome is the opt-in for restartable
        workers. *)
     on_crash = `Abort;
+    (* Off by default: with no standby the protocol is bit-identical to a
+       build without the HA layer. `Sync fences every externalized reply
+       on the replication ack; `Async n tolerates up to n unacked log
+       entries and can lose that suffix on an origin crash. *)
+    replication = `Off;
+    (* None picks the lowest-numbered non-origin node as the standby. *)
+    standby = None;
   }

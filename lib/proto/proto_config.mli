@@ -54,6 +54,19 @@ type t = {
           application can tolerate running twice (the simulator cannot
           checkpoint register state, so the retried delegate re-executes);
           the default is [`Abort]. *)
+  replication : [ `Off | `Sync | `Async of int ];
+      (** origin replication ({!Dex_ha} when wired by the process layer):
+          [`Off] (default) runs no log and is bit-identical to a build
+          without the HA layer; [`Sync] blocks every reply that leaves the
+          origin until the standby has acked the whole replication log;
+          [`Async n] only blocks once more than [n] log entries are
+          unacked — an origin crash can then lose up to that suffix (the
+          failover fence zaps survivor copies the replica no longer
+          vouches for). *)
+  standby : int option;
+      (** which node receives the replication log; [None] picks the
+          lowest-numbered non-origin node. Ignored when [replication] is
+          [`Off]. *)
 }
 
 val default : t

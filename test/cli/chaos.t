@@ -12,9 +12,9 @@ riding out the outage (retransmits > 0) while the workload still completes.
     pristine (chaos off)         1.62ms       14.8        0            0         0
     drop  0.0%                   2.68ms        9.0        0            0         0
     drop  1.0%                   2.76ms        8.7        1            1         1
-    drop  5.0%                   3.23ms        7.4        7            5         5
-    drop 10.0%                   3.87ms        6.2       15           11        11
-    drop 20.0%                   7.26ms        3.3       36           25        25
+    drop  5.0%                   2.89ms        8.3        7            2         2
+    drop 10.0%                   3.58ms        6.7       15            7         7
+    drop 20.0%                   7.89ms        3.0       39           29        28
     500us partition              3.25ms        7.4        0            3         3
     chaos: drops=0 dups=0 reorders=0 partition_drops=4 | timeouts=3 retransmits=3 dup_requests=0 replayed_replies=0
     -> the 'drop 0.0%' row is the price of reliability alone (acks + timers); rising drop rates trade latency for retransmissions while every run returns the exact pristine answer
@@ -24,18 +24,18 @@ chaos line showing injected faults vs recovery work:
 
   $ ../../bin/dex_run.exe chaos -n 2 --drop 0.05 --dup 0.02
   == DeX page-fault profile ==
-  faults=56 (R=19 W=37 inval=19) retried=0 mean=26.5us
-  chaos: drops=5 dups=4 reorders=2 partition_drops=0 | timeouts=2 retransmits=2 dup_requests=1 replayed_replies=0
+  faults=59 (R=19 W=40 inval=20) retried=0 mean=29.7us
+  chaos: drops=5 dups=5 reorders=2 partition_drops=0 | timeouts=3 retransmits=3 dup_requests=5 replayed_replies=1
   hottest fault sites:
-        36  flag_update
+        39  flag_update
         17  table_scan
          1  barrier.arrive
          1  barrier.check
          1  barrier.gen
   hottest objects:
-        36  hot_flag
+        39  hot_flag
         17  table
          3  barrier
   fault frequency (10ms buckets):
          0.0ms ############################################################
-  sim time: 4.29ms
+  sim time: 4.44ms

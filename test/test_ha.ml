@@ -1,0 +1,344 @@
+(* Tests for origin replication: crash-subscriber ordering, replication
+   log replay determinism, and standby failover under live workloads. *)
+
+open Dex_sim
+open Dex_core
+module Fabric = Dex_net.Fabric
+module Net_config = Dex_net.Net_config
+module Directory = Dex_mem.Directory
+module Node_set = Dex_mem.Node_set
+module Ha = Dex_ha.Ha
+module Log_entry = Dex_ha.Log_entry
+module Replica = Dex_ha.Replica
+
+(* Unwrap nested fiber failures in Alcotest's exception reports. *)
+let () =
+  Printexc.register_printer (function
+    | Engine.Fiber_failure (label, e) ->
+        Some (Printf.sprintf "Fiber_failure(%s, %s)" label (Printexc.to_string e))
+    | _ -> None)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let us = Time_ns.us
+
+(* Deterministic chaos fabric (no injected faults): fail-stop crashes need
+   the reliable transport, and a short retry budget keeps detection quick. *)
+let crash_net ?(max_retransmits = 4) ~nodes () =
+  let chaos =
+    {
+      Net_config.chaos_default with
+      Net_config.chaos_seed = 11;
+      rto = us 20;
+      rto_cap = us 100;
+      max_retransmits;
+    }
+  in
+  { (Net_config.default ~nodes ()) with Net_config.chaos = Some chaos }
+
+let ha_proto ?standby mode =
+  {
+    Dex_proto.Proto_config.default with
+    replication = mode;
+    standby;
+    on_crash = `Rehome;
+  }
+
+let pstat proc name = Stats.get (Process.stats proc) name
+let cstat proc name = Stats.get (Dex_proto.Coherence.stats (Process.coherence proc)) name
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: crash subscribers run in ascending priority order, with
+   registration order breaking ties. HA promotion (10) must sit between
+   directory reclaim (0) and process thread recovery (20) — a regression
+   here would let threads be re-homed against a dead directory.          *)
+
+let test_on_crash_priority () =
+  let e = Engine.create () in
+  let fabric = Fabric.create e (crash_net ~nodes:3 ()) in
+  let order = ref [] in
+  let sub ?priority tag =
+    Fabric.on_crash ?priority fabric (fun _ -> order := tag :: !order)
+  in
+  sub ~priority:20 "recovery";
+  sub ~priority:0 "reclaim-a";
+  sub ~priority:10 "promote";
+  sub "default-a";
+  (* no priority = 0, after reclaim-a *)
+  sub ~priority:0 "reclaim-b";
+  Fabric.crash fabric ~node:2;
+  Fabric.declare_dead fabric ~node:2;
+  Alcotest.(check (list string))
+    "ascending priority, registration order within a tier"
+    [ "reclaim-a"; "default-a"; "reclaim-b"; "promote"; "recovery" ]
+    (List.rev !order);
+  (* Exactly once per node. *)
+  Fabric.declare_dead fabric ~node:2;
+  check_int "declaration is idempotent" 5 (List.length !order)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: replay determinism. Drive a real directory through random
+   mutations with the replication observer attached; at every watermark,
+   replaying the log prefix into a fresh replica must rebuild an image
+   bit-identical to the directory snapshot taken at that point.          *)
+
+let prop_replay_determinism =
+  QCheck.Test.make ~name:"log replay rebuilds every directory snapshot"
+    ~count:60
+    QCheck.(
+      list_of_size Gen.(1 -- 60)
+        (triple (int_bound 2) (int_bound 23) (int_bound 14)))
+    (fun ops ->
+      let dir = Directory.create ~origin:0 in
+      let log = ref [] in
+      Directory.set_observer dir
+        (Some
+           (fun vpn state ->
+             log :=
+               (match state with
+               | Some s -> Log_entry.Dir_set { vpn; state = s }
+               | None -> Log_entry.Dir_forget { vpn })
+               :: !log));
+      (* Each op appends >= 1 log entries; checkpoint the canonical
+         snapshot after every op, i.e. at every possible ack watermark. *)
+      let checkpoints = ref [] in
+      List.iter
+        (fun (kind, vpn, arg) ->
+          (match kind with
+          | 0 -> Directory.set_exclusive dir vpn (arg mod 4)
+          | 1 ->
+              Directory.set_shared dir vpn
+                (Node_set.of_list [ arg mod 4; (arg / 4) mod 4 ])
+          | _ -> Directory.forget dir vpn);
+          checkpoints := (List.length !log, Directory.snapshot dir) :: !checkpoints)
+        ops;
+      let entries = Array.of_list (List.rev !log) in
+      List.for_all
+        (fun (watermark, snap) ->
+          let replica = Replica.create ~origin:0 in
+          for i = 0 to watermark - 1 do
+            Replica.apply replica entries.(i)
+          done;
+          Replica.dir_snapshot replica = snap)
+        !checkpoints)
+
+(* The pending-wake ledger delivers each consumed wake exactly once. *)
+let test_replica_wake_ledger () =
+  let r = Replica.create ~origin:0 in
+  Replica.apply r (Log_entry.Futex_wait { addr = 4096; tid = 7; owner = 2 });
+  Replica.apply r (Log_entry.Futex_unpark { addr = 4096; tid = 7; woken = true });
+  check_int "one pending wake" 1 (List.length (Replica.pending_wakes r));
+  check_bool "wake consumed" true (Replica.take_wake r ~addr:4096 ~tid:7);
+  check_bool "only once" false (Replica.take_wake r ~addr:4096 ~tid:7);
+  check_int "ledger drained" 0 (List.length (Replica.pending_wakes r))
+
+(* ------------------------------------------------------------------ *)
+(* Failover workload: writers on every non-origin node hammer a shared
+   counter while the origin fail-stops mid-run. With `Sync replication
+   the run must finish with zero lost updates and zero aborted threads. *)
+
+let run_failover_workload ~mode ~rounds ~crash_at_us =
+  let nodes = 4 in
+  let cl =
+    Dex.cluster ~nodes ~net:(crash_net ~nodes ()) ~proto:(ha_proto mode) ()
+  in
+  let final = ref (-1L) in
+  let writers = 3 in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let counter = Process.memalign main ~align:4096 ~bytes:8 ~tag:"ctr" in
+        (* Seed the counter from the origin so its page starts origin-
+           staged — the crash must not lose that image either. *)
+        Process.store main counter 0L;
+        let threads =
+          List.init writers (fun i ->
+              Process.spawn proc (fun th ->
+                  Process.migrate th (i + 1);
+                  for _ = 1 to rounds do
+                    ignore (Process.fetch_add th counter 1L);
+                    Process.compute th ~ns:(us 30)
+                  done))
+        in
+        (* Every thread that stays at the origin dies with it — including
+           this one. Ride out the crash on node 2. *)
+        Process.migrate main 2;
+        Process.compute main ~ns:(us crash_at_us);
+        Cluster.crash_node cl ~node:0;
+        List.iter Process.join threads;
+        final := Process.load main counter)
+  in
+  Dex_proto.Coherence.check_invariants (Process.coherence proc);
+  (if Sys.getenv_opt "HA_DEBUG" <> None then
+     let p n = Printf.printf "%-28s %d\n" n (pstat proc n) in
+     Printf.printf "final=%Ld expect=%d\n" !final (writers * rounds);
+     List.iter p
+       [
+         "ha.failovers"; "ha.entries"; "ha.entries_acked"; "ha.fence_waits";
+         "crash.threads_aborted"; "crash.threads_rehomed";
+         "ha.delegations_retried";
+       ];
+     let c n =
+       Printf.printf "%-28s %d\n" n
+         (Stats.get (Dex_proto.Coherence.stats (Process.coherence proc)) n)
+     in
+     List.iter c
+       [
+         "ha.stale_epoch_nacks"; "ha.stale_revokes"; "ha.fence_zapped";
+         "ha.stalled_faults"; "ha.promotions";
+       ]);
+  (proc, !final, writers * rounds)
+
+let test_sync_failover_no_lost_writes () =
+  let proc, final, expect =
+    run_failover_workload ~mode:`Sync ~rounds:40 ~crash_at_us:1500
+  in
+  check_bool "origin crash detected" true
+    (Cluster.node_crashed (Process.cluster proc) ~node:0);
+  Alcotest.(check int64)
+    "every increment survived the failover" (Int64.of_int expect) final;
+  check_int "exactly one failover" 1 (pstat proc "ha.failovers");
+  check_int "no thread aborted" 0 (pstat proc "crash.threads_aborted");
+  check_int "origin moved to the standby" 1 (Process.origin proc);
+  check_bool "stale-epoch NACKs re-steered survivors" true
+    (cstat proc "ha.stale_epoch_nacks" > 0);
+  check_bool "replication re-armed towards a new standby" true
+    (match Process.ha proc with
+    | Some ha -> Ha.active ha && Ha.standby ha <> 1
+    | None -> false)
+
+let test_async_failover_completes () =
+  let proc, final, expect =
+    run_failover_workload ~mode:(`Async 8) ~rounds:40 ~crash_at_us:1500
+  in
+  check_int "exactly one failover" 1 (pstat proc "ha.failovers");
+  check_int "no thread aborted" 0 (pstat proc "crash.threads_aborted");
+  (* Async may lose the unacked suffix, never more than it. *)
+  check_bool "final count within the bounded-lag window" true
+    (final >= 0L && final <= Int64.of_int expect)
+
+let prop_sync_failover_sc =
+  (* Randomized crash instants and round counts: the no-lost-writes
+     guarantee must hold wherever the crash lands after the writers have
+     left the origin. *)
+  QCheck.Test.make ~name:"sync failover loses no writes (random crash time)"
+    ~count:8
+    QCheck.(pair (int_range 1200 4000) (int_range 20 40))
+    (fun (crash_at_us, rounds) ->
+      let proc, final, expect =
+        run_failover_workload ~mode:`Sync ~rounds ~crash_at_us
+      in
+      final = Int64.of_int expect
+      && pstat proc "ha.failovers" = 1
+      && pstat proc "crash.threads_aborted" = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Futexes across a failover: a waiter parked at the old origin re-parks
+   at the promoted one (the wait is in the log) and the post-crash wake
+   reaches it.                                                          *)
+
+let test_futex_across_failover () =
+  let nodes = 4 in
+  let cl =
+    Dex.cluster ~nodes ~net:(crash_net ~nodes ()) ~proto:(ha_proto `Sync) ()
+  in
+  let woken = ref false in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let word = Process.memalign main ~align:4096 ~bytes:8 ~tag:"futex" in
+        Process.store main word 0L;
+        let waiter =
+          Process.spawn proc (fun th ->
+              Process.migrate th 2;
+              woken := Process.futex_wait th ~addr:word ~expected:0L)
+        in
+        let waker =
+          Process.spawn proc (fun th ->
+              Process.migrate th 3;
+              (* Park the waiter, kill the origin, then wake: the wake must
+                 find the re-parked waiter at the promoted origin. *)
+              Process.compute th ~ns:(us 2500);
+              Cluster.crash_node cl ~node:0;
+              Process.compute th ~ns:(us 1500);
+              Process.store th word 1L;
+              ignore (Process.futex_wake th ~addr:word ~count:1))
+        in
+        Process.migrate main 2;
+        List.iter Process.join [ waiter; waker ])
+  in
+  check_bool "waiter woke after the failover" true !woken;
+  check_int "one failover" 1 (pstat proc "ha.failovers");
+  check_int "no thread aborted" 0 (pstat proc "crash.threads_aborted")
+
+(* ------------------------------------------------------------------ *)
+(* Losing the standby first: replication disables (and says so), the
+   process keeps running — but a later origin crash would be fatal.     *)
+
+let test_standby_loss_disables () =
+  let nodes = 4 in
+  let cl =
+    Dex.cluster ~nodes ~net:(crash_net ~nodes ()) ~proto:(ha_proto `Sync) ()
+  in
+  let proc =
+    Dex.run cl (fun proc main ->
+        let x = Process.memalign main ~align:4096 ~bytes:8 ~tag:"x" in
+        let th =
+          Process.spawn proc (fun th ->
+              Process.migrate th 2;
+              for i = 1 to 12 do
+                Process.store th x (Int64.of_int i);
+                Process.compute th ~ns:(us 40)
+              done;
+              Process.migrate th (Process.origin proc))
+        in
+        Process.compute main ~ns:(us 300);
+        Cluster.crash_node cl ~node:1;
+        Process.join th;
+        Alcotest.(check int64) "work unaffected" 12L (Process.load main x))
+  in
+  check_int "standby loss recorded" 1 (pstat proc "ha.standby_lost");
+  check_int "no failover happened" 0 (pstat proc "ha.failovers");
+  check_bool "replication is disabled" true
+    (match Process.ha proc with Some ha -> not (Ha.armed ha) | None -> false)
+
+(* Explicit standby selection is honoured. *)
+let test_standby_selection () =
+  let nodes = 4 in
+  let cl =
+    Dex.cluster ~nodes ~net:(crash_net ~nodes ())
+      ~proto:(ha_proto ~standby:3 `Sync) ()
+  in
+  let proc = Dex.run cl (fun _proc _main -> ()) in
+  match Process.ha proc with
+  | Some ha -> check_int "configured standby" 3 (Ha.standby ha)
+  | None -> Alcotest.fail "replication should be armed"
+
+let () =
+  Alcotest.run "dex_ha"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "on_crash priority order" `Quick
+            test_on_crash_priority;
+        ] );
+      ( "replica",
+        List.map QCheck_alcotest.to_alcotest [ prop_replay_determinism ]
+        @ [
+            Alcotest.test_case "pending-wake ledger" `Quick
+              test_replica_wake_ledger;
+          ] );
+      ( "failover",
+        [
+          Alcotest.test_case "sync: no lost writes" `Quick
+            test_sync_failover_no_lost_writes;
+          Alcotest.test_case "async: bounded loss, run completes" `Quick
+            test_async_failover_completes;
+          Alcotest.test_case "futex wait survives failover" `Quick
+            test_futex_across_failover;
+          Alcotest.test_case "standby loss disables replication" `Quick
+            test_standby_loss_disables;
+          Alcotest.test_case "explicit standby selection" `Quick
+            test_standby_selection;
+        ] );
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest [ prop_sync_failover_sc ] );
+    ]
