@@ -807,12 +807,14 @@ let failover_bench () =
   in
   (* The failover workload from the tests: writers on every non-origin
      node hammer one shared counter; optionally the origin fail-stops
-     mid-run. Main rides out the crash off-origin. *)
-  let run ~crash mode =
+     mid-run (with [double] a standby dies at the same instant). Main
+     rides out the crash off-origin. *)
+  let run ?(k = 1) ?(double = false) ~crash mode =
     let proto =
       {
         Dex_proto.Proto_config.default with
         Dex_proto.Proto_config.replication = mode;
+        standby_count = k;
         on_crash = `Rehome;
       }
     in
@@ -827,7 +829,14 @@ let failover_bench () =
           let threads =
             List.init writers (fun i ->
                 Process.spawn proc (fun th ->
-                    Process.migrate th (i + 1);
+                    (* In the double-crash row, keep writers off the doomed
+                       standby: increments parked on a crashed worker node
+                       die with it (fail-stop node-local loss, not a
+                       replication gap). *)
+                    let home =
+                      if double then 2 + (i mod (nodes - 2)) else i + 1
+                    in
+                    Process.migrate th home;
                     for _ = 1 to rounds do
                       ignore (Process.fetch_add th counter 1L);
                       Process.compute th ~ns:(Time_ns.us 30)
@@ -836,7 +845,8 @@ let failover_bench () =
           Process.migrate main 2;
           if crash then begin
             Process.compute main ~ns:(Time_ns.us crash_at_us);
-            Cluster.crash_node cl ~node:0
+            Cluster.crash_node cl ~node:0;
+            if double then Cluster.crash_node cl ~node:1
           end;
           List.iter Process.join threads;
           final := Process.load main counter)
@@ -858,15 +868,19 @@ let failover_bench () =
        else "-")
   in
   row "replication off" (run ~crash:false `Off);
-  row "sync, healthy" (run ~crash:false `Sync);
+  row "sync k=1, healthy" (run ~crash:false `Sync);
+  row "sync k=2, healthy" (run ~k:2 ~crash:false `Sync);
+  row "sync k=3, healthy" (run ~k:3 ~crash:false `Sync);
   row "async lag 8, healthy" (run ~crash:false (`Async 8));
-  row "sync, origin dies" (run ~crash:true `Sync);
+  row "sync k=1, origin dies" (run ~crash:true `Sync);
+  row "sync k=2, double crash" (run ~k:2 ~crash:true ~double:true `Sync);
   row "async lag 8, origin dies" (run ~crash:true (`Async 8));
   Format.printf
-    "  -> 'healthy' rows price the replication log (sync pays fences on \
-     every externalized grant); the crash rows show the stall-not-abort \
-     failover — sync keeps the counter exact, async may lose up to its \
-     lag@."
+    "  -> 'healthy' rows price the replication log per replica-set size \
+     (sync pays a majority-ack fence on every externalized grant); the \
+     crash rows show the stall-not-abort failover — sync keeps the \
+     counter exact even when origin and standby die together (k=2), \
+     async may lose up to its lag@."
 
 (* ------------------------------------------------------------------ *)
 

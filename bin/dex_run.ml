@@ -367,9 +367,36 @@ let failover_cmd =
     let doc = "Increments each writer performs on the shared counter." in
     Arg.(value & opt int 40 & info [ "rounds" ] ~docv:"N" ~doc)
   in
-  let run nodes mode lag crash_at_us rounds =
+  let standbys_arg =
+    let doc =
+      "Replica-set size k: how many standbys receive the replication log. \
+       Sync fences wait for a majority of the origin+k set, so k >= 2 \
+       survives an origin and a standby dying together."
+    in
+    Arg.(value & opt int 1 & info [ "standbys" ] ~docv:"K" ~doc)
+  in
+  let double_crash_arg =
+    let doc =
+      "Fail-stop standby 1 at the same instant as the origin (requires \
+       $(b,--standbys) >= 2 so the survivors still hold a majority)."
+    in
+    Arg.(value & flag & info [ "double-crash" ] ~doc)
+  in
+  let run nodes mode lag crash_at_us rounds standbys double_crash =
     if nodes < 2 then begin
       Format.eprintf "failover: replication needs at least 2 nodes@.";
+      exit 2
+    end;
+    if standbys < 1 || standbys >= nodes then begin
+      Format.eprintf
+        "failover: --standbys must be between 1 and nodes-1 (%d)@."
+        (nodes - 1);
+      exit 2
+    end;
+    if double_crash && standbys < 2 then begin
+      Format.eprintf
+        "failover: --double-crash loses the whole replica set with \
+         --standbys 1; use --standbys 2 or more@.";
       exit 2
     end;
     let replication =
@@ -399,6 +426,7 @@ let failover_cmd =
       {
         Dex_proto.Proto_config.default with
         Dex_proto.Proto_config.replication;
+        standby_count = standbys;
         on_crash = `Rehome;
       }
     in
@@ -416,7 +444,14 @@ let failover_cmd =
           let threads =
             List.init writers (fun i ->
                 P.spawn proc ~name:(Printf.sprintf "w%d" (i + 1)) (fun th ->
-                    P.migrate th (i + 1);
+                    (* With --double-crash, keep writers off the doomed
+                       standby: increments parked on a crashed worker node
+                       die with it (fail-stop), which is node-local state
+                       loss, not a replication gap. *)
+                    let home =
+                      if double_crash then 2 + (i mod (nodes - 2)) else i + 1
+                    in
+                    P.migrate th home;
                     for _ = 1 to rounds do
                       ignore (P.fetch_add th counter 1L);
                       P.compute th ~ns:(Dex_sim.Time_ns.us 30)
@@ -425,13 +460,17 @@ let failover_cmd =
           P.migrate main (if nodes > 2 then 2 else 1);
           P.compute main ~ns:(Dex_sim.Time_ns.us crash_at_us);
           Dex_core.Cluster.crash_node cl ~node:0;
+          if double_crash then Dex_core.Cluster.crash_node cl ~node:1;
           List.iter P.join threads;
           final := P.load main counter)
     in
     let expect = writers * rounds in
-    Format.printf "failover: origin 0 dies @%.1fms (%s replication, %d writers x %d rounds)@."
+    Format.printf "failover: %s @%.1fms (%s replication%s, %d writers x %d rounds)@."
+      (if double_crash then "origin 0 and standby 1 die" else "origin 0 dies")
       (Dex_sim.Time_ns.to_ms_f (Dex_sim.Time_ns.us crash_at_us))
-      mode writers rounds;
+      mode
+      (if standbys > 1 then Printf.sprintf ", k=%d" standbys else "")
+      writers rounds;
     Format.printf "  counter: %Ld/%d %s@." !final expect
       (if !final = Int64.of_int expect then "(no lost writes)"
        else
@@ -441,6 +480,13 @@ let failover_cmd =
            | `Sync -> "UNEXPECTED under sync"
            | `Async _ -> "bounded by the async lag"));
     Format.printf "  origin now: node %d@." (P.origin proc);
+    if standbys > 1 then
+      (match P.ha proc with
+      | Some ha ->
+          Format.printf "  replica set now: %s@."
+            (String.concat " "
+               (List.map string_of_int (Dex_ha.Ha.standbys ha)))
+      | None -> ());
     let coh = P.coherence proc in
     Dex_profile.Report.pp_ha
       ~coh:(Dex_proto.Coherence.stats coh)
@@ -463,7 +509,8 @@ let failover_cmd =
          "Fail-stop the origin mid-run and report the standby promotion \
           (origin replication)")
     Term.(
-      const run $ nodes_arg $ mode_arg $ lag_arg $ crash_at_arg $ rounds_arg)
+      const run $ nodes_arg $ mode_arg $ lag_arg $ crash_at_arg $ rounds_arg
+      $ standbys_arg $ double_crash_arg)
 
 let main =
   let doc = "DeX: scaling applications beyond machine boundaries (simulated)" in

@@ -781,8 +781,8 @@ let handle_node_crash t ~node =
         ()
     | Some _ ->
         failwith
-          "Process: origin crash with replication disabled (the standby \
-           was lost first) is unsupported"
+          "Process: origin crash with replication disabled (the whole \
+           replica set was lost first) is unsupported"
     | None ->
         failwith
           "Process: origin crash is unsupported (the directory and every \
@@ -891,20 +891,35 @@ let create cluster ?(origin = 0) () =
         let nodes = Cluster.nodes cluster in
         if nodes < 2 then
           invalid_arg "Process.create: replication needs at least two nodes";
-        let standby =
-          match
-            (Cluster.proto_config cluster).Dex_proto.Proto_config.standby
-          with
-          | Some s ->
-              if s = origin || s < 0 || s >= nodes then
-                invalid_arg "Process.create: bad standby node";
-              s
-          | None -> if origin = 0 then 1 else 0
+        let cfg = Cluster.proto_config cluster in
+        let standbys =
+          match cfg.Dex_proto.Proto_config.standbys with
+          | Some l ->
+              List.iter
+                (fun s ->
+                  if s = origin || s < 0 || s >= nodes then
+                    invalid_arg "Process.create: bad standby node")
+                l;
+              if l = [] then
+                invalid_arg "Process.create: empty standby list";
+              if List.length (List.sort_uniq compare l) <> List.length l
+              then invalid_arg "Process.create: duplicate standby node";
+              l
+          | None ->
+              (* The k lowest-numbered non-origin nodes. *)
+              let k = cfg.Dex_proto.Proto_config.standby_count in
+              if k < 1 || k > nodes - 1 then
+                invalid_arg "Process.create: bad standby count";
+              List.filteri
+                (fun i _ -> i < k)
+                (List.filter
+                   (fun n -> n <> origin)
+                   (List.init nodes (fun n -> n)))
         in
         Some
-          (Ha.create ~engine:(Cluster.engine cluster)
+          (Ha.arm ~engine:(Cluster.engine cluster)
              ~fabric:(Cluster.fabric cluster) ~stats ~pid ~mode ~origin
-             ~standby)
+             ~standbys)
   in
   let t =
     {
@@ -995,7 +1010,7 @@ let create cluster ?(origin = 0) () =
     ~tag:"heap";
   Cluster.add_router cluster (router t);
   (* Subscriber priorities spell out the recovery order: directory reclaim
-     (0, in Coherence.create), standby promotion (10, in Ha.create), then
+     (0, in Coherence.create), standby promotion (10, in Ha.arm), then
      thread/worker recovery here. *)
   Fabric.on_crash ~priority:20 (Cluster.fabric cluster) (fun node ->
       handle_node_crash t ~node);

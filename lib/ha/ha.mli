@@ -1,6 +1,6 @@
 (** Origin replication: a write-ahead log of directory and delegation
-    mutations streamed to a standby, plus standby promotion on origin
-    failure.
+    mutations fanned out to a replica set of k standbys, with quorum acks
+    and watermark-ranked promotion on origin failure.
 
     The origin is DeX's one stateful anchor — ownership directory, VMA
     layout, futexes, file service all live there — so PR 3's crash
@@ -8,46 +8,72 @@
 
     {ul
     {- {b Log.} Every externally observable origin mutation is appended as
-       a {!Log_entry.t} ({!append}) and shipped to the standby in batches
-       over the ordinary reliable fabric. The standby applies entries to a
-       {!Replica} and acks a watermark.}
-    {- {b Modes.} [`Sync] makes {!fence} block until the whole log is
-       acked before any origin reply externalizes its effects — an origin
-       crash then loses nothing. [`Async lag] only blocks when more than
-       [lag] entries are unacked — bounded-lag shipping, cheaper fences,
-       and a crash may lose up to that suffix (the failover epoch fence
-       zaps survivor copies the replica no longer vouches for).}
+       a {!Log_entry.t} ({!append}) and shipped to every live standby in
+       batches over the ordinary reliable fabric, one shipper fiber per
+       standby cutting batches at its own cursor. Each standby applies
+       entries to a {!Replica} and acks its watermark.}
+    {- {b Quorum.} The replica set is the origin plus k standbys. The
+       {e quorum watermark} is the highest sequence number acked by
+       ⌈(k+1)/2⌉ standbys — together with the origin's own copy, a
+       majority of the set holds everything at or below it, so any
+       minority of simultaneous crashes (origin included) loses none of
+       it. [`Sync] makes {!fence} block until the whole log reaches the
+       quorum watermark; [`Async lag] blocks only when the log runs more
+       than [lag] entries ahead of it. A standby crash prunes it from the
+       set ([ha.standby_lost]); fences degrade to the remaining standbys
+       while origin+survivors still form a majority ([ha.quorum_degraded])
+       and stall outright below that ([ha.quorum_stalls]) — [`Sync]
+       refuses to externalize writes a minority crash could lose. With no
+       standby left, replication disables ([ha.disabled]).}
     {- {b Failover.} When the fabric declares the origin dead, the crash
        subscriber (priority 10 — after directory reclaim at 0, before
-       thread re-homing at 20) spawns the promotion fiber: it replays the
+       thread re-homing at 20) spawns the promotion fiber. It {e elects}
+       the reachable standby with the highest applied watermark (newest
+       generation first, lowest node id breaking exact ties), replays the
        retained log against a fresh replica and checks the result is
        bit-identical to the incrementally built one, hands the replica to
        the process layer's promotion hook ({!Dex_proto.Coherence.promote}
-       + epoch fencing), re-arms replication towards the next standby with
-       a fresh snapshot generation, and finally releases every requester
-       blocked in {!resolve}. Survivor threads experience a stalled fault,
-       not an abort.}} *)
+       + epoch fencing), re-arms a fresh log generation towards the
+       surviving standbys plus newly recruited ones ([ha.recruits]), and
+       finally releases every requester blocked in {!resolve}. Survivor
+       threads experience a stalled fault, not an abort.}
+    {- {b Re-arm race.} A standby whose current-generation bootstrap
+       snapshot has not fully applied is {e never} promotable on that
+       image; it retains its previous generation's fully seeded image
+       until the snapshot lands and falls back to it in elections
+       ([ha.rearm_aborted] when such a fallback wins). Back-to-back
+       crashes landing inside the re-arm window therefore cannot promote
+       a half-armed replica. If the elected standby itself dies while the
+       promotion hook is installing it, the election reruns over the
+       remainder ([ha.reelections]).}
+    {- {b Zombie fencing.} Every [Repl_append] batch carries the sender's
+       origin-generation epoch; standbys NACK batches from an older epoch
+       ([ha.zombie_nacks]), so a deposed origin can never advance a
+       watermark the new generation relies on.}} *)
 
 type t
 
-val create :
+val arm :
   engine:Dex_sim.Engine.t ->
   fabric:Dex_net.Fabric.t ->
   stats:Dex_sim.Stats.t ->
   pid:int ->
   mode:[ `Sync | `Async of int ] ->
   origin:int ->
-  standby:int ->
+  standbys:int list ->
   t
-(** Arm replication from [origin] to [standby]. Registers the failover
-    crash subscriber at priority 10. [stats] receives the [ha.*] counters
-    (typically the owning process's table). *)
+(** Arm replication from [origin] to the replica set [standbys] (k =
+    [List.length standbys]; must be non-empty, distinct, in range and
+    exclude the origin). Registers the failover crash subscriber at
+    priority 10. [stats] receives the [ha.*] counters (typically the
+    owning process's table). *)
 
 val origin : t -> int
 (** Current origin (changes at promotion). *)
 
-val standby : t -> int
-(** Current standby (changes when replication re-arms). *)
+val standbys : t -> int list
+(** Current live standbys (shrinks on standby loss, refreshed when
+    replication re-arms after a failover). *)
 
 val mode : t -> [ `Sync | `Async of int ]
 
@@ -59,7 +85,17 @@ val armed : t -> bool
     or a promotion is already in flight. *)
 
 val lag : t -> int
-(** Appended-but-unacked entry count. *)
+(** Entry count the log runs ahead of the quorum watermark (the whole log
+    when the quorum is lost). *)
+
+val quorate : t -> bool
+(** Do the origin and live standbys still form a majority of the original
+    replica set? When [false], [`Sync] fences stall. *)
+
+val last_election : t -> (int * (int * int * int) list) option
+(** Outcome of the most recent election: winner node id ([-1] when no
+    candidate remained) and every candidate as [(node, epoch, watermark)].
+    For observability and directed tests. *)
 
 val set_promote_hook :
   t -> (new_origin:int -> Replica.t -> Log_entry.t list) -> unit
@@ -72,13 +108,16 @@ val set_promote_hook :
 val append : t -> Log_entry.t -> unit
 (** Append one entry to the replication log. No-op when disabled; queued
     behind the re-arm snapshot during a failover. Consecutive queued
-    [Page_data] entries for the same page compact to the newest image. *)
+    [Page_data] entries for the same page compact to the newest image
+    while no standby has been handed the older one. *)
 
 val fence : t -> unit
-(** Block until the log satisfies the mode's durability bound ([`Sync]:
-    everything acked; [`Async lag]: at most [lag] unacked). Call before
-    externalizing any effect whose loss the log must cover. Returns
-    immediately when replication is disabled or failing over. *)
+(** Block until the log satisfies the mode's durability bound against the
+    quorum watermark ([`Sync]: everything acked by a quorum; [`Async
+    lag]: at most [lag] entries past it). Call before externalizing any
+    effect whose loss the log must cover. Returns immediately when
+    replication is disabled or failing over; stalls while the quorum is
+    lost. *)
 
 val resolve : t -> int option
 (** Where is the origin? Blocks while a promotion is in flight, then
@@ -91,9 +130,10 @@ val take_wake : t -> addr:Dex_mem.Page.addr -> tid:int -> bool
     promoted origin ([ha.wakes_redelivered]). *)
 
 val router : t -> Dex_net.Fabric.env -> bool
-(** Standby-side message dispatcher (apply [Repl_append], ack). Register
-    with the cluster router chain. *)
+(** Standby-side message dispatcher: apply [Repl_append] batches carrying
+    the current epoch and ack the watermark; NACK batches from a deposed
+    origin's older epoch. Register with the cluster router chain. *)
 
 val handle_crash : t -> int -> unit
-(** The priority-10 crash subscriber (registered by {!create}; exposed for
+(** The priority-10 crash subscriber (registered by {!arm}; exposed for
     directed tests). *)

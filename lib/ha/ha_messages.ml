@@ -1,5 +1,11 @@
 type Dex_net.Msg.payload +=
-  | Repl_append of { pid : int; first_seq : int; entries : Log_entry.t list }
+  | Repl_append of {
+      pid : int;
+      epoch : int;
+      first_seq : int;
+      entries : Log_entry.t list;
+    }
   | Repl_ack of { pid : int; watermark : int }
+  | Repl_nack of { pid : int; epoch : int }
 
 let kind_repl = "repl_log"

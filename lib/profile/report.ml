@@ -93,8 +93,26 @@ let pp_ha ?coh fmt stats =
         (cget "ha.stale_epoch_nacks")
         (cget "ha.fence_zapped") (cget "ha.fence_demoted")
         (get "ha.wakes_redelivered");
-    if get "ha.standby_lost" > 0 then
-      Format.fprintf fmt "ha: standby lost - replication disabled@."
+    if
+      get "ha.standby_lost" > 0
+      || get "ha.quorum_stalls" > 0
+      || get "ha.zombie_nacks" > 0
+      || get "ha.recruits" > 0
+      || get "ha.reelections" > 0
+      || get "ha.rearm_aborted" > 0
+    then
+      Format.fprintf fmt
+        "ha quorum: standby_lost=%d degraded=%d stalls=%d zombie_nacks=%d \
+         recruits=%d reelections=%d rearm_aborted=%d@."
+        (get "ha.standby_lost")
+        (get "ha.quorum_degraded")
+        (get "ha.quorum_stalls")
+        (get "ha.zombie_nacks")
+        (get "ha.recruits")
+        (get "ha.reelections")
+        (get "ha.rearm_aborted");
+    if get "ha.disabled" > 0 then
+      Format.fprintf fmt "ha: replica set lost - replication disabled@."
   end
 
 let pp_summary ?alloc ?stats ?net fmt events =

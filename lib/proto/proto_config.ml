@@ -16,7 +16,8 @@ type t = {
   batch_revoke : bool;
   on_crash : [ `Abort | `Rehome ];
   replication : [ `Off | `Sync | `Async of int ];
-  standby : int option;
+  standby_count : int;
+  standbys : int list option;
 }
 
 let default =
@@ -49,6 +50,11 @@ let default =
        on the replication ack; `Async n tolerates up to n unacked log
        entries and can lose that suffix on an origin crash. *)
     replication = `Off;
-    (* None picks the lowest-numbered non-origin node as the standby. *)
-    standby = None;
+    (* One standby keeps the PR 4 single-replica behaviour; raise it to
+       tolerate simultaneous origin+standby crashes (any minority of the
+       origin+k set). *)
+    standby_count = 1;
+    (* None picks the lowest-numbered non-origin nodes as the replica
+       set. *)
+    standbys = None;
   }

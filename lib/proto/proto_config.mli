@@ -58,15 +58,20 @@ type t = {
       (** origin replication ({!Dex_ha} when wired by the process layer):
           [`Off] (default) runs no log and is bit-identical to a build
           without the HA layer; [`Sync] blocks every reply that leaves the
-          origin until the standby has acked the whole replication log;
-          [`Async n] only blocks once more than [n] log entries are
-          unacked — an origin crash can then lose up to that suffix (the
-          failover fence zaps survivor copies the replica no longer
-          vouches for). *)
-  standby : int option;
-      (** which node receives the replication log; [None] picks the
-          lowest-numbered non-origin node. Ignored when [replication] is
-          [`Off]. *)
+          origin until a quorum of standbys has acked the whole
+          replication log (⌈(k+1)/2⌉ of them — a majority of the
+          origin+k replica set); [`Async n] only blocks once the log runs
+          more than [n] entries past that quorum watermark — an origin
+          crash can then lose up to that suffix (the failover fence zaps
+          survivor copies the replica no longer vouches for). *)
+  standby_count : int;
+      (** size k of the replica set (excluding the origin) when [standbys]
+          is [None]; k = 1 is the single-standby behaviour. Ignored when
+          [replication] is [`Off]. *)
+  standbys : int list option;
+      (** which nodes receive the replication log; [None] picks the
+          [standby_count] lowest-numbered non-origin nodes. Ignored when
+          [replication] is [`Off]. *)
 }
 
 val default : t

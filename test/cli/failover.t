@@ -16,11 +16,14 @@ shared counter exact through the failover, async may lose up to its lag
   =============================================================
                                  sim time   counter   fences  entries  recover(us)
     replication off                1.84ms    36/36         0        0            -
-    sync, healthy                  2.95ms    36/36        51       63            -
+    sync k=1, healthy              2.95ms    36/36        51       63            -
+    sync k=2, healthy              2.54ms    36/36        53       65            -
+    sync k=3, healthy              2.54ms    36/36        53       65            -
     async lag 8, healthy           2.35ms    36/36         0       71            -
-    sync, origin dies              3.94ms    36/36        39       68          5.4
+    sync k=1, origin dies          3.94ms    36/36        39       68          5.4
+    sync k=2, double crash         2.57ms    36/36        29       63          5.4
     async lag 8, origin dies       3.39ms    35/36         0       80          5.4
-    -> 'healthy' rows price the replication log (sync pays fences on every externalized grant); the crash rows show the stall-not-abort failover — sync keeps the counter exact, async may lose up to its lag
+    -> 'healthy' rows price the replication log per replica-set size (sync pays a majority-ack fence on every externalized grant); the crash rows show the stall-not-abort failover — sync keeps the counter exact even when origin and standby die together (k=2), async may lose up to its lag
 
 
 The dex_run front-end drives one failover and prints the ha digest: the
@@ -35,6 +38,7 @@ and the ownership invariants hold at the promoted origin:
     origin now: node 1
   ha: entries=51 shipped=51 acked=51 compacted=0 batches=32 fence_waits=26
   ha failover: count=1 replayed=35 detect_to_serve=5.4us stalled_faults=2 stale_nacks=1 fence_zapped=0 fence_demoted=0 wakes_redelivered=0
+  ha quorum: standby_lost=0 degraded=0 stalls=0 zombie_nacks=0 recruits=1 reelections=0 rearm_aborted=0
   recovery: threads_aborted=0 threads_rehomed=0 delegations_retried=0
   post-failover invariants: ok
   sim time: 2.54ms
@@ -48,6 +52,7 @@ bounded-loss window; this particular crash instant loses nothing:
     origin now: node 1
   ha: entries=61 shipped=61 acked=61 compacted=0 batches=42 fence_waits=0
   ha failover: count=1 replayed=49 detect_to_serve=5.4us stalled_faults=0 stale_nacks=0 fence_zapped=0 fence_demoted=0 wakes_redelivered=0
+  ha quorum: standby_lost=0 degraded=0 stalls=0 zombie_nacks=0 recruits=1 reelections=0 rearm_aborted=0
   recovery: threads_aborted=0 threads_rehomed=0 delegations_retried=0
   post-failover invariants: ok
   sim time: 1.97ms
