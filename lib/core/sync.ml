@@ -1,4 +1,10 @@
 module Mutex = struct
+  (* Two-state futex mutex (Drepper, "Futexes Are Tricky"): 0 = free,
+     1 = locked, 2 = locked with possible waiters. Only a holder that
+     observed contention pays the delegated FUTEX_WAKE; the uncontended
+     unlock is a single CAS, which matters here far more than on real
+     hardware — every futex syscall of a remote thread is an origin
+     round-trip. *)
   type t = { addr : Dex_mem.Page.addr }
 
   let create proc ?(tag = "mutex") () =
@@ -10,17 +16,33 @@ module Mutex = struct
   let try_lock th t =
     Process.cas th ~site:"mutex.lock" t.addr ~expected:0L ~desired:1L
 
-  let rec lock th t =
-    if not (try_lock th t) then begin
-      (* Contended: sleep in the kernel until the holder wakes us, then
-         compete again (classic futex mutex). *)
-      ignore (Process.futex_wait th ~addr:t.addr ~expected:1L);
-      lock th t
+  let rec lock_contended th t =
+    (* Acquire as 2 — we cannot know whether other waiters remain, so
+       our eventual unlock must wake (at worst one spurious wake) — or
+       advertise waiters on the current holder and sleep while the word
+       stays 2. *)
+    if
+      not (Process.cas th ~site:"mutex.lock" t.addr ~expected:0L ~desired:2L)
+    then begin
+      ignore
+        (Process.cas th ~site:"mutex.lock" t.addr ~expected:1L ~desired:2L);
+      ignore (Process.futex_wait th ~addr:t.addr ~expected:2L);
+      lock_contended th t
     end
 
+  let lock th t = if not (try_lock th t) then lock_contended th t
+
   let unlock th t =
-    Process.store th ~site:"mutex.unlock" t.addr 0L;
-    ignore (Process.futex_wake th ~addr:t.addr ~count:1)
+    if Process.cas th ~site:"mutex.unlock" t.addr ~expected:1L ~desired:0L
+    then
+      (* No waiter ever announced itself: skip the wake syscall. *)
+      Dex_sim.Stats.incr
+        (Process.stats (Process.self_process th))
+        "sync.wake_elided"
+    else begin
+      Process.store th ~site:"mutex.unlock" t.addr 0L;
+      ignore (Process.futex_wake th ~addr:t.addr ~count:1)
+    end
 
   let with_lock th t f =
     lock th t;

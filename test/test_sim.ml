@@ -240,6 +240,17 @@ let test_histogram_buckets_bimodal () =
   let b = Histogram.buckets h ~width:50 in
   Alcotest.(check (list (pair int int))) "two modes" [ (0, 3); (150, 3) ] b
 
+(* Negative samples must land in floor-division buckets: -5 belongs to
+   [-10, 0), not to 0's bucket as truncating division would place it. *)
+let test_histogram_buckets_negative () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ -5; -15; 5 ];
+  let b = Histogram.buckets h ~width:10 in
+  Alcotest.(check (list (pair int int)))
+    "floor buckets"
+    [ (-20, 1); (-10, 1); (0, 1) ]
+    b
+
 let prop_histogram_mean_bounded =
   QCheck.Test.make ~name:"histogram mean within [min,max]" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (int_bound 100_000))
@@ -369,6 +380,8 @@ let () =
           Alcotest.test_case "empty" `Quick test_histogram_empty;
           Alcotest.test_case "bimodal buckets" `Quick
             test_histogram_buckets_bimodal;
+          Alcotest.test_case "negative buckets" `Quick
+            test_histogram_buckets_negative;
         ]
         @ qsuite [ prop_histogram_mean_bounded ] );
       ("stats", [ Alcotest.test_case "counters" `Quick test_stats_counters ]);
