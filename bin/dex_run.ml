@@ -34,6 +34,30 @@ let variant_arg =
     & opt variant_conv A.Optimized
     & info [ "v"; "variant" ] ~docv:"VARIANT" ~doc)
 
+let shards_arg =
+  let doc =
+    "Partition page ownership across $(docv) home nodes (range-sharded: \
+     64-page runs round-robin over the homes, keeping sequential streams \
+     and their prefetch batches on one home). 0 (the default) keeps every \
+     page homed at the single origin."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"SHARDS" ~doc)
+
+(* None when sharding is off: the apps then run with their historical
+   default-config behaviour, bit for bit. *)
+let proto_of_shards shards =
+  if shards < 0 then begin
+    Format.eprintf "--shards must be >= 0@.";
+    exit 2
+  end
+  else if shards = 0 then None
+  else
+    Some
+      {
+        Dex_proto.Proto_config.default with
+        Dex_proto.Proto_config.sharding = `Range shards;
+      }
+
 let lookup name =
   match Dex_apps.Apps.find name with
   | entry -> entry
@@ -55,19 +79,21 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run app nodes variant =
+  let run app nodes variant shards =
     let entry = lookup app in
-    let r = entry.Dex_apps.Apps.run ~nodes ~variant () in
+    let proto = proto_of_shards shards in
+    let r = entry.Dex_apps.Apps.run ~nodes ~variant ?proto () in
     Format.printf "%a@." A.pp_result r;
     0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application on the simulated rack")
-    Term.(const run $ app_arg $ nodes_arg $ variant_arg)
+    Term.(const run $ app_arg $ nodes_arg $ variant_arg $ shards_arg)
 
 let sweep_cmd =
-  let run app =
+  let run app shards =
     let entry = lookup app in
+    let proto = proto_of_shards shards in
     let base = entry.Dex_apps.Apps.run ~nodes:1 ~variant:A.Baseline () in
     Format.printf "%-10s %-10s %10s %10s %8s@." "NODES" "VARIANT" "TIME(ms)"
       "SPEEDUP" "FAULTS";
@@ -78,7 +104,7 @@ let sweep_cmd =
       (fun nodes ->
         List.iter
           (fun variant ->
-            let r = entry.Dex_apps.Apps.run ~nodes ~variant () in
+            let r = entry.Dex_apps.Apps.run ~nodes ~variant ?proto () in
             Format.printf "%-10d %-10s %10.2f %10.2f %8d@." nodes
               (A.variant_name variant)
               (Dex_sim.Time_ns.to_ms_f r.A.sim_time)
@@ -91,7 +117,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run one application at 1..8 nodes, initial and optimized")
-    Term.(const run $ app_arg)
+    Term.(const run $ app_arg $ shards_arg)
 
 (* The focused contended workload behind `profile` and `chaos`: a cold
    table scan plus a write-hot flag ping-ponging between all nodes. *)
@@ -353,13 +379,17 @@ let crash_cmd =
       (pget "crash.migrations_refused");
     Dex_proto.Coherence.check_invariants coh;
     let ghosts = ref 0 in
-    Dex_mem.Directory.iter (Dex_proto.Coherence.directory coh) (fun _ st ->
-        match st with
-        | Dex_mem.Directory.Exclusive n when n = crash_node -> incr ghosts
-        | Dex_mem.Directory.Shared set
-          when Dex_mem.Node_set.mem set crash_node ->
-            incr ghosts
-        | _ -> ());
+    for shard = 0 to Dex_proto.Coherence.shard_count coh - 1 do
+      Dex_mem.Directory.iter
+        (Dex_proto.Coherence.shard_directory coh ~shard)
+        (fun _ st ->
+          match st with
+          | Dex_mem.Directory.Exclusive n when n = crash_node -> incr ghosts
+          | Dex_mem.Directory.Shared set
+            when Dex_mem.Node_set.mem set crash_node ->
+              incr ghosts
+          | _ -> ())
+    done;
     Format.printf "post-reclaim invariants: ok (ghost directory entries: %d)@."
       !ghosts;
     Format.printf "sim time: %.2fms@."

@@ -44,9 +44,10 @@ type ctx = {
   seed : int;
 }
 
-let run_app ~name ~nodes ~variant ?(threads_per_node = 8) ?(seed = 7) body =
+let run_app ~name ~nodes ~variant ?proto ?(threads_per_node = 8) ?(seed = 7)
+    body =
   if nodes <= 0 then invalid_arg "run_app: nodes";
-  let cl = Dex.cluster ~nodes ~seed () in
+  let cl = Dex.cluster ?proto ~nodes ~seed () in
   let checksum = ref 0L in
   let ctx_out = ref None in
   let proc =

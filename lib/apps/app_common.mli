@@ -57,13 +57,17 @@ val run_app :
   name:string ->
   nodes:int ->
   variant:variant ->
+  ?proto:Dex_proto.Proto_config.t ->
   ?threads_per_node:int ->
   ?seed:int ->
   (ctx -> Process.thread -> int64) ->
   result
 (** Build the rack, run the application body as the process's main thread
     (its return value is the checksum), drive the simulation to completion
-    and collect statistics. [threads_per_node] defaults to 8. *)
+    and collect statistics. [proto] overrides the protocol configuration
+    (e.g. to turn on {!Dex_proto.Proto_config.sharding} or replication);
+    defaults to {!Dex_proto.Proto_config.default}. [threads_per_node]
+    defaults to 8. *)
 
 val node_of : ctx -> int -> int
 (** Home node of worker [i] under the block distribution the paper uses

@@ -3,7 +3,11 @@ type entry = {
   descr : string;
   conversion : App_common.conversion;
   run :
-    nodes:int -> variant:App_common.variant -> unit -> App_common.result;
+    nodes:int ->
+    variant:App_common.variant ->
+    ?proto:Dex_proto.Proto_config.t ->
+    unit ->
+    App_common.result;
 }
 
 let all =
@@ -12,49 +16,49 @@ let all =
       name = "GRP";
       descr = "string match over an NFS-served text corpus";
       conversion = Grp.conversion;
-      run = (fun ~nodes ~variant () -> Grp.run ~nodes ~variant ());
+      run = (fun ~nodes ~variant ?proto () -> Grp.run ~nodes ~variant ?proto ());
     };
     {
       name = "KMN";
       descr = "k-means clustering of a 3-D point cloud";
       conversion = Kmn.conversion;
-      run = (fun ~nodes ~variant () -> Kmn.run ~nodes ~variant ());
+      run = (fun ~nodes ~variant ?proto () -> Kmn.run ~nodes ~variant ?proto ());
     };
     {
       name = "BT";
       descr = "NPB block-tridiagonal solver";
       conversion = Npb_bt.conversion;
-      run = (fun ~nodes ~variant () -> Npb_bt.run ~nodes ~variant ());
+      run = (fun ~nodes ~variant ?proto () -> Npb_bt.run ~nodes ~variant ?proto ());
     };
     {
       name = "EP";
       descr = "NPB embarrassingly parallel kernel";
       conversion = Ep.conversion;
-      run = (fun ~nodes ~variant () -> Ep.run ~nodes ~variant ());
+      run = (fun ~nodes ~variant ?proto () -> Ep.run ~nodes ~variant ?proto ());
     };
     {
       name = "FT";
       descr = "NPB 3-D FFT";
       conversion = Npb_ft.conversion;
-      run = (fun ~nodes ~variant () -> Npb_ft.run ~nodes ~variant ());
+      run = (fun ~nodes ~variant ?proto () -> Npb_ft.run ~nodes ~variant ?proto ());
     };
     {
       name = "BLK";
       descr = "PARSEC blackscholes option pricing";
       conversion = Blk.conversion;
-      run = (fun ~nodes ~variant () -> Blk.run ~nodes ~variant ());
+      run = (fun ~nodes ~variant ?proto () -> Blk.run ~nodes ~variant ?proto ());
     };
     {
       name = "BFS";
       descr = "Polymer breadth-first search on an R-MAT graph";
       conversion = Bfs.conversion;
-      run = (fun ~nodes ~variant () -> Bfs.run ~nodes ~variant ());
+      run = (fun ~nodes ~variant ?proto () -> Bfs.run ~nodes ~variant ?proto ());
     };
     {
       name = "BP";
       descr = "Polymer belief propagation";
       conversion = Bp.conversion;
-      run = (fun ~nodes ~variant () -> Bp.run ~nodes ~variant ());
+      run = (fun ~nodes ~variant ?proto () -> Bp.run ~nodes ~variant ?proto ());
     };
   ]
 

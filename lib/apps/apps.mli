@@ -5,7 +5,11 @@ type entry = {
   descr : string;
   conversion : App_common.conversion;
   run :
-    nodes:int -> variant:App_common.variant -> unit -> App_common.result;
+    nodes:int ->
+    variant:App_common.variant ->
+    ?proto:Dex_proto.Proto_config.t ->
+    unit ->
+    App_common.result;
 }
 
 val all : entry list

@@ -147,5 +147,5 @@ let body p ctx main =
         done);
   A.checksum_of_float (reference_sum p ~seed:ctx.A.seed)
 
-let run ~nodes ~variant ?(params = default_params) ?(seed = 37) () =
-  A.run_app ~name:"BP" ~nodes ~variant ~seed (body params)
+let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 37) () =
+  A.run_app ~name:"BP" ~nodes ~variant ?proto ~seed (body params)

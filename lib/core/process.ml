@@ -37,6 +37,7 @@ type migration_record = {
 type batch_pending = {
   p_tid : int;
   p_src : int;  (* node the requesting thread was executing on *)
+  p_shard : int;  (* shard whose home the entry is addressed to *)
   p_wire : M.batch_entry;
   p_wait : unit Waitq.t;
   mutable p_state : [ `Queued | `Inflight | `Parked | `Done ];
@@ -49,7 +50,9 @@ type dispatch_queue = {
 }
 
 type batch_state = {
-  queues : dispatch_queue array;  (* per requesting node *)
+  queues : dispatch_queue array array;
+      (* per (requesting node, destination shard): entries bound for
+         different homes can never share a wire batch *)
   bpending : (int, batch_pending) Hashtbl.t;  (* tid -> outstanding entry *)
   batch_sizes : Histogram.t;
 }
@@ -58,12 +61,15 @@ type t = {
   cluster : Cluster.t;
   pid : int;
   mutable origin : int;  (* changes when a standby is promoted *)
-  ha : Ha.t option;  (* origin replication, per Proto_config.replication *)
+  has : Ha.t option array;
+      (* per-shard replication, per Proto_config.replication: shard s's
+         log roots at its home node; one-element array when sharding is
+         off *)
   coh : Coherence.t;
   alloc : Allocator.t;
   vmas : Vma_tree.t array;
-  futex : Futex.t;
-  vfs : Vfs.t;
+  futexes : Futex.t array;  (* per shard: the futex word's home serves it *)
+  vfss : Vfs.t array;  (* per shard: files are homed by name hash *)
   stats : Stats.t;
   mutable next_tid : int;
   mutable threads : thread list;  (* newest first *)
@@ -91,7 +97,7 @@ and thread = {
 let cluster t = t.cluster
 let pid t = t.pid
 let origin t = t.origin
-let ha t = t.ha
+let ha t = t.has.(0)
 let coherence t = t.coh
 let allocator t = t.alloc
 let vma_tree t ~node = t.vmas.(node)
@@ -119,21 +125,61 @@ let install_vma tree vma =
   Vma_tree.insert tree vma
 
 (* ------------------------------------------------------------------ *)
-(* Origin replication plumbing. All three are single pointer tests when
-   replication is off, so the default configuration pays nothing.       *)
+(* Home replication plumbing — one log per shard. All of these are
+   single pointer tests when replication is off, so the default
+   configuration pays nothing.                                          *)
 
-let ha_log t e = match t.ha with Some ha -> Ha.append ha e | None -> ()
-let ha_fence t = match t.ha with Some ha -> Ha.fence ha | None -> ()
-let ha_resolve t = match t.ha with Some ha -> Ha.resolve ha | None -> None
+(* Route a log entry to the shard whose home's state it describes:
+   page-granular entries by the page's shard, futex transitions by the
+   futex word's shard, VMA/layout entries to shard 0 (the allocator and
+   VMA services stay at the process origin). With sharding off everything
+   is shard 0. *)
+let ha_shard_of_entry t (e : Log_entry.t) =
+  match e with
+  | Log_entry.Dir_set { vpn; _ }
+  | Log_entry.Dir_forget { vpn }
+  | Log_entry.Page_data { vpn; _ } ->
+      Coherence.shard_of t.coh vpn
+  | Log_entry.Futex_wait { addr; _ } | Log_entry.Futex_unpark { addr; _ } ->
+      Coherence.shard_of t.coh (Page.page_of_addr addr)
+  | Log_entry.Reset _ | Log_entry.Vma_set _ | Log_entry.Vma_remove _
+  | Log_entry.Vma_protect _ ->
+      0
 
-(* Run [f ~dst] against the current origin; when the {e origin} fail-stops
-   under the call, stall until the HA layer promotes a standby, then retry
-   against the new origin. Crashes of the calling node itself are not
-   handled here — they keep unwinding to {!guard}, which applies the
-   thread crash policy. Without replication the resolver answers [None]
-   and the exception propagates exactly as before. *)
-let rec origin_rpc t ~src ~stat f =
-  let dst = t.origin in
+let ha_log t e =
+  match t.has.(ha_shard_of_entry t e) with
+  | Some ha -> Ha.append ha e
+  | None -> ()
+
+let ha_fence_shard t shard =
+  match t.has.(shard) with Some ha -> Ha.fence ha | None -> ()
+
+(* Fence every armed shard homed at [node] — the delegation handlers'
+   replicate-before-externalize barrier. With sharding off the only
+   delegation target is the origin, which homes the one shard. *)
+let ha_fence_node t ~node =
+  Array.iteri
+    (fun shard ha ->
+      match ha with
+      | Some ha when Coherence.shard_home t.coh ~shard = node -> Ha.fence ha
+      | _ -> ())
+    t.has
+
+let ha_fence_all t =
+  Array.iter (function Some ha -> Ha.fence ha | None -> ()) t.has
+
+let ha_resolve t ~shard =
+  match t.has.(shard) with Some ha -> Ha.resolve ha | None -> None
+
+(* Run [f ~dst] against [shard]'s current home; when the {e home}
+   fail-stops under the call, stall until the HA layer promotes a standby
+   for the shard, then retry against the new home. Crashes of the calling
+   node itself are not handled here — they keep unwinding to {!guard},
+   which applies the thread crash policy. Without replication the
+   resolver answers [None] and the exception propagates exactly as
+   before. *)
+let rec home_rpc t ~shard ~src ~stat f =
+  let dst = Coherence.shard_home t.coh ~shard in
   try f ~dst
   with
   | Fabric.Unreachable _ as e
@@ -142,11 +188,13 @@ let rec origin_rpc t ~src ~stat f =
          && not (Fabric.crashed (fabric t) ~node:src) -> (
       if not (Fabric.crash_detected (fabric t) ~node:dst) then
         Fabric.declare_dead (fabric t) ~node:dst;
-      match ha_resolve t with
+      match ha_resolve t ~shard with
       | Some o when o <> dst ->
           Stats.incr t.stats stat;
-          origin_rpc t ~src ~stat f
+          home_rpc t ~shard ~src ~stat f
       | Some _ | None -> raise e)
+
+let origin_rpc t ~src ~stat f = home_rpc t ~shard:0 ~src ~stat f
 
 (* ------------------------------------------------------------------ *)
 (* Fail-stop crash handling for the thread API.                        *)
@@ -215,8 +263,8 @@ let batch_deliver t p r =
       Hashtbl.remove t.batch.bpending p.p_tid;
       ignore (Waitq.wake_all p.p_wait ())
 
-let batch_flush t ~node ~trigger =
-  let q = t.batch.queues.(node) in
+let batch_flush t ~node ~shard ~trigger =
+  let q = t.batch.queues.(node).(shard) in
   match q.q_entries with
   | [] ->
       (* A size-triggered flush emptied the queue under an armed timer. *)
@@ -238,11 +286,11 @@ let batch_flush t ~node ~trigger =
       Engine.spawn (engine t) ~label:"delegate-batch" (fun () ->
           match
             (* A failover mid-call re-sends (and re-executes) the whole
-               batch at the promoted origin, exactly like a solo
+               batch at the shard's promoted home, exactly like a solo
                delegate; the futex wake ledger absorbs replayed waits,
                and entries already completed through an early wakeup are
                skipped by the idempotent delivery below. *)
-            origin_rpc t ~src:node ~stat:"ha.delegations_retried"
+            home_rpc t ~shard ~src:node ~stat:"ha.delegations_retried"
               (fun ~dst ->
                 Fabric.call (fabric t) ~src:node ~dst
                   ~kind:M.kind_delegate_batch ~size:req_size
@@ -267,12 +315,13 @@ let batch_flush t ~node ~trigger =
                  for free from its open RPC). *)
               List.iter (fun p -> batch_deliver t p (Error e)) pendings)
 
-let enqueue_batched t ~node ~tid ~req_size ~resp_size ~may_park run =
-  let q = t.batch.queues.(node) in
+let enqueue_batched t ~node ~shard ~tid ~req_size ~resp_size ~may_park run =
+  let q = t.batch.queues.(node).(shard) in
   let p =
     {
       p_tid = tid;
       p_src = node;
+      p_shard = shard;
       p_wire =
         {
           M.b_tid = tid;
@@ -290,13 +339,13 @@ let enqueue_batched t ~node ~tid ~req_size ~resp_size ~may_park run =
   Hashtbl.replace t.batch.bpending tid p;
   Stats.incr t.stats "delegation.batched";
   if List.length q.q_entries >= (cfg t).Core_config.delegation_batch_max then
-    batch_flush t ~node ~trigger:`Size
+    batch_flush t ~node ~shard ~trigger:`Size
   else if not q.q_timer then begin
     q.q_timer <- true;
     Engine.spawn (engine t) ~label:"delegation-dispatch" (fun () ->
         Engine.delay (engine t) (cfg t).Core_config.delegation_dispatch;
         q.q_timer <- false;
-        batch_flush t ~node ~trigger:`Timer)
+        batch_flush t ~node ~shard ~trigger:`Timer)
   end;
   (match p.p_result with
   | None -> Waitq.wait (engine t) p.p_wait
@@ -307,8 +356,10 @@ let enqueue_batched t ~node ~tid ~req_size ~resp_size ~may_park run =
   | None -> assert false (* p_wait only wakes from batch_deliver *)
 
 (* Crash recovery for the three places a batched entry can be caught:
-   the local queue, the in-flight batch, and parked at the origin. *)
-let batch_on_node_crash t ~node ~origin_died =
+   the local queue, the in-flight batch, and parked at a home. [homed]
+   lists the shards the dead node was homing (with sharding off, [[0]]
+   exactly when the origin died). *)
+let batch_on_node_crash t ~node ~homed =
   let b = t.batch in
   let by_tid = List.sort (fun a b -> compare a.p_tid b.p_tid) in
   (* Entries issued from the dead node: their threads died with it; the
@@ -327,25 +378,30 @@ let batch_on_node_crash t ~node ~origin_died =
            (Fabric.Unreachable
               { src = node; dst = t.origin; kind = M.kind_delegate_batch })))
     dead;
-  b.queues.(node).q_entries <- [];
-  if origin_died then begin
-    (* Parked entries lost their origin-side fiber (the futex service
-       died, cancelling every waiter) and their batch already replied —
-       no RPC is open to retry them. Re-delegate each solo: [origin_rpc]
-       stalls through the promotion and re-executes the run at the new
-       origin, where the replicated wake ledger re-delivers any wake the
-       old origin consumed but never managed to report. *)
+  Array.iter (fun q -> q.q_entries <- []) b.queues.(node);
+  if homed <> [] then begin
+    (* Parked entries of the dead node's shards lost their home-side
+       fiber (the futex service died, cancelling every waiter) and their
+       batch already replied — no RPC is open to retry them. Re-delegate
+       each solo: [home_rpc] stalls through the shard's promotion and
+       re-executes the run at the new home, where the replicated wake
+       ledger re-delivers any wake the old home consumed but never
+       managed to report. Parked entries of other shards are untouched:
+       their homes are alive and still hold the park. *)
     let parked =
       by_tid
         (Hashtbl.fold
-           (fun _ p acc -> if p.p_state = `Parked then p :: acc else acc)
+           (fun _ p acc ->
+             if p.p_state = `Parked && List.mem p.p_shard homed then p :: acc
+             else acc)
            b.bpending [])
     in
     List.iter
       (fun p ->
         Engine.spawn (engine t) ~label:"delegate-reissue" (fun () ->
             match
-              origin_rpc t ~src:p.p_src ~stat:"ha.delegations_retried"
+              home_rpc t ~shard:p.p_shard ~src:p.p_src
+                ~stat:"ha.delegations_retried"
                 (fun ~dst ->
                   Fabric.call (fabric t) ~src:p.p_src ~dst
                     ~kind:M.kind_delegate ~size:p.p_wire.M.b_req_size
@@ -384,9 +440,10 @@ let rec vma_check th ~addr ~len ~access ~queried =
         match
           if (cfg t).Core_config.batch_delegation then
             (* VMA queries ride the same per-node dispatch queue as
-               delegations; the lookup becomes one batch entry. *)
-            enqueue_batched t ~node ~tid:th.tid ~req_size:64 ~resp_size:64
-              ~may_park:false (fun () ->
+               delegations (shard 0: the VMA service stays at the
+               origin); the lookup becomes one batch entry. *)
+            enqueue_batched t ~node ~shard:0 ~tid:th.tid ~req_size:64
+              ~resp_size:64 ~may_park:false (fun () ->
                 Engine.delay (engine t) (cfg t).Core_config.vma_op;
                 M.Vma_info (Vma_tree.find t.vmas.(t.origin) addr))
           else
@@ -405,28 +462,38 @@ let rec vma_check th ~addr ~len ~access ~queried =
 (* ------------------------------------------------------------------ *)
 (* Work delegation (§III-A).                                           *)
 
-(* Run [run] in the context of the paired original thread at the origin
-   and return its result. Local threads call straight into the kernel.
-   [req_size] is the request-leg wire size — operations that carry a
-   payload to the origin (file writes) must charge for it. [may_park]
-   marks runs that can block indefinitely (futex waits), which the
-   batched path answers out of band. *)
-let delegate ?(req_size = 64) ?(resp_size = 64) ?(may_park = false) th run =
+(* Run [run] in the context of the paired original thread at [shard]'s
+   home node and return its result — shard 0 (the default) is the origin,
+   where the allocator/VMA/default services live; futex and file
+   delegations route to the owning shard when sharding is on. Threads
+   local to the home call straight into the kernel. [req_size] is the
+   request-leg wire size — operations that carry a payload to the home
+   (file writes) must charge for it. [may_park] marks runs that can block
+   indefinitely (futex waits), which the batched path answers out of
+   band. *)
+let delegate ?(shard = 0) ?(req_size = 64) ?(resp_size = 64)
+    ?(may_park = false) th run =
   let t = th.proc in
   guard th (fun () ->
       Engine.delay (engine t) (cfg t).Core_config.syscall;
-      if th.location = t.origin then run ()
+      let target = Coherence.shard_home t.coh ~shard in
+      if th.location = target then run ()
       else begin
         Stats.incr t.stats "delegation";
+        (* A delegation that pays a remote hop to a non-origin home is a
+           cross-shard operation — the traffic sharding moved off the
+           origin. Counted in the coherence table so the whole shard.*
+           family reads from one place. *)
+        if shard <> 0 then Stats.incr (Coherence.stats t.coh) "shard.cross_ops";
         if (cfg t).Core_config.batch_delegation then
-          enqueue_batched t ~node:th.location ~tid:th.tid ~req_size
+          enqueue_batched t ~node:th.location ~shard ~tid:th.tid ~req_size
             ~resp_size ~may_park run
         else
-          (* A failover mid-call re-executes [run] at the promoted origin
+          (* A failover mid-call re-executes [run] at the promoted home
              (like [`Rehome], the simulator cannot checkpoint a syscall
              mid-flight); the futex wake ledger makes the stock sync
              primitives safe against the replay. *)
-          origin_rpc t ~src:th.location ~stat:"ha.delegations_retried"
+          home_rpc t ~shard ~src:th.location ~stat:"ha.delegations_retried"
             (fun ~dst ->
               Fabric.call (fabric t) ~src:th.location ~dst
                 ~kind:M.kind_delegate ~size:req_size
@@ -542,29 +609,36 @@ let compute_membound th ~ns ~bytes =
 
 let futex_wait th ~addr ~expected =
   let t = th.proc in
+  (* The futex word's shard serves the wait: its home holds the queue
+     (and, with replication, its log holds the wake ledger). *)
+  let shard = Coherence.shard_of t.coh (Page.page_of_addr addr) in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.futex_op;
     let redelivered =
-      match t.ha with
+      match t.has.(shard) with
       | Some ha -> Ha.take_wake ha ~addr ~tid:th.tid
       | None -> false
     in
     if redelivered then
-      (* The old origin consumed a wake for this thread but died before
+      (* The old home consumed a wake for this thread but died before
          the verdict reached it; the replicated ledger re-delivers. *)
       M.Ret_bool true
     else begin
       (* Atomic check-and-sleep: the value read below and the enqueue
          happen in the same engine event, so no wakeup can slip in
-         between. *)
+         between. The home reads the word locally — its own shard. *)
       let v =
-        Coherence.load_i64 t.coh ~node:t.origin ~tid:th.tid ~site:"futex" addr
+        Coherence.load_i64 t.coh
+          ~node:(Coherence.shard_home t.coh ~shard)
+          ~tid:th.tid ~site:"futex" addr
       in
       if v <> expected then M.Ret_bool false
       else begin
         ha_log t
           (Log_entry.Futex_wait { addr; tid = th.tid; owner = th.location });
-        match Futex.wait ~owner:th.location ~tid:th.tid t.futex ~addr with
+        match
+          Futex.wait ~owner:th.location ~tid:th.tid t.futexes.(shard) ~addr
+        with
         | `Woken -> M.Ret_bool true
         | `Crashed ->
             (* The waiter's node died while it was parked: report a
@@ -577,84 +651,103 @@ let futex_wait th ~addr ~expected =
       end
     end
   in
-  match delegate ~may_park:true th run with
+  match delegate ~shard ~may_park:true th run with
   | M.Ret_bool b -> b
   | _ -> assert false
 
 let futex_wake th ~addr ~count =
   let t = th.proc in
+  let shard = Coherence.shard_of t.coh (Page.page_of_addr addr) in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.futex_op;
-    let tids = Futex.wake_tids t.futex ~addr ~count in
+    let tids = Futex.wake_tids t.futexes.(shard) ~addr ~count in
     (* Each consumed wake is logged before the woken waiter's (or this
-       waker's) reply leaves the origin — the fence in the router makes
+       waker's) reply leaves the home — the fence in the router makes
        the ledger entry durable first under [`Sync]. *)
     List.iter
       (fun tid -> ha_log t (Log_entry.Futex_unpark { addr; tid; woken = true }))
       tids;
     M.Ret_int (List.length tids)
   in
-  match delegate th run with M.Ret_int n -> n | _ -> assert false
+  match delegate ~shard th run with M.Ret_int n -> n | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
-(* File I/O (delegated to the origin like any stateful service).        *)
+(* File I/O (delegated to the home node like any stateful service).     *)
+
+(* Files are partitioned by name hash: each shard's home runs its own
+   VFS instance. Descriptors encode the shard so later operations route
+   to the right table: [fd = raw * nshards + shard]. With one shard the
+   encoding is the identity, preserving historical fd values. *)
+let file_shard t name =
+  match Coherence.shard_count t.coh with
+  | 1 -> 0
+  | n -> Hashtbl.hash name mod n
+
+let fd_shard t fd = fd mod Coherence.shard_count t.coh
+let fd_raw t fd = fd / Coherence.shard_count t.coh
 
 let file_open th name =
   let t = th.proc in
+  let shard = file_shard t name in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.file_op;
-    M.Ret_int (Vfs.open_file t.vfs name)
+    let raw = Vfs.open_file t.vfss.(shard) name in
+    M.Ret_int ((raw * Coherence.shard_count t.coh) + shard)
   in
-  match delegate th run with M.Ret_int fd -> fd | _ -> assert false
+  match delegate ~shard th run with M.Ret_int fd -> fd | _ -> assert false
 
 let file_read th ~fd ~bytes =
   let t = th.proc in
+  let shard = fd_shard t fd in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.file_op;
-    let n = Vfs.read t.vfs fd ~bytes in
-    (* The origin pulls the data from the shared storage appliance. *)
+    let n = Vfs.read t.vfss.(shard) (fd_raw t fd) ~bytes in
+    (* The home pulls the data from the shared storage appliance. *)
     if n > 0 then Resource.Server.transfer (Cluster.storage t.cluster) ~bytes:n;
     M.Ret_int n
   in
   (* The payload travels back to the caller as the syscall result: big
      reads ride the RDMA path of the fabric automatically. *)
-  match delegate ~resp_size:(64 + bytes) th run with
+  match delegate ~shard ~resp_size:(64 + bytes) th run with
   | M.Ret_int n -> n
   | _ -> assert false
 
 let file_write th ~fd ~bytes =
   let t = th.proc in
+  let shard = fd_shard t fd in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.file_op;
-    Vfs.write t.vfs fd ~bytes;
+    Vfs.write t.vfss.(shard) (fd_raw t fd) ~bytes;
     Resource.Server.transfer (Cluster.storage t.cluster) ~bytes;
     M.Ret_unit
   in
   (* The payload travels WITH the request: charge the forward leg, the
      mirror image of [file_read]'s response accounting. *)
-  match delegate ~req_size:(64 + bytes) th run with
+  match delegate ~shard ~req_size:(64 + bytes) th run with
   | M.Ret_unit -> ()
   | _ -> assert false
 
 let file_seek th ~fd ~pos =
   let t = th.proc in
+  let shard = fd_shard t fd in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.file_op;
-    Vfs.seek t.vfs fd ~pos;
+    Vfs.seek t.vfss.(shard) (fd_raw t fd) ~pos;
     M.Ret_unit
   in
-  match delegate th run with M.Ret_unit -> () | _ -> assert false
+  match delegate ~shard th run with M.Ret_unit -> () | _ -> assert false
 
 let file_close th ~fd =
   let t = th.proc in
+  let shard = fd_shard t fd in
   let run () =
     Engine.delay (engine t) (cfg t).Core_config.file_op;
-    Vfs.close t.vfs fd;
+    Vfs.close t.vfss.(shard) (fd_raw t fd);
     M.Ret_unit
   in
-  match delegate th run with M.Ret_unit -> () | _ -> assert false
+  match delegate ~shard th run with M.Ret_unit -> () | _ -> assert false
 
-let file_size t name = Vfs.size t.vfs name
+let file_size t name = Vfs.size t.vfss.(file_shard t name) name
 
 (* ------------------------------------------------------------------ *)
 (* Node-wide operations through remote workers.                        *)
@@ -739,7 +832,7 @@ let rec broadcast_node_op t op =
         targets;
       Waitq.wait (engine t) join;
       if !src_died then
-        match ha_resolve t with
+        match ha_resolve t ~shard:0 with
         | Some o when o <> src -> broadcast_node_op t op
         | Some _ | None ->
             (* No promotion path: the origin crash is fatal anyway (the
@@ -776,8 +869,9 @@ let munmap th ~addr ~len =
     let first, last = Page.pages_of_range addr ~len in
     ignore (Coherence.zap_range t.coh ~first ~last ~node:t.origin);
     (* Shrinks are broadcast eagerly (§III-D); the shrink must be durable
-       on the standby before any remote node observes it. *)
-    ha_fence t;
+       on the standbys before any remote node observes it. The range may
+       span pages of every shard, so every shard's log is fenced. *)
+    ha_fence_all t;
     broadcast_node_op t (M.Vma_shrink { start = addr; len });
     Coherence.forget_range t.coh ~first ~last;
     M.Ret_unit
@@ -795,7 +889,7 @@ let mprotect th ~addr ~len ~perm =
     if not (perm.Perm.read && perm.Perm.write) then begin
       let first, last = Page.pages_of_range addr ~len in
       ignore (Coherence.zap_range t.coh ~first ~last ~node:t.origin);
-      ha_fence t;
+      ha_fence_all t;
       broadcast_node_op t (M.Vma_protect { start = addr; len; perm })
     end;
     M.Ret_unit
@@ -997,30 +1091,52 @@ let handle_migrate_back t ~tid ~remote_ns resume =
    ownership metadata is already clean when threads are re-homed. *)
 let handle_node_crash t ~node =
   let origin_died = node = t.origin in
-  if origin_died then
-    (match t.ha with
-    | Some ha when Ha.armed ha ->
-        (* The HA layer's own subscriber (priority 10) already queued the
-           promotion fiber; this pass only cleans up local casualties. *)
-        ()
-    | Some _ ->
-        failwith
-          "Process: origin crash with replication disabled (the whole \
-           replica set was lost first) is unsupported"
-    | None ->
-        failwith
-          "Process: origin crash is unsupported (the directory and every \
-           delegated service die with it)");
-  (* Wake origin-side delegate fibers parked in the futex on behalf of
-     threads that lived on the dead node — before any re-homing below
-     changes thread locations, or the owner tags would lie. An origin
-     crash kills the futex service itself: every parked delegate fiber is
-     a casualty, whatever node its thread lives on (the survivors' threads
-     retry the wait against the promoted origin). *)
-  let cancelled =
-    if origin_died then Futex.cancel t.futex ~owned_by:(fun _ -> true)
-    else Futex.cancel t.futex ~owned_by:(fun owner -> owner = node)
+  (* Shards whose home stood on the dead node. Computed here, before the
+     per-shard promotion fibers (queued at priority 10) run, so the home
+     table still points at the casualty. With sharding off this is [0]
+     iff the origin died. *)
+  let homed =
+    List.filter
+      (fun s -> Coherence.shard_home t.coh ~shard:s = node)
+      (List.init (Coherence.shard_count t.coh) Fun.id)
   in
+  List.iter
+    (fun shard ->
+      match t.has.(shard) with
+      | Some ha when Ha.armed ha ->
+          (* The HA layer's own subscriber (priority 10) already queued
+             the promotion fiber; this pass only cleans up local
+             casualties. *)
+          ()
+      | Some _ when shard = 0 ->
+          failwith
+            "Process: origin crash with replication disabled (the whole \
+             replica set was lost first) is unsupported"
+      | None when shard = 0 ->
+          failwith
+            "Process: origin crash is unsupported (the directory and every \
+             delegated service die with it)"
+      | Some _ | None ->
+          failwith
+            "Process: a home node crashed with no live replica for its \
+             shard — its delegated services die with it")
+    homed;
+  (* Wake home-side delegate fibers parked in the futex on behalf of
+     threads that lived on the dead node — before any re-homing below
+     changes thread locations, or the owner tags would lie. A home crash
+     kills that shard's futex service itself: every delegate fiber parked
+     in it is a casualty, whatever node its thread lives on (the
+     survivors' threads retry the wait against the promoted home). *)
+  let cancelled = ref 0 in
+  Array.iteri
+    (fun shard futex ->
+      cancelled :=
+        !cancelled
+        +
+        if List.mem shard homed then Futex.cancel futex ~owned_by:(fun _ -> true)
+        else Futex.cancel futex ~owned_by:(fun owner -> owner = node))
+    t.futexes;
+  let cancelled = !cancelled in
   if cancelled > 0 then Stats.add t.stats "crash.futex_cancelled" cancelled;
   (* Apply the crash policy to every thread caught on the dead node.
      Threads standing on the dead origin are beyond re-homing — their
@@ -1049,7 +1165,7 @@ let handle_node_crash t ~node =
       | _ -> ())
     t.threads;
   (* Batched delegation casualties: queued/in-flight/parked entries. *)
-  batch_on_node_crash t ~node ~origin_died;
+  batch_on_node_crash t ~node ~homed;
   (* Tear down the dead node's worker so its loop fiber exits. *)
   (match t.workers.(node) with
   | Ready queue ->
@@ -1077,9 +1193,10 @@ let router t (env : Fabric.env) =
         Engine.delay (engine t) (cfg t).Core_config.delegation_dispatch;
         let r = run () in
         (* Replicate-before-externalize: whatever the syscall mutated
-           (futex state, VMAs, allocations) must be on the standby before
-           the reply publishes the effect to another node. *)
-        ha_fence t;
+           (futex state, VMAs, allocations) must be on the standbys before
+           the reply publishes the effect to another node. Only this
+           node's shards can have been mutated — fence those logs. *)
+        ha_fence_node t ~node:msg.Msg.dst;
         env.Fabric.respond ~size:resp_size r;
         true
     | M.Delegate_batch { pid; entries } when pid = t.pid ->
@@ -1096,8 +1213,8 @@ let router t (env : Fabric.env) =
                     let r = e.M.b_run () in
                     (* Replicate-before-externalize applies to the late
                        completion too: the consumed wake must be durable
-                       on the standby before the result leaves. *)
-                    ha_fence t;
+                       on the standbys before the result leaves. *)
+                    ha_fence_node t ~node:home;
                     Stats.incr t.stats "delegation.wakeups";
                     try
                       Fabric.send (fabric t) ~src:home ~dst:requester
@@ -1113,7 +1230,7 @@ let router t (env : Fabric.env) =
               else M.B_done (e.M.b_run ()))
             entries
         in
-        ha_fence t;
+        ha_fence_node t ~node:home;
         let resp_size =
           List.fold_left2
             (fun acc (e : M.batch_entry) r ->
@@ -1131,7 +1248,7 @@ let router t (env : Fabric.env) =
     | M.Vma_query { pid; addr } when pid = t.pid ->
         Engine.delay (engine t) (cfg t).Core_config.vma_op;
         let r = M.Vma_info (Vma_tree.find t.vmas.(t.origin) addr) in
-        ha_fence t;
+        ha_fence_shard t 0;
         env.Fabric.respond r;
         true
     | M.Node_op { pid; op } when pid = t.pid -> (
@@ -1155,57 +1272,77 @@ let create cluster ?(origin = 0) () =
   let pid = Cluster.fresh_pid cluster in
   let seed = Rng.int (Cluster.rng cluster) 1_000_000 in
   let stats = Stats.create () in
-  let ha =
+  let coh =
+    Coherence.create ~cfg:(Cluster.proto_config cluster) ~seed ~pid
+      (Cluster.fabric cluster) ~origin
+  in
+  let nshards = Coherence.shard_count coh in
+  let has =
     match (Cluster.proto_config cluster).Dex_proto.Proto_config.replication
     with
-    | `Off -> None
+    | `Off -> Array.make nshards None
     | (`Sync | `Async _) as mode ->
         let nodes = Cluster.nodes cluster in
         if nodes < 2 then
           invalid_arg "Process.create: replication needs at least two nodes";
+        if nshards > 64 then
+          invalid_arg
+            "Process.create: replication supports at most 64 shards (the \
+             per-shard replication stream id is pid * 64 + shard)";
         let cfg = Cluster.proto_config cluster in
-        let standbys =
-          match cfg.Dex_proto.Proto_config.standbys with
-          | Some l ->
-              List.iter
-                (fun s ->
-                  if s = origin || s < 0 || s >= nodes then
-                    invalid_arg "Process.create: bad standby node")
-                l;
-              if l = [] then
-                invalid_arg "Process.create: empty standby list";
-              if List.length (List.sort_uniq compare l) <> List.length l
-              then invalid_arg "Process.create: duplicate standby node";
-              l
-          | None ->
-              (* The k lowest-numbered non-origin nodes. *)
-              let k = cfg.Dex_proto.Proto_config.standby_count in
-              if k < 1 || k > nodes - 1 then
-                invalid_arg "Process.create: bad standby count";
-              List.filteri
-                (fun i _ -> i < k)
-                (List.filter
-                   (fun n -> n <> origin)
-                   (List.init nodes (fun n -> n)))
-        in
-        Some
-          (Ha.arm ~engine:(Cluster.engine cluster)
-             ~fabric:(Cluster.fabric cluster) ~stats ~pid ~mode ~origin
-             ~standbys)
+        (* One independent replica set per shard: each home streams its
+           own log, holds its own epoch and promotes on its own. *)
+        Array.init nshards (fun shard ->
+            let home = Coherence.shard_home coh ~shard in
+            let standbys =
+              match cfg.Dex_proto.Proto_config.standbys with
+              | Some l ->
+                  List.iter
+                    (fun s ->
+                      if s < 0 || s >= nodes || (nshards = 1 && s = origin)
+                      then invalid_arg "Process.create: bad standby node")
+                    l;
+                  if l = [] then
+                    invalid_arg "Process.create: empty standby list";
+                  if List.length (List.sort_uniq compare l) <> List.length l
+                  then invalid_arg "Process.create: duplicate standby node";
+                  (* With sharding on, one list serves every shard; each
+                     shard just skips its own home. *)
+                  let l = List.filter (fun s -> s <> home) l in
+                  if l = [] then
+                    invalid_arg
+                      "Process.create: standby list is empty once a \
+                       shard's own home node is excluded";
+                  l
+              | None ->
+                  (* The k lowest-numbered non-home nodes. *)
+                  let k = cfg.Dex_proto.Proto_config.standby_count in
+                  if k < 1 || k > nodes - 1 then
+                    invalid_arg "Process.create: bad standby count";
+                  List.filteri
+                    (fun i _ -> i < k)
+                    (List.filter
+                       (fun n -> n <> home)
+                       (List.init nodes (fun n -> n)))
+            in
+            let ha_pid = if nshards = 1 then pid else (pid * 64) + shard in
+            Some
+              (Ha.arm ~engine:(Cluster.engine cluster)
+                 ~fabric:(Cluster.fabric cluster) ~stats ~pid:ha_pid ~mode
+                 ~origin:home ~standbys))
   in
   let t =
     {
       cluster;
       pid;
       origin;
-      ha;
-      coh =
-        Coherence.create ~cfg:(Cluster.proto_config cluster) ~seed ~pid
-          (Cluster.fabric cluster) ~origin;
+      has;
+      coh;
       alloc = Allocator.create ();
       vmas = Array.init (Cluster.nodes cluster) (fun _ -> Vma_tree.create ());
-      futex = Futex.create (Cluster.engine cluster);
-      vfs = Vfs.create ();
+      futexes =
+        Array.init nshards (fun _ -> Futex.create (Cluster.engine cluster));
+      vfss = Array.init nshards (fun _ -> Vfs.create ());
       stats;
       next_tid = 0;
       threads = [];
@@ -1216,64 +1353,83 @@ let create cluster ?(origin = 0) () =
         {
           queues =
             Array.init (Cluster.nodes cluster) (fun _ ->
-                { q_entries = []; q_timer = false });
+                Array.init nshards (fun _ ->
+                    { q_entries = []; q_timer = false }));
           bpending = Hashtbl.create 32;
           batch_sizes = Histogram.create ();
         };
     }
   in
-  (* Wire the replication log into the protocol layer before any state is
+  (* Wire the replication logs into the protocol layer before any state is
      created, so the initial layout below is already logged. *)
-  (match t.ha with
-  | None -> ()
-  | Some ha ->
-      Coherence.set_commit_barrier t.coh (Some (fun () -> Ha.fence ha));
-      Coherence.set_origin_resolver t.coh (Some (fun () -> Ha.resolve ha));
-      Coherence.set_origin_write_hook t.coh
-        (Some
-           (fun vpn ->
-             (* Origin-local dirtying never crosses the wire, so the
-                directory observer cannot see it; ship the fresh bytes. *)
-             let store = Coherence.page_store t.coh ~node:t.origin in
-             if Page_store.mem store vpn then
-               Ha.append ha
-                 (Log_entry.Page_data
-                    { vpn; data = Page_store.snapshot store vpn })));
-      Directory.set_observer
-        (Coherence.directory t.coh)
-        (Some
-           (fun vpn state ->
-             Ha.append ha
-               (match state with
-               | Some s -> Log_entry.Dir_set { vpn; state = s }
-               | None -> Log_entry.Dir_forget { vpn })));
-      Ha.set_promote_hook ha (fun ~new_origin replica ->
-          (* Runs in the promotion fiber, after directory reclaim for the
-             dead origin was skipped in favor of this full rebuild. *)
-          Coherence.promote t.coh ~new_origin
-            ~dir_entries:(Replica.dir_snapshot replica)
-            ~page_data:(Replica.page_data replica);
-          t.origin <- new_origin;
-          (* The replicated tree IS the authoritative layout now; the
-             promoted node's lazily synced view is a strict subset. *)
-          t.vmas.(new_origin) <- Replica.vma_tree replica;
-          Coherence.fence_survivors t.coh;
-          (* Bootstrap snapshot seeding the next replication generation. *)
-          let vmas = ref [] in
-          Vma_tree.iter t.vmas.(new_origin) (fun vma ->
-              vmas := Log_entry.Vma_set vma :: !vmas);
-          let store = Coherence.page_store t.coh ~node:new_origin in
-          let pages =
-            Page_store.fold store ~init:[] ~f:(fun vpn data acc ->
-                Log_entry.Page_data { vpn; data = Bytes.copy data } :: acc)
-          in
-          let dirs =
-            List.map
-              (fun (vpn, state) -> Log_entry.Dir_set { vpn; state })
-              (Directory.snapshot (Coherence.directory t.coh))
-          in
-          dirs @ pages @ List.rev !vmas);
-      Cluster.add_router cluster (Ha.router ha));
+  if Array.exists Option.is_some t.has then begin
+    Coherence.set_commit_barrier t.coh (Some (fun shard -> ha_fence_shard t shard));
+    Coherence.set_origin_resolver t.coh (Some (fun shard -> ha_resolve t ~shard));
+    Coherence.set_origin_write_hook t.coh
+      (Some
+         (fun vpn ->
+           (* Home-local dirtying never crosses the wire, so the directory
+              observer cannot see it; ship the fresh bytes ([ha_log]
+              routes them to the page's shard). *)
+           let store =
+             Coherence.page_store t.coh ~node:(Coherence.home_of t.coh vpn)
+           in
+           if Page_store.mem store vpn then
+             ha_log t
+               (Log_entry.Page_data
+                  { vpn; data = Page_store.snapshot store vpn })));
+    Array.iteri
+      (fun shard ha ->
+        match ha with
+        | None -> ()
+        | Some ha ->
+            Directory.set_observer
+              (Coherence.shard_directory t.coh ~shard)
+              (Some
+                 (fun vpn state ->
+                   Ha.append ha
+                     (match state with
+                     | Some s -> Log_entry.Dir_set { vpn; state = s }
+                     | None -> Log_entry.Dir_forget { vpn })));
+            Ha.set_promote_hook ha (fun ~new_origin replica ->
+                (* Runs in the promotion fiber, after directory reclaim for
+                   the dead home was skipped in favor of this rebuild. *)
+                Coherence.promote t.coh ~shard ~new_origin
+                  ~dir_entries:(Replica.dir_snapshot replica)
+                  ~page_data:(Replica.page_data replica);
+                if shard = 0 then begin
+                  t.origin <- new_origin;
+                  (* The replicated tree IS the authoritative layout now;
+                     the promoted node's lazily synced view is a strict
+                     subset. VMAs live with shard 0, whose home runs the
+                     VMA service. *)
+                  t.vmas.(new_origin) <- Replica.vma_tree replica
+                end;
+                Coherence.fence_survivors t.coh ~shard;
+                (* Bootstrap snapshot seeding the next replication
+                   generation: this shard's slice of the state only. *)
+                let vmas = ref [] in
+                if shard = 0 then
+                  Vma_tree.iter t.vmas.(new_origin) (fun vma ->
+                      vmas := Log_entry.Vma_set vma :: !vmas);
+                let store = Coherence.page_store t.coh ~node:new_origin in
+                let pages =
+                  Page_store.fold store ~init:[] ~f:(fun vpn data acc ->
+                      if Coherence.shard_of t.coh vpn = shard then
+                        Log_entry.Page_data { vpn; data = Bytes.copy data }
+                        :: acc
+                      else acc)
+                in
+                let dirs =
+                  List.map
+                    (fun (vpn, state) -> Log_entry.Dir_set { vpn; state })
+                    (Directory.snapshot
+                       (Coherence.shard_directory t.coh ~shard))
+                in
+                dirs @ pages @ List.rev !vmas);
+            Cluster.add_router cluster (Ha.router ha))
+      t.has
+  end;
   (* Classic static layout at the origin; remote nodes learn VMAs on
      demand. *)
   let tree = t.vmas.(origin) in

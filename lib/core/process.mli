@@ -32,8 +32,12 @@ exception Thread_crashed of { pid : int; tid : int }
 val create : Cluster.t -> ?origin:int -> unit -> t
 (** Register a new process; [origin] defaults to node 0. When
     {!Dex_proto.Proto_config.replication} is not [`Off], this also arms
-    origin replication towards {!Dex_proto.Proto_config.standby} (default:
-    the lowest non-origin node) — see {!ha}. *)
+    replication towards the configured replica set
+    ({!Dex_proto.Proto_config.standbys}, default: the
+    [standby_count] lowest non-origin nodes) — one instance per shard
+    when {!Dex_proto.Proto_config.sharding} is on (each shard's own home
+    node is excluded from its standby list; at most 64 shards per
+    process) — see {!ha}. *)
 
 val cluster : t -> Cluster.t
 
@@ -44,11 +48,14 @@ val origin : t -> int
     origin crash. *)
 
 val ha : t -> Dex_ha.Ha.t option
-(** The origin-replication layer, when armed. With replication armed an
-    origin fail-stop no longer kills the process: the standby replays the
-    replication log, takes over the directory/futex/VMA services under a
-    new epoch, and surviving threads stall through the failover instead of
-    aborting (threads resident on the dead origin itself still abort). *)
+(** Shard 0's replication layer, when armed. With replication armed a
+    home-node fail-stop no longer kills the process: the shard's standby
+    replays its replication log, takes over that shard's
+    directory/futex/file services under a new epoch, and surviving
+    threads stall through the failover instead of aborting (threads
+    resident on the dead node itself still abort). Only shard 0's
+    promotion moves the process origin and its VMA/allocator services;
+    other shards fail over independently while the rest keep serving. *)
 
 val coherence : t -> Dex_proto.Coherence.t
 
@@ -204,21 +211,24 @@ val compute_membound :
 (** {1 Futex (§III-A work delegation)} *)
 
 val futex_wait : thread -> addr:Dex_mem.Page.addr -> expected:int64 -> bool
-(** FUTEX_WAIT: delegated to the origin; atomically re-checks the futex
-    word there and sleeps until woken. Returns [false] on EAGAIN (value
+(** FUTEX_WAIT: delegated to the home of the futex word's page (the
+    origin when sharding is off); atomically re-checks the futex word
+    there and sleeps until woken. Returns [false] on EAGAIN (value
     mismatch — caller must re-evaluate). *)
 
 val futex_wake : thread -> addr:Dex_mem.Page.addr -> count:int -> int
-(** FUTEX_WAKE: delegated to the origin; returns the number of threads
-    woken. *)
+(** FUTEX_WAKE: delegated to the same home as the word's waits; returns
+    the number of threads woken. *)
 
 (** {1 File I/O (§III-A work delegation)}
 
-    The file table lives at the origin; remote threads' calls are
-    delegated, and read payloads travel back as the system-call result
-    (large reads ride the fabric's RDMA path). Contents are not simulated,
-    only sizes and cursors — data transfer is charged against the shared
-    storage appliance. *)
+    The file table lives at the origin — or, with sharding on, files hash
+    by name to a shard and each shard's table lives at its home node
+    (descriptors encode the shard, so every later call routes without a
+    lookup). Remote threads' calls are delegated, and read payloads
+    travel back as the system-call result (large reads ride the fabric's
+    RDMA path). Contents are not simulated, only sizes and cursors — data
+    transfer is charged against the shared storage appliance. *)
 
 val file_open : thread -> string -> int
 (** Open (creating if needed); returns a file descriptor. *)

@@ -54,5 +54,15 @@ val pp_ha : ?coh:Dex_sim.Stats.t -> Format.formatter -> Dex_sim.Stats.t -> unit
     {!Dex_proto.Coherence.stats}). Prints nothing when replication was
     off. *)
 
+val pp_shard : Format.formatter -> Dex_sim.Stats.t -> unit
+(** Sharded-home digest from the protocol's [shard.*] counters
+    ({!Dex_proto.Coherence.stats}): shard count, grants served by a
+    requester's own home vs another node's ([local]/[remote] plus the
+    derived locality percentage), syscall delegations routed to a
+    non-origin home ([cross_ops]) and per-shard failover promotions.
+    Prints nothing when sharding is off — the counters are only
+    maintained with more than one shard. Included in {!pp_summary}
+    automatically when [stats] is passed. *)
+
 val pp_compact : Format.formatter -> Analysis.summary -> unit
 (** One-paragraph digest. *)

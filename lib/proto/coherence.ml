@@ -11,23 +11,34 @@ type outcome = [ `Done | `Retry ]
    only when the whole batch reply lands would let origin grant fibers wait
    on each other in cycles). A revocation arriving at the node for any page
    of an in-flight batch poisons the record instead; the requester discards
-   poisoned grants when the reply is processed. *)
+   poisoned grants when the reply is processed. Every batch is single-shard
+   (see {!claim_prefetch}), so its wire epoch is unambiguous. *)
 type batch_record = {
   b_demand : Page.vpn;
   b_vpns : Page.vpn list;  (* demand :: prefetched *)
   mutable b_poisoned : Page.vpn list;
 }
 
+(* Page ownership is partitioned over [nshards] shards, each rooted at a
+   {e home node}. With sharding off there is exactly one shard, homed at
+   the origin — every array below then has a single slot and each code
+   path degenerates to the unsharded protocol bit-for-bit. *)
 type t = {
   fabric : Fabric.t;
   engine : Engine.t;
-  mutable origin : int;  (* re-pointed by promote on standby failover *)
-  mutable epoch : int;  (* bumped by promote; 0 while the origin never died *)
-  origin_view : int array;  (* per node: where this node sends its faults *)
-  epoch_view : int array;  (* per node: the epoch it stamps on them *)
+  nshards : int;
+  homes : int array;  (* shard -> home node; re-pointed by promote *)
+  epochs : int array;  (* shard -> generation; bumped by promote *)
+  home_view : int array array;
+      (* node -> shard -> where that node sends the shard's faults; the
+         replicated read-mostly home metadata *)
+  epoch_view : int array array;
+      (* node -> shard -> the epoch it stamps on them (epoch-stamped
+         invalidation of the replicated view) *)
+  shard_grants : int array;  (* shard -> grants served, the load vector *)
   pid : int;
   cfg : Proto_config.t;
-  mutable dir : Directory.t;  (* replaced wholesale by promote *)
+  dirs : Directory.t array;  (* shard -> directory; replaced by promote *)
   ptables : Page_table.t array;
   stores : Page_store.t array;
   ftables : outcome Fault_table.t array;
@@ -40,57 +51,94 @@ type t = {
   stats : Stats.t;
   fault_latencies : Histogram.t;
   mutable tracer : (Fault_event.t -> unit) option;
-  mutable barrier : (unit -> unit) option;
-      (* HA commit fence: blocks until the replication log is acked far
-         enough for the configured mode; called before any grant reply
-         leaves the origin *)
-  mutable resolver : (unit -> int option) option;
-      (* HA origin re-resolution: blocks a requester whose origin is
+  mutable barrier : (int -> unit) option;
+      (* HA commit fence, by shard: blocks until that shard's replication
+         log is acked far enough for the configured mode; called before
+         any grant reply leaves the shard's home *)
+  mutable resolver : (int -> int option) option;
+      (* HA home re-resolution, by shard: blocks a requester whose home is
          declared dead until failover completes (the stall-not-abort
          path); None result means no standby can take over *)
   mutable on_origin_write : (Page.vpn -> unit) option;
-      (* HA data capture: fired after every mutation of the origin's page
+      (* HA data capture: fired after every mutation of a home's page
          store, so typed page contents reach the replication log *)
+  service : Resource.Server.t array option;
+      (* per-node handler occupancy when [serial_home_service] is on:
+         requests at one home queue behind each other instead of
+         overlapping (1 "byte" = 1 ns of handler time) *)
 }
+
+let shard_of t vpn =
+  match t.cfg.Proto_config.sharding with
+  | `Off -> 0
+  | `Hash n -> vpn mod n
+  | `Range n -> vpn / 64 mod n
+
+let home_of t vpn = t.homes.(shard_of t vpn)
+let shard_count t = t.nshards
+let shard_home t ~shard = t.homes.(shard)
+let shard_epoch t ~shard = t.epochs.(shard)
+let shard_directory t ~shard = t.dirs.(shard)
+let shard_load t = Array.copy t.shard_grants
+
+let shards_homed_at t node =
+  let acc = ref [] in
+  for s = t.nshards - 1 downto 0 do
+    if t.homes.(s) = node then acc := s :: !acc
+  done;
+  !acc
 
 (* --- fail-stop reclaim ---------------------------------------------- *)
 
-(* Scrub a dead node out of the ownership metadata. Runs synchronously
-   from the failure declaration (Fabric.on_crash), possibly while origin
-   grant fibers are blocked mid-fan-out with directory locks held — that
-   is safe because every transition those fibers later apply re-checks the
-   requester's liveness and filters dead nodes out of the membership it
-   installs, so the scrub can never be undone by an in-flight grant. *)
-let reclaim_node t ~node =
-  if node = t.origin then
-    failwith
-      "Coherence: the origin fail-stopped — no recovery possible (the \
-       directory and the delegated services died with it)";
-  Stats.incr t.stats "crash.nodes";
+(* Scrub a dead node out of one shard's ownership metadata. Runs
+   synchronously from the failure declaration (Fabric.on_crash), possibly
+   while grant fibers are blocked mid-fan-out with directory locks held —
+   that is safe because every transition those fibers later apply
+   re-checks the requester's liveness and filters dead nodes out of the
+   membership it installs, so the scrub can never be undone by an
+   in-flight grant. *)
+let scrub_shard t ~shard ~node =
+  let dir = t.dirs.(shard) in
+  let home = t.homes.(shard) in
   (* Snapshot first: the scrub mutates the directory while iterating. *)
   let entries = ref [] in
-  Directory.iter t.dir (fun vpn state -> entries := (vpn, state) :: !entries);
+  Directory.iter dir (fun vpn state -> entries := (vpn, state) :: !entries);
   List.iter
     (fun (vpn, state) ->
       match state with
       | Directory.Exclusive owner when owner = node ->
-          (* Ownership re-homes to the origin's last-known (staging) copy.
+          (* Ownership re-homes to the home's last-known (staging) copy.
              Whatever the dead node wrote since its grant was observed by
              nobody — any reader would have pulled the data back through
-             the origin first — so dropping those writes is linearizable:
+             the home first — so dropping those writes is linearizable:
              it is as if they never executed. *)
-          Directory.set_exclusive t.dir vpn t.origin;
+          Directory.set_exclusive dir vpn home;
           Stats.incr t.stats "crash.pages_reclaimed"
       | Directory.Exclusive _ -> ()
       | Directory.Shared readers ->
           if Node_set.mem readers node then begin
             let rest = Node_set.remove readers node in
-            if Node_set.is_empty rest then
-              Directory.set_exclusive t.dir vpn t.origin
-            else Directory.set_shared t.dir vpn rest;
+            if Node_set.is_empty rest then Directory.set_exclusive dir vpn home
+            else Directory.set_shared dir vpn rest;
             Stats.incr t.stats "crash.readers_scrubbed"
           end)
-    !entries;
+    !entries
+
+let reclaim_node t ~node =
+  (match shards_homed_at t node with
+  | [] -> ()
+  | 0 :: _ ->
+      failwith
+        "Coherence: the origin fail-stopped — no recovery possible (the \
+         directory and the delegated services died with it)"
+  | _ :: _ ->
+      failwith
+        "Coherence: a home node fail-stopped with no replication armed — \
+         its shard's directory died with it");
+  Stats.incr t.stats "crash.nodes";
+  for shard = 0 to t.nshards - 1 do
+    scrub_shard t ~shard ~node
+  done;
   (* Wholesale amnesia on the dead node's local state: its page tables and
      store are unreachable hardware now. Its fault table is deliberately
      NOT dropped: leader fibers still parked there unwind through the
@@ -101,23 +149,48 @@ let reclaim_node t ~node =
   Hashtbl.reset t.prefetched.(node);
   t.inflight.(node) <- []
 
+(* A home node died with HA wired: the homed shards' recovery belongs to
+   their promotion fibers (priority 10), but the dead node must still be
+   scrubbed out of every {e other} shard's directory — those shards keep
+   serving and must not leave pages owned by a ghost. With sharding off
+   this is a no-op (the dead origin homes the only shard), preserving the
+   unsharded crash path exactly. *)
+let partial_scrub t ~node =
+  let homed = shards_homed_at t node in
+  for shard = 0 to t.nshards - 1 do
+    if not (List.mem shard homed) then scrub_shard t ~shard ~node
+  done
+
 let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
     =
   let engine = Fabric.engine fabric in
   let n = Fabric.node_count fabric in
   if origin < 0 || origin >= n then invalid_arg "Coherence.create: bad origin";
+  let nshards =
+    match cfg.Proto_config.sharding with
+    | `Off -> 1
+    | `Hash s | `Range s ->
+        if s < 1 then invalid_arg "Coherence.create: shard count must be >= 1";
+        s
+  in
+  (* Shard s is homed at (origin + s) mod n: shard 0 is always the process
+     origin (the VMA/allocator/file services live there), and shard count
+     may exceed the node count — homes then wrap. *)
+  let homes = Array.init nshards (fun s -> (origin + s) mod n) in
   let rng = Rng.create ~seed in
   let t =
     {
       fabric;
       engine;
-      origin;
-      epoch = 0;
-      origin_view = Array.make n origin;
-      epoch_view = Array.make n 0;
+      nshards;
+      homes;
+      epochs = Array.make nshards 0;
+      home_view = Array.init n (fun _ -> Array.copy homes);
+      epoch_view = Array.init n (fun _ -> Array.make nshards 0);
+      shard_grants = Array.make nshards 0;
       pid;
       cfg;
-      dir = Directory.create ~origin;
+      dirs = Array.init nshards (fun s -> Directory.create ~origin:homes.(s));
       ptables = Array.init n (fun _ -> Page_table.create ());
       stores = Array.init n (fun _ -> Page_store.create ());
       ftables = Array.init n (fun _ -> Fault_table.create engine ());
@@ -131,27 +204,35 @@ let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
       barrier = None;
       resolver = None;
       on_origin_write = None;
+      service =
+        (if cfg.Proto_config.serial_home_service then
+           Some
+             (Array.init n (fun _ ->
+                  Resource.Server.create engine ~bytes_per_us:1000.0))
+         else None);
     }
   in
+  if nshards > 1 then Stats.add t.stats "shard.homes" nshards;
   (* Subscribe the reclaim pass at create time and at priority 0, before
      any HA promotion (10) or process recovery (20): when a failure is
-     declared, ownership metadata is repaired first. An origin death is
-     left to the HA layer when one is wired (a resolver is installed);
-     without HA, reclaim_node's refusal is the PR 3 behavior. *)
+     declared, ownership metadata is repaired first. A home-node death is
+     left to the HA layer when one is wired (a resolver is installed) —
+     except that the dead node is still scrubbed out of the shards it did
+     NOT home; without HA, reclaim_node's refusal is the PR 3 behavior. *)
   Fabric.on_crash ~priority:0 fabric (fun node ->
       match t.resolver with
-      | Some _ when node = t.origin -> ()
+      | Some _ when shards_homed_at t node <> [] -> partial_scrub t ~node
       | _ -> reclaim_node t ~node);
   t
 
-let origin t = t.origin
-let epoch t = t.epoch
+let origin t = t.homes.(0)
+let epoch t = t.epochs.(0)
 let pid t = t.pid
 let cfg t = t.cfg
 let node_count t = Array.length t.ptables
 let page_table t ~node = t.ptables.(node)
 let page_store t ~node = t.stores.(node)
-let directory t = t.dir
+let directory t = t.dirs.(0)
 let fault_table t ~node = t.ftables.(node)
 let stats t = t.stats
 let fault_latencies t = t.fault_latencies
@@ -162,9 +243,20 @@ let set_origin_write_hook t f = t.on_origin_write <- f
 
 let emit t event = match t.tracer with None -> () | Some f -> f event
 
-let commit_fence t = match t.barrier with None -> () | Some f -> f ()
+let commit_fence t ~shard =
+  match t.barrier with None -> () | Some f -> f shard
 
-(* Feed a mutation of the origin's staging store to the replication log.
+(* Handler occupancy at a home node. The default charges a plain delay —
+   concurrent handlers overlap freely. With [serial_home_service] the
+   home's handler is one service loop (1 "byte" = 1 ns): concurrent
+   requests at the same home queue, and a lone overloaded origin
+   saturates — which is what sharding spreads across homes. *)
+let home_service t ~node d =
+  match t.service with
+  | None -> Engine.delay t.engine d
+  | Some servers -> Resource.Server.transfer servers.(node) ~bytes:d
+
+(* Feed a mutation of a home's staging store to the replication log.
    No-op (one pointer test) unless the HA layer installed the hook. *)
 let origin_store_mutated t vpn =
   match t.on_origin_write with None -> () | Some f -> f vpn
@@ -213,7 +305,7 @@ let revoke_entry t ~node ~vpn =
     Fault_table.await_idle t.ftables.(node) ~vpn
 
 (* ------------------------------------------------------------------ *)
-(* Origin side: ownership decisions.                                   *)
+(* Home side: ownership decisions.                                     *)
 
 (* Run [jobs] concurrently and join. A single job runs inline in the
    caller's fiber — it can therefore complete before the join point, which
@@ -241,13 +333,13 @@ let fanout t ~label jobs =
       if !pending > 0 then Waitq.wait t.engine join;
       match !failure with Some e -> raise e | None -> ()
 
-(* Raised inside an origin-side handler when the origin itself turns out
+(* Raised inside a home-side handler when the home itself turns out
    to be the crashed endpoint of a failed RPC. The fiber is a zombie: its
    reply would be dropped by the fabric, the promoted standby's replica is
    the authoritative continuation of the state it was mutating, and — most
    importantly — it must not keep running, or its directory writes would
    race the promotion rebuild. {!handler} catches it and retires the
-   fiber; the requester's exhausted retries route it to the new origin. *)
+   fiber; the requester's exhausted retries route it to the new home. *)
 exception Origin_dead
 
 (* A revocation target that exhausts the retry budget IS the failure
@@ -258,12 +350,12 @@ exception Origin_dead
    hold, so treating the revoke as acked-without-data is sound.
 
    The one failure that must NOT be pinned on the target: the sending
-   origin itself died, which fast-unwinds every RPC it has in flight.
+   home itself died, which fast-unwinds every RPC it has in flight.
    Blaming the (live) victim would declare the wrong node dead — and when
    that victim is the replication standby, it would tear down the exact
-   machinery about to run the failover. [src] is the origin the RPC was
+   machinery about to run the failover. [src] is the home the RPC was
    issued from, captured before the call: by the time a zombie fiber
-   resumes, [t.origin] may already point at the promoted standby. *)
+   resumes, the shard's home may already point at the promoted standby. *)
 let crash_escalate t ~src ~target =
   if Fabric.crashed t.fabric ~node:src then raise Origin_dead;
   Stats.incr t.stats "crash.escalations";
@@ -275,7 +367,7 @@ let crash_escalate t ~src ~target =
    [want_data] and the target had it materialized. Crash-safe: a target
    already declared dead is skipped, one that dies mid-revocation is
    escalated — either way the revocation counts as acked without data. *)
-let revoke_rpc t ~target ~vpn ~mode ~want_data =
+let revoke_rpc t ~shard ~target ~vpn ~mode ~want_data =
   if Fabric.crash_detected t.fabric ~node:target then begin
     Stats.incr t.stats "crash.revokes_skipped";
     None
@@ -285,11 +377,12 @@ let revoke_rpc t ~target ~vpn ~mode ~want_data =
       (match mode with
       | Messages.Invalidate -> "revoke.invalidate"
       | Messages.Downgrade -> "revoke.downgrade");
-    let src = t.origin in
+    let src = t.homes.(shard) in
     match
       Fabric.call t.fabric ~src ~dst:target ~kind:Messages.kind_revoke
         ~size:t.cfg.Proto_config.ctl_msg_size
-        (Messages.Revoke { pid = t.pid; vpn; mode; want_data; epoch = t.epoch })
+        (Messages.Revoke
+           { pid = t.pid; vpn; mode; want_data; epoch = t.epochs.(shard) })
     with
     | Messages.Revoke_ack { data; _ } -> data
     | _ -> failwith "Coherence: unexpected revoke reply"
@@ -302,80 +395,89 @@ let revoke_rpc t ~target ~vpn ~mode ~want_data =
    at [target] (batched grants would otherwise pay one RPC per (page,
    victim) pair). The victim charges a single invalidate-handler entry for
    the batch — that amortization is the point. *)
-let revoke_batch_rpc t ~target ~vpns =
+let revoke_batch_rpc t ~shard ~target ~vpns =
   if Fabric.crash_detected t.fabric ~node:target then
     Stats.incr t.stats "crash.revokes_skipped"
   else begin
     Stats.incr t.stats "revoke.batch";
     Stats.add t.stats "revoke.batch_pages" (List.length vpns);
     Stats.add t.stats "revoke.invalidate" (List.length vpns);
-    let src = t.origin in
+    let src = t.homes.(shard) in
     match
       Fabric.call t.fabric ~src ~dst:target
         ~kind:Messages.kind_invalidate_batch
         ~size:(t.cfg.Proto_config.ctl_msg_size + (8 * List.length vpns))
         (Messages.Invalidate_batch
-           { pid = t.pid; vpns; mode = Messages.Invalidate; epoch = t.epoch })
+           {
+             pid = t.pid;
+             vpns;
+             mode = Messages.Invalidate;
+             epoch = t.epochs.(shard);
+           })
     with
     | Messages.Invalidate_batch_ack _ -> ()
     | _ -> failwith "Coherence: unexpected batch revoke reply"
     | exception Fabric.Unreachable _ -> crash_escalate t ~src ~target
   end
 
-(* Apply a revocation to the origin's own page table. The origin's page
+(* Apply a revocation to the home's own page table. The home's page
    store is never dropped: it is the staging copy that grants snapshot
    from, and every flow that could leave it stale re-installs fresh data
    (reclaim_from_owner) before the next snapshot. *)
-let revoke_local t ~vpn ~mode =
+let revoke_local t ~shard ~vpn ~mode =
   match mode with
-  | Messages.Invalidate -> Page_table.invalidate t.ptables.(t.origin) vpn
-  | Messages.Downgrade -> Page_table.downgrade t.ptables.(t.origin) vpn
+  | Messages.Invalidate -> Page_table.invalidate t.ptables.(t.homes.(shard)) vpn
+  | Messages.Downgrade -> Page_table.downgrade t.ptables.(t.homes.(shard)) vpn
 
 (* Revoke [vpn] from every node in [targets] in parallel, joining before
    returning. Used to invalidate all readers ahead of a write grant. *)
-let revoke_parallel t targets ~vpn =
+let revoke_parallel t ~shard targets ~vpn =
   fanout t ~label:"revoke"
     (List.map
        (fun target () ->
          ignore
-           (revoke_rpc t ~target ~vpn ~mode:Messages.Invalidate
+           (revoke_rpc t ~shard ~target ~vpn ~mode:Messages.Invalidate
               ~want_data:false))
        targets)
 
-(* Pull fresh page data back to the origin from the current exclusive
+(* Pull fresh page data back to the home from the current exclusive
    owner, downgrading or invalidating its copy.
 
-   With a commit barrier armed (origin replication), an invalidating
+   With a commit barrier armed (replication), an invalidating
    reclaim goes in two phases: downgrade the owner (it keeps a read copy),
    replicate the pulled-back data, and only then invalidate. Destroying
    the owner's only copy before the standby acked the bytes would open an
-   un-failover-able window — an origin crash in it would roll the page
+   un-failover-able window — a home crash in it would roll the page
    back to the last replicated image even in `Sync mode. The page stays
    directory-locked throughout, so no write can sneak into the gap. *)
-let reclaim_from_owner t ~owner ~vpn ~mode =
-  if owner = t.origin then revoke_local t ~vpn ~mode
+let reclaim_from_owner t ~shard ~owner ~vpn ~mode =
+  let home = t.homes.(shard) in
+  if owner = home then revoke_local t ~shard ~vpn ~mode
   else begin
     let two_phase = t.barrier <> None && mode = Messages.Invalidate in
     let first = if two_phase then Messages.Downgrade else mode in
-    let data = revoke_rpc t ~target:owner ~vpn ~mode:first ~want_data:true in
+    let data =
+      revoke_rpc t ~shard ~target:owner ~vpn ~mode:first ~want_data:true
+    in
     Option.iter
       (fun d ->
-        Page_store.install t.stores.(t.origin) vpn d;
+        Page_store.install t.stores.(home) vpn d;
         origin_store_mutated t vpn)
       data;
     if two_phase then begin
       Stats.incr t.stats "ha.two_phase_reclaims";
-      commit_fence t;
+      commit_fence t ~shard;
       ignore
-        (revoke_rpc t ~target:owner ~vpn ~mode:Messages.Invalidate
+        (revoke_rpc t ~shard ~target:owner ~vpn ~mode:Messages.Invalidate
            ~want_data:false)
     end
   end
 
-(* The core ownership transition. Must run at the origin; may block on
-   revocations. Returns [`Nack] when the page is busy. *)
-let requester_gone t ~requester =
-  requester <> t.origin && Fabric.crash_detected t.fabric ~node:requester
+(* The core ownership transition. Must run at the shard's home; may block
+   on revocations. Returns [`Nack] when the page is busy. *)
+let requester_gone t ~shard ~requester =
+  requester <> t.homes.(shard)
+  && Fabric.crash_detected t.fabric ~node:requester
 
 (* Drop freshly-declared-dead nodes from a membership about to be
    installed: a revocation inside the current fan-out may have escalated
@@ -384,15 +486,27 @@ let live_set t nodes =
   Node_set.of_list
     (List.filter (fun n -> not (Fabric.crash_detected t.fabric ~node:n)) nodes)
 
-let origin_grant t ~requester ~vpn ~access =
-  if requester_gone t ~requester then begin
+(* Per-shard load accounting, live only when sharding is on: grants served
+   at the home for requesters co-located with it vs remote ones. *)
+let note_shard_grant t ~shard ~requester =
+  if t.nshards > 1 then begin
+    t.shard_grants.(shard) <- t.shard_grants.(shard) + 1;
+    Stats.incr t.stats
+      (if requester = t.homes.(shard) then "shard.local_grants"
+       else "shard.remote_grants")
+  end
+
+let origin_grant t ~shard ~requester ~vpn ~access =
+  let dir = t.dirs.(shard) in
+  let home = t.homes.(shard) in
+  if requester_gone t ~shard ~requester then begin
     (* The requester died between sending the request and being serviced:
        granting would hand a page to a ghost and leave it dangling in the
        directory forever. *)
     Stats.incr t.stats "crash.grants_refused";
     `Nack
   end
-  else if not (Directory.try_lock t.dir vpn) then begin
+  else if not (Directory.try_lock dir vpn) then begin
     Stats.incr t.stats "grant.nack";
     `Nack
   end
@@ -401,67 +515,66 @@ let origin_grant t ~requester ~vpn ~access =
        escalation path can run arbitrary recovery); the lock must never
        outlive this fiber either way. *)
     Fun.protect
-      ~finally:(fun () -> Directory.unlock t.dir vpn)
+      ~finally:(fun () -> Directory.unlock dir vpn)
       (fun () ->
-        (* The origin itself may have a fault in flight on this page
+        (* The home itself may have a fault in flight on this page
            (granted but not yet retired); revoking its copy underneath it
            would lose the pending update. Remote owners get the same
            protection in their Revoke handler. *)
-        if requester <> t.origin then
-          Fault_table.await_idle t.ftables.(t.origin) ~vpn;
-        let had_copy = Directory.has_valid_copy t.dir vpn requester in
-        (match (access, Directory.state t.dir vpn) with
+        if requester <> home then Fault_table.await_idle t.ftables.(home) ~vpn;
+        let had_copy = Directory.has_valid_copy dir vpn requester in
+        (match (access, Directory.state dir vpn) with
         | Perm.Read, Directory.Exclusive owner when owner = requester -> ()
         | Perm.Read, Directory.Exclusive owner ->
-            reclaim_from_owner t ~owner ~vpn ~mode:Messages.Downgrade;
-            (* The origin mediated the transfer, so it now holds a valid
+            reclaim_from_owner t ~shard ~owner ~vpn ~mode:Messages.Downgrade;
+            (* The home mediated the transfer, so it now holds a valid
                copy alongside the old owner and the requester. *)
-            Directory.set_shared t.dir vpn
-              (live_set t [ owner; t.origin; requester ])
+            Directory.set_shared dir vpn
+              (live_set t [ owner; home; requester ])
         | Perm.Read, Directory.Shared _ ->
-            Directory.add_reader t.dir vpn requester
+            Directory.add_reader dir vpn requester
         | Perm.Write, Directory.Exclusive owner when owner = requester -> ()
         | Perm.Write, Directory.Exclusive owner ->
-            reclaim_from_owner t ~owner ~vpn ~mode:Messages.Invalidate;
-            Directory.set_exclusive t.dir vpn requester
+            reclaim_from_owner t ~shard ~owner ~vpn ~mode:Messages.Invalidate;
+            Directory.set_exclusive dir vpn requester
         | Perm.Write, Directory.Shared readers ->
             let victims =
               List.filter
-                (fun n -> n <> requester && n <> t.origin)
+                (fun n -> n <> requester && n <> home)
                 (Node_set.to_list readers)
             in
-            revoke_parallel t victims ~vpn;
-            if Node_set.mem readers t.origin && requester <> t.origin then
-              revoke_local t ~vpn ~mode:Messages.Invalidate;
-            Directory.set_exclusive t.dir vpn requester);
-        if requester_gone t ~requester then begin
+            revoke_parallel t ~shard victims ~vpn;
+            if Node_set.mem readers home && requester <> home then
+              revoke_local t ~shard ~vpn ~mode:Messages.Invalidate;
+            Directory.set_exclusive dir vpn requester);
+        if requester_gone t ~shard ~requester then begin
           (* The requester's failure was declared while we were blocked in
              the fan-out, i.e. after the reclaim pass already scrubbed the
              directory; the transition just applied may have reintroduced
-             the ghost. Undo it: ownership falls back to the origin. *)
+             the ghost. Undo it: ownership falls back to the home. *)
           Stats.incr t.stats "crash.grants_refused";
-          (match Directory.state t.dir vpn with
+          (match Directory.state dir vpn with
           | Directory.Exclusive owner when owner = requester ->
-              Directory.set_exclusive t.dir vpn t.origin
+              Directory.set_exclusive dir vpn home
           | Directory.Shared readers when Node_set.mem readers requester ->
               let rest = Node_set.remove readers requester in
-              if Node_set.is_empty rest then
-                Directory.set_exclusive t.dir vpn t.origin
-              else Directory.set_shared t.dir vpn rest
+              if Node_set.is_empty rest then Directory.set_exclusive dir vpn home
+              else Directory.set_shared dir vpn rest
           | _ -> ());
           `Nack
         end
         else begin
           let wire_data =
             ((not had_copy) || not t.cfg.Proto_config.grant_without_data)
-            && requester <> t.origin
+            && requester <> home
           in
           let data =
-            if wire_data then snapshot_if_materialized t.stores.(t.origin) vpn
+            if wire_data then snapshot_if_materialized t.stores.(home) vpn
             else None
           in
           Stats.incr t.stats
             (if wire_data then "grant.data" else "grant.nodata");
+          note_shard_grant t ~shard ~requester;
           `Grant (data, wire_data)
         end)
 
@@ -480,8 +593,10 @@ let origin_grant t ~requester ~vpn ~access =
    Every lock taken in phase A is held across phase B; that is what makes
    the victim-side skip in {!revoke_entry} sound — no new grant for a
    locked page can race the revocation. *)
-let origin_grant_batch t ~requester ~vpns ~access =
-  if requester_gone t ~requester then begin
+let origin_grant_batch t ~shard ~requester ~vpns ~access =
+  let dir = t.dirs.(shard) in
+  let home = t.homes.(shard) in
+  if requester_gone t ~shard ~requester then begin
     Stats.incr t.stats "crash.grants_refused";
     List.map (fun vpn -> (vpn, `Nack)) vpns
   end
@@ -500,54 +615,53 @@ let origin_grant_batch t ~requester ~vpns ~access =
     let locked = ref [] in
     let unlock_one vpn =
       locked := List.filter (fun v -> v <> vpn) !locked;
-      Directory.unlock t.dir vpn
+      Directory.unlock dir vpn
     in
     Fun.protect
-      ~finally:(fun () -> List.iter (Directory.unlock t.dir) !locked)
+      ~finally:(fun () -> List.iter (Directory.unlock dir) !locked)
       (fun () ->
         (* Phase A *)
         let decided =
           List.map
             (fun vpn ->
-              if not (Directory.try_lock t.dir vpn) then begin
+              if not (Directory.try_lock dir vpn) then begin
                 Stats.incr t.stats "grant.nack";
                 (vpn, `Nack)
               end
               else begin
                 locked := vpn :: !locked;
-                if requester <> t.origin then
-                  Fault_table.await_idle t.ftables.(t.origin) ~vpn;
-                let had_copy = Directory.has_valid_copy t.dir vpn requester in
+                if requester <> home then
+                  Fault_table.await_idle t.ftables.(home) ~vpn;
+                let had_copy = Directory.has_valid_copy dir vpn requester in
                 let apply =
-                  match (access, Directory.state t.dir vpn) with
+                  match (access, Directory.state dir vpn) with
                   | Perm.Read, Directory.Exclusive owner when owner = requester
                     ->
                       fun () -> ()
                   | Perm.Read, Directory.Exclusive owner ->
                       reclaims := (vpn, owner, Messages.Downgrade) :: !reclaims;
                       fun () ->
-                        Directory.set_shared t.dir vpn
-                          (live_set t [ owner; t.origin; requester ])
+                        Directory.set_shared dir vpn
+                          (live_set t [ owner; home; requester ])
                   | Perm.Read, Directory.Shared _ ->
-                      fun () -> Directory.add_reader t.dir vpn requester
+                      fun () -> Directory.add_reader dir vpn requester
                   | Perm.Write, Directory.Exclusive owner when owner = requester
                     ->
                       fun () -> ()
                   | Perm.Write, Directory.Exclusive owner ->
                       reclaims :=
                         (vpn, owner, Messages.Invalidate) :: !reclaims;
-                      fun () -> Directory.set_exclusive t.dir vpn requester
+                      fun () -> Directory.set_exclusive dir vpn requester
                   | Perm.Write, Directory.Shared readers ->
                       List.iter
                         (fun n ->
-                          if n <> requester && n <> t.origin then
-                            add_victim n vpn)
+                          if n <> requester && n <> home then add_victim n vpn)
                         (Node_set.to_list readers);
-                      let origin_reader = Node_set.mem readers t.origin in
+                      let origin_reader = Node_set.mem readers home in
                       fun () ->
-                        if origin_reader && requester <> t.origin then
-                          revoke_local t ~vpn ~mode:Messages.Invalidate;
-                        Directory.set_exclusive t.dir vpn requester
+                        if origin_reader && requester <> home then
+                          revoke_local t ~shard ~vpn ~mode:Messages.Invalidate;
+                        Directory.set_exclusive dir vpn requester
                 in
                 (vpn, `Locked (had_copy, apply))
               end)
@@ -556,20 +670,22 @@ let origin_grant_batch t ~requester ~vpns ~access =
         (* Phase B *)
         let jobs =
           List.rev_map
-            (fun (vpn, owner, mode) () -> reclaim_from_owner t ~owner ~vpn ~mode)
+            (fun (vpn, owner, mode) () ->
+              reclaim_from_owner t ~shard ~owner ~vpn ~mode)
             !reclaims
           @ Hashtbl.fold
               (fun target cell acc ->
                 if t.cfg.Proto_config.batch_revoke then
-                  (fun () -> revoke_batch_rpc t ~target ~vpns:(List.rev !cell))
+                  (fun () ->
+                    revoke_batch_rpc t ~shard ~target ~vpns:(List.rev !cell))
                   :: acc
                 else
                   List.fold_left
                     (fun acc vpn ->
                       (fun () ->
                         ignore
-                          (revoke_rpc t ~target ~vpn ~mode:Messages.Invalidate
-                             ~want_data:false))
+                          (revoke_rpc t ~shard ~target ~vpn
+                             ~mode:Messages.Invalidate ~want_data:false))
                       :: acc)
                     acc !cell)
               victims []
@@ -579,7 +695,7 @@ let origin_grant_batch t ~requester ~vpns ~access =
            was blocked, the reclaim pass has already repaired the
            directory; applying the decided transitions would reintroduce
            the ghost, so the whole batch degrades to NACKs instead. *)
-        let ghost = requester_gone t ~requester in
+        let ghost = requester_gone t ~shard ~requester in
         if ghost then Stats.incr t.stats "crash.grants_refused";
         List.map
           (fun (vpn, d) ->
@@ -593,16 +709,16 @@ let origin_grant_batch t ~requester ~vpns ~access =
                 let wire_data =
                   ((not had_copy)
                   || not t.cfg.Proto_config.grant_without_data)
-                  && requester <> t.origin
+                  && requester <> home
                 in
                 let data =
-                  if wire_data then
-                    snapshot_if_materialized t.stores.(t.origin) vpn
+                  if wire_data then snapshot_if_materialized t.stores.(home) vpn
                   else None
                 in
                 unlock_one vpn;
                 Stats.incr t.stats
                   (if wire_data then "grant.data" else "grant.nodata");
+                note_shard_grant t ~shard ~requester;
                 (vpn, `Grant (data, wire_data)))
           decided)
   end
@@ -626,16 +742,21 @@ let backoff t ~node ~attempt =
   Engine.delay t.engine (backoff_delay t ~node ~attempt)
 
 (* Predict and filter the prefetch run to attach to a demand fault: only
-   pages the node does not already hold at [access], with no local fault
-   in flight and not already covered by an in-flight batch. No fault-table
-   entries are claimed for these — see {!batch_record}. *)
+   pages of the {e same shard} as the demand page (each batch resolves at
+   one home under one epoch), that the node does not already hold at
+   [access], with no local fault in flight and not already covered by an
+   in-flight batch. No fault-table entries are claimed for these — see
+   {!batch_record}. *)
 let claim_prefetch t ~node ~tid ~vpn ~access =
-  if (not t.cfg.Proto_config.prefetch_enabled) || node = t.origin then []
+  let shard = shard_of t vpn in
+  if (not t.cfg.Proto_config.prefetch_enabled) || node = t.homes.(shard) then
+    []
   else
     Prefetch.record t.pf ~node ~tid ~vpn
       ~depth:t.cfg.Proto_config.prefetch_depth
     |> List.filter (fun p ->
            p <> vpn
+           && shard_of t p = shard
            && (not (Page_table.allows t.ptables.(node) p access))
            && (not (Fault_table.has t.ftables.(node) ~vpn:p))
            && not (inflight_covers t ~node ~vpn:p))
@@ -644,19 +765,19 @@ let claim_prefetch t ~node ~tid ~vpn ~access =
    predicted pages to resolve in the same round-trip (remote nodes only;
    empty on retries). *)
 (* A page request that exhausted its retry budget against a live,
-   undetected origin: the origin is not gone, it is slow — typically
+   undetected home: the home is not gone, it is slow — typically
    grinding through a revoke escalation against a dead node on this very
    request's behalf, which burns the same retry budget the requester has.
    That false [Unreachable] must not abort the faulting thread. Grants
    are idempotent, so surfacing the timeout as a NACK and retrying is
    safe — unlike delegated operations, which must never be replayed.
 
-   With an HA resolver installed, a dead origin is a different story:
+   With an HA resolver installed, a dead home is a different story:
    exhaust-the-budget IS the failure detector (escalate an undeclared
    crash), then stall in the resolver until the standby is promoted,
-   adopt the new origin address, and retry there — the thread sees a
+   adopt the new home address, and retry there — the thread sees a
    long fault, never an abort. *)
-let request_failure t ~node ~dst =
+let request_failure t ~node ~shard ~dst =
   if Fabric.crashed t.fabric ~node then `Reraise
   else begin
     (match t.resolver with
@@ -669,9 +790,9 @@ let request_failure t ~node ~dst =
     if Fabric.crash_detected t.fabric ~node:dst then
       match t.resolver with
       | Some resolve -> (
-          match resolve () with
+          match resolve shard with
           | Some o ->
-              t.origin_view.(node) <- o;
+              t.home_view.(node).(shard) <- o;
               Stats.incr t.stats "ha.stalled_faults";
               `Nack
           | None -> `Reraise)
@@ -683,34 +804,36 @@ let request_failure t ~node ~dst =
   end
 
 let request_once t ~node ~vpn ~access ~prefetch =
-  if node = t.origin then begin
+  let shard = shard_of t vpn in
+  if node = t.homes.(shard) then begin
     Engine.delay t.engine t.cfg.Proto_config.local_op;
-    match origin_grant t ~requester:node ~vpn ~access with
+    match origin_grant t ~shard ~requester:node ~vpn ~access with
     | `Nack -> `Nack
     | `Grant _ ->
         Page_table.set t.ptables.(node) vpn access;
         `Granted
     | exception Origin_dead ->
-        (* The faulting thread runs ON the origin and the origin died
+        (* The faulting thread runs ON the home and the home died
            under its own revocation fan-out. Surface the standard
            node-death signal so the thread crash policy applies. *)
         raise
-          (Fabric.Unreachable { src = node; dst = node; kind = Messages.kind_revoke })
+          (Fabric.Unreachable
+             { src = node; dst = node; kind = Messages.kind_revoke })
   end
   else if prefetch = [] then begin
-    let dst = t.origin_view.(node) in
+    let dst = t.home_view.(node).(shard) in
     match
       Fabric.call t.fabric ~src:node ~dst
         ~kind:Messages.kind_page_request ~size:t.cfg.Proto_config.ctl_msg_size
         (Messages.Page_request
-           { pid = t.pid; vpn; access; epoch = t.epoch_view.(node) })
+           { pid = t.pid; vpn; access; epoch = t.epoch_view.(node).(shard) })
     with
     | Messages.Page_nack _ -> `Nack
     | Messages.Page_stale { epoch; _ } ->
         (* Failover happened while we still addressed the old epoch: adopt
            the new one and retry — the view already points at whoever
            answered. *)
-        t.epoch_view.(node) <- epoch;
+        t.epoch_view.(node).(shard) <- epoch;
         `Nack
     | Messages.Page_grant { data; _ } ->
         Option.iter (Page_store.install t.stores.(node) vpn) data;
@@ -718,7 +841,7 @@ let request_once t ~node ~vpn ~access ~prefetch =
         `Granted
     | _ -> failwith "Coherence: unexpected page reply"
     | exception (Fabric.Unreachable _ as e) -> (
-        match request_failure t ~node ~dst with
+        match request_failure t ~node ~shard ~dst with
         | `Nack -> `Nack
         | `Reraise -> raise e)
   end
@@ -727,7 +850,7 @@ let request_once t ~node ~vpn ~access ~prefetch =
     Stats.add t.stats "prefetch.issued" (List.length prefetch);
     let record = { b_demand = vpn; b_vpns = vpn :: prefetch; b_poisoned = [] } in
     t.inflight.(node) <- record :: t.inflight.(node);
-    let dst = t.origin_view.(node) in
+    let dst = t.home_view.(node).(shard) in
     let reply =
       try
         `Reply
@@ -739,13 +862,13 @@ let request_once t ~node ~vpn ~access ~prefetch =
                   pid = t.pid;
                   vpns = record.b_vpns;
                   access;
-                  epoch = t.epoch_view.(node);
+                  epoch = t.epoch_view.(node).(shard);
                 }))
       with
       | Fabric.Unreachable _ as e -> (
           t.inflight.(node) <-
             List.filter (fun r -> r != record) t.inflight.(node);
-          match request_failure t ~node ~dst with
+          match request_failure t ~node ~shard ~dst with
           | `Nack -> `Timeout
           | `Reraise -> raise e)
       | e ->
@@ -763,7 +886,7 @@ let request_once t ~node ~vpn ~access ~prefetch =
     | `Reply (Messages.Page_stale { epoch; _ }) ->
         t.inflight.(node) <-
           List.filter (fun r -> r != record) t.inflight.(node);
-        t.epoch_view.(node) <- epoch;
+        t.epoch_view.(node).(shard) <- epoch;
         `Nack
     | `Reply (Messages.Page_grant_batch { results; _ }) ->
         (* Everything from here to the PTE-update delay below runs in one
@@ -816,13 +939,17 @@ let ensure t ~node ~tid ~site ~vpn ~access =
        was revoked meanwhile) is neither a hit nor waste; just stop
        tracking it. *)
     Hashtbl.remove t.prefetched.(node) vpn;
+    let shard = shard_of t vpn in
     let t0 = Engine.now t.engine in
     let retries = ref 0 in
     let was_leader = ref false in
     let rec loop () =
       if Page_table.allows pt vpn access then ()
-      else if node = t.origin && not (Directory.is_tracked t.dir vpn) then begin
-        (* Cold anonymous page at the origin: plain minor fault, the
+      else if
+        node = t.homes.(shard)
+        && not (Directory.is_tracked t.dirs.(shard) vpn)
+      then begin
+        (* Cold anonymous page at its home: plain minor fault, the
            protocol is not involved. *)
         Engine.delay t.engine t.cfg.Proto_config.local_op;
         Page_table.set pt vpn access;
@@ -841,8 +968,8 @@ let ensure t ~node ~tid ~site ~vpn ~access =
                description of stock Linux — the prepared page is simply
                discarded because the PTE changed under it. *)
             Stats.incr t.stats "fault.duplicate";
-            if node <> t.origin then (
-              let dst = t.origin_view.(node) in
+            if node <> t.homes.(shard) then (
+              let dst = t.home_view.(node).(shard) in
               try
                 ignore
                   (Fabric.call t.fabric ~src:node ~dst
@@ -853,13 +980,13 @@ let ensure t ~node ~tid ~site ~vpn ~access =
                           pid = t.pid;
                           vpn;
                           access;
-                          epoch = t.epoch_view.(node);
+                          epoch = t.epoch_view.(node).(shard);
                         }))
               with Fabric.Unreachable _ as e -> (
                 (* The duplicate's result is discarded anyway; a timeout
-                   toward the live origin is not worth aborting for, and a
-                   dead origin just means waiting out the failover. *)
-                match request_failure t ~node ~dst with
+                   toward the live home is not worth aborting for, and a
+                   dead home just means waiting out the failover. *)
+                match request_failure t ~node ~shard ~dst with
                 | `Nack -> ()
                 | `Reraise -> raise e))
             else Engine.delay t.engine t.cfg.Proto_config.local_op;
@@ -923,8 +1050,13 @@ let access_range t ~node ~tid ?(site = "?") ~addr ~len ~access () =
   check_node t node "access_range";
   let first, last = Page.pages_of_range addr ~len in
   (* Bulk accessors declare their exact page window up front, so even the
-     first fault of the scan batches and predictions never overshoot. *)
-  if t.cfg.Proto_config.prefetch_enabled && node <> t.origin && last > first
+     first fault of the scan batches and predictions never overshoot. With
+     sharding on, the stream primes regardless of where this node sits:
+     some of the range's shards are remote even from a home node. *)
+  if
+    t.cfg.Proto_config.prefetch_enabled
+    && (node <> t.homes.(0) || t.nshards > 1)
+    && last > first
   then Prefetch.prime t.pf ~node ~tid ~first ~last;
   for vpn = first to last do
     ensure t ~node ~tid ~site ~vpn ~access
@@ -941,7 +1073,7 @@ let store_i64 t ~node ~tid ?(site = "?") addr v =
   let vpn = Page.page_of_addr addr in
   ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
   Page_store.write_i64 t.stores.(node) vpn ~offset:(Page.offset_in_page addr) v;
-  if node = t.origin then origin_store_mutated t vpn
+  if node = home_of t vpn then origin_store_mutated t vpn
 
 (* 32-bit and byte accessors share a page with their 64-bit neighbours;
    the protocol is oblivious to the width. Stored little-endian within the
@@ -973,7 +1105,7 @@ let store_i32 t ~node ~tid ?(site = "?") addr v =
   in
   Page_store.write_i64 t.stores.(node) vpn ~offset
     (Int64.logor (Int64.logand cell (Int64.lognot mask)) v64);
-  if node = t.origin then origin_store_mutated t vpn
+  if node = home_of t vpn then origin_store_mutated t vpn
 
 let load_byte t ~node ~tid ?(site = "?") addr =
   check_node t node "load_byte";
@@ -986,7 +1118,7 @@ let store_byte t ~node ~tid ?(site = "?") addr v =
   let vpn = Page.page_of_addr addr in
   ensure t ~node ~tid ~site ~vpn ~access:Perm.Write;
   Page_store.write_byte t.stores.(node) vpn ~offset:(Page.offset_in_page addr) v;
-  if node = t.origin then origin_store_mutated t vpn
+  if node = home_of t vpn then origin_store_mutated t vpn
 
 let cas_i64 t ~node ~tid ?(site = "?") addr ~expected ~desired =
   check_node t node "cas_i64";
@@ -998,7 +1130,7 @@ let cas_i64 t ~node ~tid ?(site = "?") addr ~expected ~desired =
   let current = Page_store.read_i64 t.stores.(node) vpn ~offset in
   if current = expected then begin
     Page_store.write_i64 t.stores.(node) vpn ~offset desired;
-    if node = t.origin then origin_store_mutated t vpn;
+    if node = home_of t vpn then origin_store_mutated t vpn;
     true
   end
   else false
@@ -1010,7 +1142,7 @@ let fetch_add_i64 t ~node ~tid ?(site = "?") addr delta =
   let offset = Page.offset_in_page addr in
   let current = Page_store.read_i64 t.stores.(node) vpn ~offset in
   Page_store.write_i64 t.stores.(node) vpn ~offset (Int64.add current delta);
-  if node = t.origin then origin_store_mutated t vpn;
+  if node = home_of t vpn then origin_store_mutated t vpn;
   current
 
 let zap_range t ~first ~last ~node =
@@ -1024,7 +1156,7 @@ let zap_range t ~first ~last ~node =
 
 let forget_range t ~first ~last =
   for vpn = first to last do
-    Directory.forget t.dir vpn
+    Directory.forget t.dirs.(shard_of t vpn) vpn
   done
 
 (* ------------------------------------------------------------------ *)
@@ -1049,16 +1181,16 @@ let apply_invalidation t ~node ~vpn ~mode =
       retries = 0;
     }
 
-(* Victim-side epoch bookkeeping for origin-to-node traffic: adopt a
-   newer epoch (and the sender as the new origin), refuse an older one.
-   Returns [true] when the message is from a dead epoch and must be
+(* Victim-side epoch bookkeeping for home-to-node traffic: adopt a
+   newer epoch (and the sender as the shard's new home), refuse an older
+   one. Returns [true] when the message is from a dead epoch and must be
    acked without effect — its sender no longer speaks for the pages. *)
-let stale_origin_traffic t ~node ~src ~epoch =
-  if epoch > t.epoch_view.(node) then begin
-    t.epoch_view.(node) <- epoch;
-    t.origin_view.(node) <- src
+let stale_origin_traffic t ~node ~shard ~src ~epoch =
+  if epoch > t.epoch_view.(node).(shard) then begin
+    t.epoch_view.(node).(shard) <- epoch;
+    t.home_view.(node).(shard) <- src
   end;
-  if epoch < t.epoch_view.(node) then begin
+  if epoch < t.epoch_view.(node).(shard) then begin
     Stats.incr t.stats "ha.stale_revokes";
     true
   end
@@ -1068,23 +1200,24 @@ let handler_unguarded t (env : Fabric.env) =
   let msg = env.Fabric.msg in
   match msg.Msg.payload with
   | Messages.Page_request { pid; vpn; access; epoch } when pid = t.pid ->
-      if msg.Msg.dst <> t.origin then
-        failwith "Coherence: page request addressed to a non-origin node";
-      Engine.delay t.engine t.cfg.Proto_config.origin_handler;
-      if epoch <> t.epoch then begin
+      let shard = shard_of t vpn in
+      if msg.Msg.dst <> t.homes.(shard) then
+        failwith "Coherence: page request addressed to a non-home node";
+      home_service t ~node:msg.Msg.dst t.cfg.Proto_config.origin_handler;
+      if epoch <> t.epochs.(shard) then begin
         Stats.incr t.stats "ha.stale_epoch_nacks";
         env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
-          (Messages.Page_stale { pid = t.pid; epoch = t.epoch })
+          (Messages.Page_stale { pid = t.pid; epoch = t.epochs.(shard) })
       end
       else
-        (match origin_grant t ~requester:msg.Msg.src ~vpn ~access with
+        (match origin_grant t ~shard ~requester:msg.Msg.src ~vpn ~access with
         | `Nack ->
             env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
               (Messages.Page_nack { pid = t.pid; vpn })
         | `Grant (data, wire_data) ->
             (* Replicate before externalize: the ownership transition must
                be on the standby before the requester can observe it. *)
-            commit_fence t;
+            commit_fence t ~shard;
             let size =
               if wire_data then t.cfg.Proto_config.page_msg_size
               else t.cfg.Proto_config.ctl_msg_size
@@ -1094,21 +1227,26 @@ let handler_unguarded t (env : Fabric.env) =
       true
   | Messages.Page_request_batch { pid; vpns; access; epoch } when pid = t.pid
     ->
-      if msg.Msg.dst <> t.origin then
-        failwith "Coherence: page request addressed to a non-origin node";
+      (* Batches are single-shard by construction (claim_prefetch filters
+         the run to the demand page's shard). *)
+      let shard =
+        match vpns with [] -> 0 | vpn :: _ -> shard_of t vpn
+      in
+      if msg.Msg.dst <> t.homes.(shard) then
+        failwith "Coherence: page request addressed to a non-home node";
       (* One handler entry amortized over the run; each extra page costs a
          local directory operation, not another round-trip. *)
-      Engine.delay t.engine
+      home_service t ~node:msg.Msg.dst
         (t.cfg.Proto_config.origin_handler
         + ((List.length vpns - 1) * t.cfg.Proto_config.local_op));
-      if epoch <> t.epoch then begin
+      if epoch <> t.epochs.(shard) then begin
         Stats.incr t.stats "ha.stale_epoch_nacks";
         env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
-          (Messages.Page_stale { pid = t.pid; epoch = t.epoch })
+          (Messages.Page_stale { pid = t.pid; epoch = t.epochs.(shard) })
       end
       else begin
         let results =
-          origin_grant_batch t ~requester:msg.Msg.src ~vpns ~access
+          origin_grant_batch t ~shard ~requester:msg.Msg.src ~vpns ~access
         in
         let data_pages =
           List.fold_left
@@ -1120,7 +1258,7 @@ let handler_unguarded t (env : Fabric.env) =
           List.exists
             (fun (_, r) -> match r with `Grant _ -> true | `Nack -> false)
             results
-        then commit_fence t;
+        then commit_fence t ~shard;
         let size =
           t.cfg.Proto_config.ctl_msg_size
           + data_pages
@@ -1144,7 +1282,8 @@ let handler_unguarded t (env : Fabric.env) =
       true
   | Messages.Revoke { pid; vpn; mode; want_data; epoch } when pid = t.pid ->
       let node = msg.Msg.dst in
-      if stale_origin_traffic t ~node ~src:msg.Msg.src ~epoch then begin
+      let shard = shard_of t vpn in
+      if stale_origin_traffic t ~node ~shard ~src:msg.Msg.src ~epoch then begin
         env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
           (Messages.Revoke_ack { pid = t.pid; vpn; data = None })
       end
@@ -1169,7 +1308,10 @@ let handler_unguarded t (env : Fabric.env) =
       true
   | Messages.Invalidate_batch { pid; vpns; mode; epoch } when pid = t.pid ->
       let node = msg.Msg.dst in
-      if stale_origin_traffic t ~node ~src:msg.Msg.src ~epoch then begin
+      let shard =
+        match vpns with [] -> 0 | vpn :: _ -> shard_of t vpn
+      in
+      if stale_origin_traffic t ~node ~shard ~src:msg.Msg.src ~epoch then begin
         env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
           (Messages.Invalidate_batch_ack { pid = t.pid })
       end
@@ -1183,23 +1325,28 @@ let handler_unguarded t (env : Fabric.env) =
           (Messages.Invalidate_batch_ack { pid = t.pid })
       end;
       true
-  | Messages.Epoch_fence { pid; epoch = _; keep } when pid = t.pid ->
+  | Messages.Epoch_fence { pid; shard; epoch = _; keep } when pid = t.pid ->
       let node = msg.Msg.dst in
-      (* Grants in flight when the origin died are from the dead epoch:
-         poison every in-flight batch outright, their replies (which will
-         never arrive anyway — the sender is dead) must not install. *)
-      List.iter (fun r -> r.b_poisoned <- r.b_vpns) t.inflight.(node);
+      (* Grants in flight when the home died are from the dead epoch:
+         poison every in-flight batch of the fenced shard outright — their
+         replies (which will never arrive anyway, the sender is dead) must
+         not install. Other shards' batches are untouched: their homes are
+         alive and their grants remain valid. *)
+      List.iter
+        (fun r ->
+          if shard_of t r.b_demand = shard then r.b_poisoned <- r.b_vpns)
+        t.inflight.(node);
       Engine.delay t.engine t.cfg.Proto_config.invalidate_handler;
-      (* Reconcile local copies against what the promoted replica still
-         vouches for. Under `Sync replication the keep list covers every
-         copy and nothing is zapped; under `Async the zapped pages are
-         exactly the lost log suffix. Deliberately does NOT wait on local
-         fault entries: their leaders are parked on the dead origin and
-         drain through the resolver — a grant from the new origin is
-         authoritative over anything zapped here. *)
+      (* Reconcile local copies of the fenced shard against what the
+         promoted replica still vouches for. Under `Sync replication the
+         keep list covers every copy and nothing is zapped; under `Async
+         the zapped pages are exactly the lost log suffix. Deliberately
+         does NOT wait on local fault entries: their leaders are parked on
+         the dead home and drain through the resolver — a grant from the
+         new home is authoritative over anything zapped here. *)
       let entries = ref [] in
       Page_table.iter t.ptables.(node) (fun vpn access ->
-          entries := (vpn, access) :: !entries);
+          if shard_of t vpn = shard then entries := (vpn, access) :: !entries);
       let zapped = ref 0 in
       List.iter
         (fun (vpn, access) ->
@@ -1218,8 +1365,8 @@ let handler_unguarded t (env : Fabric.env) =
         !entries;
       if !zapped > 0 then Stats.add t.stats "ha.fence_zapped" !zapped;
       (* Keep pages with no local copy at all: the directory committed a
-         grant whose reply never arrived (it died with the old origin).
-         Report them so the new origin can demote the dangling entries —
+         grant whose reply never arrived (it died with the old home).
+         Report them so the new home can demote the dangling entries —
          a later grant-without-data against them would hand out ownership
          of bytes this node does not have. A downgraded copy (read PTE
          under a Write keep) is NOT missing: the bytes are current and
@@ -1233,17 +1380,17 @@ let handler_unguarded t (env : Fabric.env) =
       in
       (* The epoch itself is NOT adopted here: the fence is a memory
          barrier, not an address handshake. The node learns the new
-         origin/epoch in-band, through the resolver and the first
+         home/epoch in-band, through the resolver and the first
          Page_stale NACK of its next fault. *)
       env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
         (Messages.Epoch_fence_ack { pid = t.pid; zapped = !zapped; missing });
       true
   | _ -> false
 
-(* The origin died under this handler mid-operation (see {!Origin_dead}):
+(* The home died under this handler mid-operation (see {!Origin_dead}):
    retire the fiber. The locks it held were released on unwind, the reply
    it owed will never be sent — the requester's exhausted retries take it
-   through the resolver to the promoted origin instead. *)
+   through the resolver to the promoted home instead. *)
 let handler t (env : Fabric.env) =
   try handler_unguarded t env
   with Origin_dead ->
@@ -1253,20 +1400,21 @@ let handler t (env : Fabric.env) =
 (* ------------------------------------------------------------------ *)
 (* Standby promotion (HA failover).                                    *)
 
-(* Install the replica's ownership image as the new authoritative state.
-   Runs in the promotion fiber on the standby, after the old origin's
-   failure was declared (so crash_detected filters the dead out of the
-   rebuilt membership). [dir_entries] is the replica directory snapshot,
-   [page_data] the replicated origin-store contents. *)
-let promote t ~new_origin ~dir_entries ~page_data =
-  let old = t.origin in
+(* Install the replica's ownership image as the new authoritative state of
+   one shard. Runs in that shard's promotion fiber on the standby, after
+   the old home's failure was declared (so crash_detected filters the dead
+   out of the rebuilt membership). [dir_entries] is the replica directory
+   snapshot restricted to the shard, [page_data] the replicated
+   home-store contents for its pages. *)
+let promote t ~shard ~new_origin ~dir_entries ~page_data =
+  let old = t.homes.(shard) in
   if new_origin = old then invalid_arg "Coherence.promote: origin unchanged";
   if Fabric.crashed t.fabric ~node:new_origin then
     invalid_arg "Coherence.promote: standby is dead";
   let dir = Directory.create ~origin:new_origin in
   (* Which pages the standby already held a valid copy of, per the
      replicated image: for those, its local store is at least as fresh as
-     the logged origin staging copy and must not be overwritten. *)
+     the logged home staging copy and must not be overwritten. *)
   let standby_had = Hashtbl.create 64 in
   List.iter
     (fun (vpn, state) ->
@@ -1276,7 +1424,7 @@ let promote t ~new_origin ~dir_entries ~page_data =
         | Directory.Shared readers -> Node_set.mem readers new_origin
       in
       (* The record alone is not enough: a grant TO the standby commits
-         before its reply leaves the origin, so the entry may describe a
+         before its reply leaves the home, so the entry may describe a
          copy whose bytes died in flight. Only a valid local PTE proves
          the bytes arrived; otherwise the replicated image (logged, by
          append order, before that grant committed) is the fresh one. *)
@@ -1292,7 +1440,7 @@ let promote t ~new_origin ~dir_entries ~page_data =
           (* else: the entry is dropped and the page reverts to implicit
              Exclusive new_origin — it re-homes to the promoted standby,
              whose store holds the replicated data. Same linearizability
-             argument as reclaim_node: whatever the dead origin wrote
+             argument as reclaim_node: whatever the dead home wrote
              since the last logged snapshot was observed by nobody. *)
       | Directory.Shared readers ->
           let live =
@@ -1311,43 +1459,45 @@ let promote t ~new_origin ~dir_entries ~page_data =
   (* The replication observer follows the authoritative directory —
      installed only now, so the rebuild above is not itself re-logged
      (the HA layer re-snapshots when it re-arms towards a new standby). *)
-  Directory.set_observer dir (Directory.observer t.dir);
-  Directory.set_observer t.dir None;
-  (* The dead origin's local state is unreachable hardware now. *)
+  Directory.set_observer dir (Directory.observer t.dirs.(shard));
+  Directory.set_observer t.dirs.(shard) None;
+  (* The dead home's local state is unreachable hardware now. *)
   t.ptables.(old) <- Page_table.create ();
   t.stores.(old) <- Page_store.create ();
   Hashtbl.reset t.prefetched.(old);
   t.inflight.(old) <- [];
-  t.dir <- dir;
-  t.origin <- new_origin;
-  t.epoch <- t.epoch + 1;
-  t.origin_view.(new_origin) <- new_origin;
-  t.epoch_view.(new_origin) <- t.epoch;
-  Stats.incr t.stats "ha.promotions"
+  t.dirs.(shard) <- dir;
+  t.homes.(shard) <- new_origin;
+  t.epochs.(shard) <- t.epochs.(shard) + 1;
+  t.home_view.(new_origin).(shard) <- new_origin;
+  t.epoch_view.(new_origin).(shard) <- t.epochs.(shard);
+  Stats.incr t.stats "ha.promotions";
+  if t.nshards > 1 then Stats.incr t.stats "shard.promotions"
 
-(* Second half of the failover: fence every survivor into the new epoch.
-   Each one gets the list of (page, strongest access) the promoted
-   directory still vouches for on it and zaps the rest. Runs in the
-   promotion fiber, before the resolver releases stalled requesters, so
-   no survivor can fault against the new origin with unreconciled
-   state. *)
-let fence_survivors t =
+(* Second half of the failover: fence every survivor into the shard's new
+   epoch. Each one gets the list of (page, strongest access) the promoted
+   directory still vouches for on it and zaps the rest of the shard. Runs
+   in the promotion fiber, before the resolver releases stalled
+   requesters, so no survivor can fault against the new home with
+   unreconciled state. *)
+let fence_survivors t ~shard =
   let n = node_count t in
+  let home = t.homes.(shard) in
   let keeps = Array.make n [] in
-  Directory.iter t.dir (fun vpn state ->
+  Directory.iter t.dirs.(shard) (fun vpn state ->
       match state with
       | Directory.Exclusive owner ->
-          if owner <> t.origin then
+          if owner <> home then
             keeps.(owner) <- (vpn, Perm.Write) :: keeps.(owner)
       | Directory.Shared readers ->
           List.iter
             (fun r ->
-              if r <> t.origin then keeps.(r) <- (vpn, Perm.Read) :: keeps.(r))
+              if r <> home then keeps.(r) <- (vpn, Perm.Read) :: keeps.(r))
             (Node_set.to_list readers));
   let jobs = ref [] in
-  let src = t.origin in
+  let src = home in
   for node = n - 1 downto 0 do
-    if node <> t.origin && not (Fabric.crash_detected t.fabric ~node) then
+    if node <> home && not (Fabric.crash_detected t.fabric ~node) then
       jobs :=
         (fun () ->
           match
@@ -1357,26 +1507,32 @@ let fence_survivors t =
                 (t.cfg.Proto_config.ctl_msg_size
                 + (8 * List.length keeps.(node)))
               (Messages.Epoch_fence
-                 { pid = t.pid; epoch = t.epoch; keep = keeps.(node) })
+                 {
+                   pid = t.pid;
+                   shard;
+                   epoch = t.epochs.(shard);
+                   keep = keeps.(node);
+                 })
           with
           | Messages.Epoch_fence_ack { missing; _ } ->
               (* The survivor holds none of these despite the replicated
                  directory vouching for them: the grant reply died with
-                 the old origin. Demote the entries — the page re-homes to
-                 the promoted origin, whose store carries the replicated
+                 the old home. Demote the entries — the page re-homes to
+                 the promoted home, whose store carries the replicated
                  image (logged, by append order, before the ownership
                  transition committed). The survivor's retried fault then
                  gets a fresh data grant. *)
               List.iter
                 (fun vpn ->
                   Stats.incr t.stats "ha.fence_demoted";
-                  match Directory.state t.dir vpn with
+                  match Directory.state t.dirs.(shard) vpn with
                   | Directory.Exclusive owner when owner = node ->
-                      Directory.forget t.dir vpn
+                      Directory.forget t.dirs.(shard) vpn
                   | Directory.Shared readers when Node_set.mem readers node ->
                       let rest = Node_set.remove readers node in
-                      if Node_set.is_empty rest then Directory.forget t.dir vpn
-                      else Directory.set_shared t.dir vpn rest
+                      if Node_set.is_empty rest then
+                        Directory.forget t.dirs.(shard) vpn
+                      else Directory.set_shared t.dirs.(shard) vpn rest
                   | _ -> ())
                 missing
           | _ -> failwith "Coherence: unexpected fence reply"
@@ -1390,40 +1546,49 @@ let fence_survivors t =
 (* Invariant checking (tests).                                         *)
 
 let check_invariants t =
-  Directory.check_invariants t.dir;
-  Directory.iter t.dir (fun vpn state ->
-      match state with
-      | Directory.Exclusive owner ->
-          Array.iteri
-            (fun node pt ->
-              match Page_table.get pt vpn with
-              | Some Perm.Write when node <> owner ->
-                  failwith
-                    (Printf.sprintf
-                       "Coherence: node %d has Write PTE on page %d owned by \
-                        %d"
-                       node vpn owner)
-              | Some Perm.Read when node <> owner ->
-                  failwith
-                    (Printf.sprintf
-                       "Coherence: node %d has Read PTE on page %d \
-                        exclusively owned by %d"
-                       node vpn owner)
-              | _ -> ())
-            t.ptables
-      | Directory.Shared readers ->
-          Array.iteri
-            (fun node pt ->
-              match Page_table.get pt vpn with
-              | Some Perm.Write ->
-                  failwith
-                    (Printf.sprintf
-                       "Coherence: node %d has Write PTE on shared page %d"
-                       node vpn)
-              | Some Perm.Read when not (Node_set.mem readers node) ->
-                  failwith
-                    (Printf.sprintf
-                       "Coherence: node %d has stale Read PTE on page %d" node
-                       vpn)
-              | _ -> ())
-            t.ptables)
+  Array.iteri
+    (fun shard dir ->
+      Directory.check_invariants dir;
+      Directory.iter dir (fun vpn state ->
+          if shard_of t vpn <> shard then
+            failwith
+              (Printf.sprintf
+                 "Coherence: page %d tracked by shard %d but homed in shard \
+                  %d"
+                 vpn shard (shard_of t vpn));
+          match state with
+          | Directory.Exclusive owner ->
+              Array.iteri
+                (fun node pt ->
+                  match Page_table.get pt vpn with
+                  | Some Perm.Write when node <> owner ->
+                      failwith
+                        (Printf.sprintf
+                           "Coherence: node %d has Write PTE on page %d owned \
+                            by %d"
+                           node vpn owner)
+                  | Some Perm.Read when node <> owner ->
+                      failwith
+                        (Printf.sprintf
+                           "Coherence: node %d has Read PTE on page %d \
+                            exclusively owned by %d"
+                           node vpn owner)
+                  | _ -> ())
+                t.ptables
+          | Directory.Shared readers ->
+              Array.iteri
+                (fun node pt ->
+                  match Page_table.get pt vpn with
+                  | Some Perm.Write ->
+                      failwith
+                        (Printf.sprintf
+                           "Coherence: node %d has Write PTE on shared page %d"
+                           node vpn)
+                  | Some Perm.Read when not (Node_set.mem readers node) ->
+                      failwith
+                        (Printf.sprintf
+                           "Coherence: node %d has stale Read PTE on page %d"
+                           node vpn)
+                  | _ -> ())
+                t.ptables))
+    t.dirs

@@ -1,28 +1,29 @@
 (** The page-level memory consistency protocol (§III-B, §III-C).
 
     Multiple-reader / single-writer, read-replicate write-invalidate,
-    sequential consistency. The origin tracks per-page ownership in a
-    {!Dex_mem.Directory}; every node keeps a {!Dex_mem.Page_table} of the
-    access levels it has been granted, a {!Dex_mem.Page_store} of real page
-    contents (for typed accesses), and a {!Dex_mem.Fault_table} that
-    coalesces concurrent faults with a leader/follower scheme.
+    sequential consistency. Page ownership is tracked in per-page
+    {!Dex_mem.Directory} entries at the page's {e home node}; every node
+    keeps a {!Dex_mem.Page_table} of the access levels it has been
+    granted, a {!Dex_mem.Page_store} of real page contents (for typed
+    accesses), and a {!Dex_mem.Fault_table} that coalesces concurrent
+    faults with a leader/follower scheme.
 
     Fault walk-through for a remote node: access checks the local page
     table; on a miss the thread traps, enters the fault table (leader or
-    coalesced follower), and the leader RPCs [Page_request] to the origin.
-    The origin serializes protocol operations per page with a busy flag —
-    requests racing an in-flight operation are NACKed and the requester
-    backs off exponentially (the paper's slow contended path, ~158.8 µs on
-    average vs ~19.3 µs uncontended). To satisfy a read, the origin
-    downgrades an exclusive owner (pulling fresh data back); to satisfy a
-    write it revokes every other copy in parallel. Ownership is granted
-    without page data whenever the requester already holds an up-to-date
-    copy (read → write upgrades).
+    coalesced follower), and the leader RPCs [Page_request] to the page's
+    home. The home serializes protocol operations per page with a busy
+    flag — requests racing an in-flight operation are NACKed and the
+    requester backs off exponentially (the paper's slow contended path,
+    ~158.8 µs on average vs ~19.3 µs uncontended). To satisfy a read, the
+    home downgrades an exclusive owner (pulling fresh data back); to
+    satisfy a write it revokes every other copy in parallel. Ownership is
+    granted without page data whenever the requester already holds an
+    up-to-date copy (read → write upgrades).
 
     With {!Proto_config.prefetch_enabled}, remote fault leaders feed a
     per-(node, thread) {!Prefetch} stream detector and resolve up to
     [prefetch_depth] predicted pages in the same round-trip via
-    [Page_request_batch]; the origin locks, decides and traces each batched
+    [Page_request_batch]; the home locks, decides and traces each batched
     page individually (pages that lose the directory race are NACKed
     individually, never the whole batch), and coalesces the revocation
     fan-out into one [Invalidate_batch] per victim node when
@@ -30,39 +31,61 @@
     for a page of an in-flight batch poisons that batch's record instead
     of blocking: the requester discards poisoned grants when the reply
     lands (the demand page then retries as if NACKed), which closes the
-    revoke-overtakes-grant race without ever making an origin grant fiber
-    wait on another grant's reply.
+    revoke-overtakes-grant race without ever making a home-side grant
+    fiber wait on another grant's reply.
+
+    {2 Sharded homes}
+
+    With {!Proto_config.sharding} off there is exactly one shard, homed at
+    the origin, and every path below degenerates to the single-origin
+    protocol bit-for-bit. With [`Hash n] or [`Range n], page ownership is
+    partitioned over [n] shards by {!shard_of}, shard [s] homed at node
+    [(origin + s) mod node_count] — shard 0 always coincides with the
+    process origin, which keeps the delegated services there. Each shard
+    has its own directory, epoch and (with replication) its own log and
+    promotion path; faults, revocations and fences all resolve at the
+    owning shard's home, so independent shards never serialize on one
+    node. Every node carries a replicated read-mostly view of the
+    home/epoch vector ({!home_of} metadata); the view is invalidated
+    epoch-stamped: in-band [Page_stale] NACKs and home-to-node traffic
+    carrying a newer epoch teach the node the shard's new address.
+    Prefetch batches are filtered to the demand page's shard, so a batch
+    always resolves at one home under one epoch.
 
     {2 Fail-stop crashes}
 
     When the fabric declares a node dead ({!Dex_net.Fabric.declare_dead} —
     organically, when a revocation exhausts its retry budget and the
-    origin escalates the resulting [Unreachable]; or via the fabric's
+    home escalates the resulting [Unreachable]; or via the fabric's
     keepalive backstop), the instance runs {!reclaim_node}: exclusive
-    pages owned by the dead node re-home to the origin's last-known copy,
-    the dead node is scrubbed from every reader set, and its local tables
-    are reset. Grants racing a crash are refused or undone rather than
-    handing pages to a ghost, revocations towards a declared-dead node are
-    skipped, and every origin-side lock and fault-table entry is released
-    on the [Unreachable] exception path, so {!check_invariants} holds
-    after every reclaim. Without the HA layer, crashing the {e origin} is
-    unsupported: the directory and the delegated services die with it.
+    pages owned by the dead node re-home to their shard home's last-known
+    copy, the dead node is scrubbed from every reader set, and its local
+    tables are reset. Grants racing a crash are refused or undone rather
+    than handing pages to a ghost, revocations towards a declared-dead
+    node are skipped, and every home-side lock and fault-table entry is
+    released on the [Unreachable] exception path, so {!check_invariants}
+    holds after every reclaim. Without the HA layer, crashing a {e home}
+    node is unsupported: its shard's directory dies with it (and for the
+    origin, the delegated services too).
 
-    {2 Origin failover (HA)}
+    {2 Home failover (HA)}
 
     With {!Proto_config.replication} on, the process layer wires this
-    instance to {!Dex_ha}: a {!set_commit_barrier} fence runs before any
-    grant reply leaves the origin, every directory mutation streams to a
-    standby through the {!Dex_mem.Directory} observer, and an origin death
-    is handled by {!promote} + {!fence_survivors} instead of
-    {!reclaim_node}. Every coherence request carries an epoch number;
-    requests stamped with a dead epoch are NACKed with [Page_stale]
-    ([ha.stale_epoch_nacks]) so survivors adopt the new origin, which they
+    instance to {!Dex_ha} — one armed instance {e per shard}: a
+    {!set_commit_barrier} fence runs before any grant reply leaves a
+    shard's home, every directory mutation streams to that shard's
+    standbys through the {!Dex_mem.Directory} observer, and a home death
+    is handled by {!promote} + {!fence_survivors} for each shard it homed
+    (other shards' directories are scrubbed of the dead node and keep
+    serving). Every coherence request carries its shard's epoch; requests
+    stamped with a dead epoch are NACKed with [Page_stale]
+    ([ha.stale_epoch_nacks]) so survivors adopt the new home, which they
     located by stalling in the {!set_origin_resolver} hook until the
     promotion completed — a failover is a long fault, not an abort. *)
 
 type t
-(** One coherence-protocol instance (origin directory + per-node tables). *)
+(** One coherence-protocol instance (per-shard directories + per-node
+    tables). *)
 
 val create :
   ?cfg:Proto_config.t ->
@@ -73,19 +96,50 @@ val create :
   t
 (** One protocol instance per distributed process; [pid] disambiguates the
     wire messages of multiple processes sharing a fabric (default 0). The
-    caller must route fabric messages to {!handler}. *)
+    caller must route fabric messages to {!handler}. Raises
+    [Invalid_argument] on a bad [origin] or a non-positive shard count. *)
 
 val pid : t -> int
 (** The process id used to tag this instance's wire messages. *)
 
 val origin : t -> int
-(** The origin node hosting the ownership directory. *)
+(** The node homing shard 0 — the process origin. With sharding off this
+    is the single home of every page. *)
 
 val cfg : t -> Proto_config.t
 (** The configuration the instance was created with. *)
 
 val node_count : t -> int
 (** Number of nodes on the underlying fabric. *)
+
+(** {2 Shard geometry} *)
+
+val shard_count : t -> int
+(** Number of ownership shards: 1 with {!Proto_config.sharding} off. *)
+
+val shard_of : t -> Dex_mem.Page.vpn -> int
+(** The shard owning a page: 0 when sharding is off, [vpn mod n] under
+    [`Hash n], [(vpn / 64) mod n] under [`Range n]. *)
+
+val home_of : t -> Dex_mem.Page.vpn -> int
+(** The node currently homing a page's shard ([shard_home] of
+    {!shard_of}); re-pointed by {!promote}. *)
+
+val shard_home : t -> shard:int -> int
+(** The node currently homing [shard]. *)
+
+val shard_epoch : t -> shard:int -> int
+(** [shard]'s current epoch: 0 at creation, bumped by every {!promote} of
+    that shard. *)
+
+val shard_directory : t -> shard:int -> Dex_mem.Directory.t
+(** [shard]'s ownership directory (replaced wholesale by {!promote}). *)
+
+val shard_load : t -> int array
+(** Per-shard count of grants served, a snapshot of the load vector
+    behind [shard.local_grants]/[shard.remote_grants]. All zeros when
+    sharding is off (per-shard accounting is gated on [shard_count > 1]).
+    Index [s] is shard [s]. *)
 
 val handler : t -> Dex_net.Fabric.env -> bool
 (** Process a protocol message addressed to this process; returns [false]
@@ -157,7 +211,8 @@ val page_store : t -> node:int -> Dex_mem.Page_store.t
 (** [node]'s store of real page contents (typed accesses only). *)
 
 val directory : t -> Dex_mem.Directory.t
-(** The origin's per-page ownership directory. *)
+(** Shard 0's ownership directory — with sharding off, the single origin
+    directory. Use {!shard_directory} for the others. *)
 
 val fault_table : t -> node:int -> [ `Done | `Retry ] Dex_mem.Fault_table.t
 (** [node]'s leader/follower fault-coalescing table. *)
@@ -168,8 +223,9 @@ val zap_range :
     returns the number of zapped entries. Page stores are dropped too. *)
 
 val forget_range : t -> first:Dex_mem.Page.vpn -> last:Dex_mem.Page.vpn -> unit
-(** Clear directory tracking for an unmapped range. Call only after every
-    node's page-table entries in the range have been zapped. *)
+(** Clear directory tracking for an unmapped range, each page in its own
+    shard's directory. Call only after every node's page-table entries in
+    the range have been zapped. *)
 
 val set_tracer : t -> (Fault_event.t -> unit) option -> unit
 (** Install the page-fault profiler hook; leaders emit one event per
@@ -183,76 +239,87 @@ val backoff_delay : t -> node:int -> attempt:int -> Dex_sim.Time_ns.t
     Consumes the node's jitter RNG. Exposed for property tests. *)
 
 val reclaim_node : t -> node:int -> unit
-(** Scrub a dead node out of the ownership metadata: re-home its exclusive
-    pages to the origin ([crash.pages_reclaimed]), drop it from reader
-    sets ([crash.readers_scrubbed], the set's last reader re-homes the
-    page too), and reset its page table, page store, prefetch and
+(** Scrub a dead node out of every shard's ownership metadata: re-home its
+    exclusive pages to their shard home's last-known copy
+    ([crash.pages_reclaimed]), drop it from reader sets
+    ([crash.readers_scrubbed], the set's last reader re-homes the page
+    too), and reset its page table, page store, prefetch and
     in-flight-batch state. Wired to {!Dex_net.Fabric.on_crash} at
     {!create} time, so it normally runs automatically when a failure is
     declared; exposed for directed tests. Safe to run while grants are in
-    flight. Raises if [node] is the origin. *)
+    flight. Raises if [node] homes any shard (with the HA layer wired, a
+    home death takes the promotion path instead and only the shards the
+    dead node did {e not} home are scrubbed). *)
 
-(** {2 Origin failover hooks}
+(** {2 Home failover hooks}
 
     Installed by the process layer when {!Proto_config.replication} is on;
     all default to absent, in which case every path below is bit-identical
-    to a build without them. *)
+    to a build without them. All shard-indexed hooks receive the shard
+    number — with sharding off it is always 0. *)
 
 val epoch : t -> int
-(** The current origin epoch: 0 at creation, bumped by every {!promote}.
-    Stamped on every outgoing coherence request (each node stamps its own
-    {e view} of the epoch, which may lag until a [Page_stale] NACK or an
-    in-band revocation teaches it the new one). *)
+(** Shard 0's current epoch — with sharding off, {e the} origin epoch.
+    Stamped on every outgoing coherence request for the shard (each node
+    stamps its own {e view} of the epoch, which may lag until a
+    [Page_stale] NACK or an in-band revocation teaches it the new one).
+    Use {!shard_epoch} for the others. *)
 
-val set_commit_barrier : t -> (unit -> unit) option -> unit
-(** Hook run at the origin immediately before a grant reply (single or
-    batched, when it carries at least one grant) leaves the origin — the
-    "replicate before externalize" fence. The HA layer blocks here until
-    the standby's ack watermark covers the log ([`Sync]) or the unacked
-    suffix is within the configured lag ([`Async n]). Origin-local
-    operations never pass through the barrier. *)
+val set_commit_barrier : t -> (int -> unit) option -> unit
+(** Hook run at a shard's home immediately before a grant reply (single or
+    batched, when it carries at least one grant) leaves that home — the
+    "replicate before externalize" fence, passed the shard number. The HA
+    layer blocks here until the shard's ack watermark covers its log
+    ([`Sync]) or the unacked suffix is within the configured lag
+    ([`Async n]). Home-local operations never pass through the barrier. *)
 
-val set_origin_resolver : t -> (unit -> int option) option -> unit
-(** Hook consulted when a request towards the origin fails with
-    [Unreachable] and the origin is (or becomes) declared dead: the
+val set_origin_resolver : t -> (int -> int option) option -> unit
+(** Hook consulted when a request towards a shard's home fails with
+    [Unreachable] and the home is (or becomes) declared dead: the
     resolver blocks the faulting fiber until a standby has been promoted
-    and returns the new origin ([Some node], and the fault retries there —
-    counted as [ha.stalled_faults]), or [None] when no standby remains
-    (the [Unreachable] is re-raised, PR-3 behavior). Without a resolver
-    installed, origin death keeps its historical [failwith]. *)
+    for that shard and returns the new home ([Some node], and the fault
+    retries there — counted as [ha.stalled_faults]), or [None] when no
+    standby remains (the [Unreachable] is re-raised, PR-3 behavior).
+    Without a resolver installed, home death keeps its historical
+    [failwith]. *)
 
 val set_origin_write_hook : t -> (Dex_mem.Page.vpn -> unit) option -> unit
-(** Hook fired after every mutation of the {e origin's} page store: typed
-    stores/CAS/fetch-add executed at the origin, and page data pulled back
-    by {!reclaim_node}. The HA layer uses it to ship page contents whose
+(** Hook fired after every mutation of a {e home's} page store: typed
+    stores/CAS/fetch-add executed at the page's home, and page data pulled
+    back by a reclaim. The HA layer uses it to ship page contents whose
     dirtying never crosses the wire (directory observation alone cannot
-    see origin-local writes to pages the origin already owns). *)
+    see home-local writes to pages the home already owns); it routes the
+    entry to the page's shard via {!shard_of}. *)
 
 val promote : t ->
+  shard:int ->
   new_origin:int ->
   dir_entries:(Dex_mem.Page.vpn * Dex_mem.Directory.state) list ->
   page_data:(Dex_mem.Page.vpn * bytes) list ->
   unit
-(** Install the replica as the new directory and make [new_origin] the
-    origin: the directory is rebuilt from [dir_entries] re-homed onto
-    [new_origin] (entries owned by dead nodes or the old origin re-home;
-    reader sets are filtered to live nodes and gain the new origin),
-    [page_data] backfills the new origin's page store {e except} for pages
+(** Install the replica as [shard]'s new directory and make [new_origin]
+    its home: the directory is rebuilt from [dir_entries] re-homed onto
+    [new_origin] (entries owned by dead nodes or the old home re-home;
+    reader sets are filtered to live nodes and gain the new home),
+    [page_data] backfills the new home's page store {e except} for pages
     it already held a valid copy of (its own copy is at least as fresh),
-    the old origin's local tables are reset, and the epoch is bumped.
-    Counted as [ha.promotions]. Raises [Invalid_argument] if [new_origin]
-    is the current origin or is itself declared dead. Call from the HA
+    the old home's local tables are reset, and the shard's epoch is
+    bumped. Counted as [ha.promotions] (plus [shard.promotions] when
+    sharding is on). Raises [Invalid_argument] if [new_origin] is the
+    shard's current home or is itself declared dead. Call from the HA
     promotion fiber only, then {!fence_survivors}. *)
 
-val fence_survivors : t -> unit
-(** Broadcast [Epoch_fence] from the (already promoted) new origin to every
-    other live node: each survivor poisons its in-flight batches and zaps
-    every local PTE/copy the promoted directory no longer vouches for
-    (under [`Sync] replication the keep-list covers everything and nothing
-    is zapped). Survivors deliberately do {e not} adopt the new epoch from
-    the fence — they learn it in-band from their first [Page_stale] NACK —
-    so the fence never races the resolver. A survivor unreachable during
-    the fence is escalated to crashed. Counted as [ha.epoch_fences]. *)
+val fence_survivors : t -> shard:int -> unit
+(** Broadcast [Epoch_fence] for [shard] from its (already promoted) new
+    home to every other live node: each survivor poisons its in-flight
+    batches of that shard and zaps every local PTE/copy of the shard the
+    promoted directory no longer vouches for (under [`Sync] replication
+    the keep-list covers everything and nothing is zapped); other shards'
+    state is untouched. Survivors deliberately do {e not} adopt the new
+    epoch from the fence — they learn it in-band from their first
+    [Page_stale] NACK — so the fence never races the resolver. A survivor
+    unreachable during the fence is escalated to crashed. Counted as
+    [ha.epoch_fences]. *)
 
 val stats : t -> Dex_sim.Stats.t
 (** Protocol counters: [grant.data]/[grant.nodata]/[grant.nack],
@@ -262,13 +329,19 @@ val stats : t -> Dex_sim.Stats.t
     [crash.revokes_skipped], [crash.escalations], [crash.grants_refused];
     after a failover the [ha.*] family — [ha.promotions],
     [ha.epoch_fences], [ha.fence_zapped], [ha.stale_epoch_nacks],
-    [ha.stale_revokes], [ha.stalled_faults]. *)
+    [ha.stale_revokes], [ha.stalled_faults]; with sharding on the
+    [shard.*] family — [shard.homes] (the shard count, set once),
+    [shard.local_grants]/[shard.remote_grants] (grants served to
+    requesters co-located with / remote from the shard's home) and
+    [shard.promotions]. *)
 
 val fault_latencies : t -> Dex_sim.Histogram.t
-(** Latency of every protocol fault (leaders only), origin and remote. *)
+(** Latency of every protocol fault (leaders only), home-local and
+    remote. *)
 
 val check_invariants : t -> unit
-(** Directory/page-table consistency: at most one exclusive owner; a node
-    has a Write PTE iff the directory says it is the exclusive owner; Read
-    PTEs only on shared readers or the exclusive owner. Call only when the
-    simulation is quiescent. *)
+(** Directory/page-table consistency, per shard: at most one exclusive
+    owner; a node has a Write PTE iff the shard directory says it is the
+    exclusive owner; Read PTEs only on shared readers or the exclusive
+    owner; every tracked page belongs to the directory's own shard. Call
+    only when the simulation is quiescent. *)

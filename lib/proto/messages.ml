@@ -39,6 +39,7 @@ type Dex_net.Msg.payload +=
   | Invalidate_batch_ack of { pid : int }
   | Epoch_fence of {
       pid : int;
+      shard : int;  (* which shard's generation turned over *)
       epoch : int;
       keep : (Dex_mem.Page.vpn * Dex_mem.Perm.access) list;
     }

@@ -75,15 +75,18 @@ type Dex_net.Msg.payload +=
       (** reader → origin: every page of the batch surrendered *)
   | Epoch_fence of {
       pid : int;
+      shard : int;
       epoch : int;
       keep : (Dex_mem.Page.vpn * Dex_mem.Perm.access) list;
     }
-      (** new origin → survivor, during failover: the old epoch is dead.
-          [keep] lists every (page, strongest access) the promoted replica
-          still vouches for on the destination; the survivor zaps every
-          other local PTE/copy and poisons in-flight batches. Under [`Sync]
-          replication the fence zaps nothing; under [`Async] the zapped
-          copies are exactly the lost log suffix. *)
+      (** new home → survivor, during failover: [shard]'s old epoch is
+          dead. [keep] lists every (page, strongest access) the promoted
+          replica still vouches for on the destination; the survivor zaps
+          every other local PTE/copy {e of that shard} and poisons its
+          in-flight batches (other shards' state, whose homes are alive,
+          is untouched — with sharding off, shard 0 covers everything).
+          Under [`Sync] replication the fence zaps nothing; under [`Async]
+          the zapped copies are exactly the lost log suffix. *)
   | Epoch_fence_ack of {
       pid : int;
       zapped : int;

@@ -18,6 +18,8 @@ type t = {
   replication : [ `Off | `Sync | `Async of int ];
   standby_count : int;
   standbys : int list option;
+  sharding : [ `Off | `Hash of int | `Range of int ];
+  serial_home_service : bool;
 }
 
 let default =
@@ -57,4 +59,14 @@ let default =
     (* None picks the lowest-numbered non-origin nodes as the replica
        set. *)
     standbys = None;
+    (* Off by default: all pages are homed at the single origin and the
+       protocol is bit-identical to a build without sharding. `Hash n
+       spreads page ownership over n home nodes by vpn modulo; `Range n
+       homes 64-page runs, preserving prefetch locality within a run. *)
+    sharding = `Off;
+    (* Off by default: concurrent home-side handlers overlap freely (the
+       historical behaviour). On, each node's protocol handler is one
+       service loop — requests queue, and a single overloaded home
+       saturates: the origin-CPU ceiling sharding exists to relieve. *)
+    serial_home_service = false;
   }

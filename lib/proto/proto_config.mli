@@ -72,6 +72,29 @@ type t = {
       (** which nodes receive the replication log; [None] picks the
           [standby_count] lowest-numbered non-origin nodes. Ignored when
           [replication] is [`Off]. *)
+  sharding : [ `Off | `Hash of int | `Range of int ];
+      (** partition page ownership across {e home nodes}
+          ({!Coherence.home_of}): [`Off] (default) keeps every page homed
+          at the single origin and is bit-identical to the unsharded
+          protocol; [`Hash n] homes page [vpn] at shard [vpn mod n] —
+          best static load spread; [`Range n] homes 64-page runs
+          ([(vpn / 64) mod n]) — keeps sequential streams (and their
+          prefetch batches) on one home. Shard [s] lives at node
+          [(origin + s) mod node_count], so shard 0 is always the process
+          origin (the VMA/allocator/file services stay there). [n] may
+          exceed the node count (homes then wrap); with [replication] on,
+          every shard gets its own replication log, epoch and promotion
+          path. *)
+  serial_home_service : bool;
+      (** model each node's protocol handler as a single service loop:
+          page requests at one home then queue behind each other
+          ([origin_handler] becomes occupancy of a per-node server rather
+          than a freely overlapping delay), so a lone origin saturates
+          once enough requesters pile on — the origin-CPU ceiling of the
+          paper's Figure 2, and the effect [sharding] exists to relieve
+          (see [bench/main.exe shard]). Off by default: concurrent
+          handlers overlap, the historical (and bit-identical)
+          behaviour. *)
 }
 
 val default : t

@@ -4,12 +4,16 @@ module Coherence = Dex_proto.Coherence
 let owned_pages coh ~ranges =
   let nodes = Coherence.node_count coh in
   let counts = Array.make nodes 0 in
-  let dir = Coherence.directory coh in
   List.iter
     (fun (addr, len) ->
       if len > 0 then begin
         let first, last = Page.pages_of_range addr ~len in
         for vpn = first to last do
+          (* Each page's entry lives in its shard's directory (shard 0
+             holds everything when sharding is off). *)
+          let dir =
+            Coherence.shard_directory coh ~shard:(Coherence.shard_of coh vpn)
+          in
           match Directory.state dir vpn with
           | Directory.Exclusive owner -> counts.(owner) <- counts.(owner) + 1
           | Directory.Shared readers ->

@@ -1,0 +1,37 @@
+Sharded homes partition page ownership across home nodes: shard 0 stays
+at the process origin (VMA/allocator/file services), shard s lives at
+node (origin + s) mod nodes, and each home brokers only its own pages.
+The bench prices the win under serial_home_service — with one home every
+page transfer queues on a single handler loop; spreading ownership cuts
+the queueing and turns a growing share of faults home-local:
+
+  $ ../../bench/main.exe tiny shard
+  
+  =============================================================
+  Sharded homes: page ownership partitioned across home nodes
+  =============================================================
+  
+    8 nodes, 14 writer threads
+    shards     sim time  moved pg/ms     faults  locality
+    1            1.47ms           76        112         -
+    2            1.45ms           75        108        4%
+    4            1.44ms           69        100       12%
+    8            1.43ms           59         84       24%
+  
+    -> with one home every transfer queues on a single handler loop and page throughput flatlines as nodes are added; sharding ownership across homes spreads the brokerage (checksums agree across every row: sharding changes placement, never results)
+
+Sharding changes page placement, never results: an application run with
+--shards produces the same checksum as its unsharded twin (timings and
+fault counts shift — ownership requests now fan out over three homes):
+
+  $ ../../bin/dex_run.exe run GRP -n 6
+  GRP/optimized nodes=6 threads=48 time=13.75ms faults=6948 retries=0 checksum=16256
+
+  $ ../../bin/dex_run.exe run GRP -n 6 --shards 3
+  GRP/optimized nodes=6 threads=48 time=13.78ms faults=6958 retries=2 checksum=16256
+
+A negative shard count is rejected:
+
+  $ ../../bin/dex_run.exe run KMN -n 8 --shards=-1
+  --shards must be >= 0
+  [2]

@@ -78,6 +78,10 @@ let fast_cfg =
     batch_revoke = true;
   }
 
+(* Page ownership spread over 4 home nodes: the SC properties must hold
+   unchanged when requests route to per-shard directories. *)
+let shard_cfg = { Proto_config.default with sharding = `Hash 4 }
+
 let addr0 = Layout.heap_base
 
 (* Run [f] as a fiber and drive the simulation to quiescence. *)
@@ -835,6 +839,15 @@ let () =
                 ~name:
                   "directory/PTE invariants under random concurrency \
                    (prefetch + batched revoke)" ();
+              prop_sequential_writes_then_read ~cfg:shard_cfg
+                ~name:"random write sequences (4 sharded homes)" ();
+              prop_single_writer_per_address_monotonic ~cfg:shard_cfg
+                ~name:"per-address single-writer monotonicity (4 sharded homes)"
+                ();
+              prop_invariants_under_concurrency ~cfg:shard_cfg
+                ~name:
+                  "directory/PTE invariants under random concurrency (4 \
+                   sharded homes)" ();
               prop_backoff_clamped;
             ]
       );
@@ -851,6 +864,9 @@ let () =
             prop_invariants_under_concurrency ~cfg:fast_cfg
               ~net:(chaos_net ~nodes:4)
               ~name:"invariants under chaos (prefetch + batched revoke)" ();
+            prop_invariants_under_concurrency ~cfg:shard_cfg
+              ~net:(chaos_net ~nodes:4)
+              ~name:"invariants under chaos (4 sharded homes)" ();
           ]
         @ [
             Alcotest.test_case "chaos fault paths exercised" `Quick
