@@ -4,7 +4,7 @@
 
    Usage: main.exe [tiny] [table1] [fig2] [table2] [fig3] [fault] [profile]
                    [ablation] [delegation] [chaos] [crash] [failover]
-                   [shard] [baseline] [bechamel]
+                   [shard] [autopilot] [baseline] [bechamel]
    With no arguments, every section runs (the order of the paper). *)
 
 open Dex_core
@@ -997,6 +997,96 @@ let shard_bench () =
      row: sharding changes placement, never results)@."
 
 (* ------------------------------------------------------------------ *)
+(* Placement autopilot: the Sec. IV profiling loop closed online. Each
+   app's Initial conversion still has its placement pathology — BLK:
+   neighbouring threads' option slices share boundary pages across
+   nodes; BP: the master's per-chunk publish shares a page with the
+   read-only model parameters, so every publish invalidates every
+   node's copy. The [+autopilot] row runs the SAME Initial binary with
+   the controller attached: it must rediscover the Optimized variant's
+   hand placement — co-locate the page-sharing threads, re-home pages,
+   replicate the read-mostly page — and close at least half the
+   Initial->Optimized gap with zero application-source changes.       *)
+
+let autopilot_bench () =
+  section
+    "Placement autopilot: closing the Initial->Optimized gap online (Sec. IV)";
+  let config = { Core_config.default with cores_per_node = 16 } in
+  let ap_config =
+    {
+      config with
+      Core_config.autopilot = true;
+      autopilot_interval = Time_ns.us 100;
+    }
+  in
+  let show name descr run =
+    Format.printf "@.  %s — %s@." name descr;
+    Format.printf "  %-22s %10s %8s %8s@." "" "sim time" "faults" "retries";
+    let base : A.result = run config A.Baseline in
+    let init = run config A.Initial in
+    let ap = run ap_config A.Initial in
+    let opt = run config A.Optimized in
+    (* Placement must never change results: every row computes the same
+       answer, autopilot included. *)
+    List.iter
+      (fun (r : A.result) -> assert (r.A.checksum = base.A.checksum))
+      [ init; ap; opt ];
+    let row label (r : A.result) =
+      Format.printf "  %-22s %8.2fms %8d %8d@." label
+        (Time_ns.to_ms_f r.A.sim_time)
+        r.A.faults r.A.retries
+    in
+    row "baseline" base;
+    row "initial" init;
+    row "initial + autopilot" ap;
+    row "optimized (by hand)" opt;
+    let closure metric =
+      let i = float_of_int (metric init)
+      and a = float_of_int (metric ap)
+      and o = float_of_int (metric opt) in
+      if i <= o then 0.0 else 100.0 *. (i -. a) /. (i -. o)
+    in
+    Format.printf "  ";
+    Dex_profile.Report.pp_autopilot Format.std_formatter ap.A.stats;
+    Format.printf
+      "  -> autopilot closes %.0f%% of the time gap, %.0f%% of the fault \
+       gap@."
+      (closure (fun r -> r.A.sim_time))
+      (closure (fun r -> r.A.faults))
+  in
+  (* BLK: 1024 options make the per-thread price slices exact sub-page
+     runs (16 per page), so whole page-sharing groups fit on one node —
+     the geometry where co-location wins outright. *)
+  let blk_params =
+    {
+      Dex_apps.Blk.default_params with
+      Dex_apps.Blk.options = 1024;
+      rounds = (if !tiny then 40 else 400);
+      chunk = 2048;
+    }
+  in
+  show "BLK" "co-locate the threads sharing each slice boundary page"
+    (fun config variant ->
+      Dex_apps.Blk.run ~nodes:4 ~variant ~config ~params:blk_params ());
+  (* BP: the globals protocol packs the master's per-chunk publish word
+     next to the parameters every worker re-reads each chunk — the
+     paper's read-only-parameters pathology. The replicate lever turns
+     each publish's invalidation storm into pushed copies. *)
+  let bp_params =
+    {
+      Dex_apps.Bp.default_params with
+      Dex_apps.Bp.vertices = (if !tiny then 1 lsl 14 else 1 lsl 16);
+      bytes_per_vertex = 64;
+      iterations = (if !tiny then 6 else 24);
+      flag_chunk = 16;
+      globals_bytes = 4096;
+    }
+  in
+  show "BP" "replicate the packed publish-word + parameters page"
+    (fun config variant ->
+      Dex_apps.Bp.run ~nodes:4 ~variant ~config ~params:bp_params ())
+
+(* ------------------------------------------------------------------ *)
 (* Delegation batching ablation: the contended phases of KMN (threads
    synchronize on a barrier every iteration) and BT (a reduction mutex
    serializes the update), distilled to their syscall-storm skeletons.
@@ -1120,6 +1210,7 @@ let sections_list =
     ("crash", crash_bench);
     ("failover", failover_bench);
     ("shard", shard_bench);
+    ("autopilot", autopilot_bench);
     ("baseline", baseline_lrc);
     ("bechamel", bechamel_benches);
   ]

@@ -78,17 +78,35 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark applications")
     Term.(const run $ const ())
 
+let autopilot_arg =
+  let doc =
+    "Attach the placement autopilot (Core_config.autopilot): fault traces \
+     are profiled periodically and threads/pages are re-placed online — \
+     co-location, page re-homing, replicate-don't-invalidate — with no \
+     application changes."
+  in
+  Arg.(value & flag & info [ "autopilot" ] ~doc)
+
 let run_cmd =
-  let run app nodes variant shards =
+  let run app nodes variant shards autopilot =
     let entry = lookup app in
     let proto = proto_of_shards shards in
-    let r = entry.Dex_apps.Apps.run ~nodes ~variant ?proto () in
+    let config =
+      if autopilot then
+        Some { Dex_core.Core_config.default with autopilot = true }
+      else None
+    in
+    let r = entry.Dex_apps.Apps.run ~nodes ~variant ?config ?proto () in
     Format.printf "%a@." A.pp_result r;
+    if autopilot then
+      Dex_profile.Report.pp_autopilot Format.std_formatter r.A.stats;
     0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application on the simulated rack")
-    Term.(const run $ app_arg $ nodes_arg $ variant_arg $ shards_arg)
+    Term.(
+      const run $ app_arg $ nodes_arg $ variant_arg $ shards_arg
+      $ autopilot_arg)
 
 let sweep_cmd =
   let run app shards =

@@ -19,6 +19,7 @@ type result = {
   retries : int;
   coalesced : int;
   migrations : int;
+  stats : Stats.t;
 }
 
 let pp_result fmt r =
@@ -44,14 +45,27 @@ type ctx = {
   seed : int;
 }
 
-let run_app ~name ~nodes ~variant ?proto ?(threads_per_node = 8) ?(seed = 7)
-    body =
+let run_app ~name ~nodes ~variant ?config ?proto ?(threads_per_node = 8)
+    ?(seed = 7) body =
   if nodes <= 0 then invalid_arg "run_app: nodes";
-  let cl = Dex.cluster ?proto ~nodes ~seed () in
+  let cl = Dex.cluster ?config ?proto ~nodes ~seed () in
   let checksum = ref 0L in
   let ctx_out = ref None in
   let proc =
     Dex.run cl (fun proc main ->
+        let core = Cluster.config cl in
+        (* Attach before any worker spawns so no safe point is missed;
+           with the flag off (the default) nothing is installed and the
+           run is bit-identical. *)
+        if core.Core_config.autopilot then
+          ignore
+            (Dex_sched.Autopilot.attach
+               ~config:
+                 {
+                   Dex_sched.Autopilot.default with
+                   interval = core.Core_config.autopilot_interval;
+                 }
+               proc);
         let ctx =
           { proc; cl; variant; nodes; threads = threads_per_node * nodes; seed }
         in
@@ -71,6 +85,7 @@ let run_app ~name ~nodes ~variant ?proto ?(threads_per_node = 8) ?(seed = 7)
     retries = Stats.get stats "fault.retry";
     coalesced = Stats.get stats "fault.coalesced";
     migrations = Stats.get pstats "migration.forward";
+    stats;
   }
 
 let node_of ctx i = i * ctx.nodes / ctx.threads

@@ -31,6 +31,10 @@ type result = {
   retries : int;  (** NACKed attempts *)
   coalesced : int;  (** follower faults absorbed *)
   migrations : int;  (** forward migrations *)
+  stats : Dex_sim.Stats.t;
+      (** the run's full protocol counters ({!Dex_proto.Coherence.stats}),
+          for digests beyond the summary fields (e.g.
+          {!Dex_profile.Report.pp_autopilot}) *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -57,6 +61,7 @@ val run_app :
   name:string ->
   nodes:int ->
   variant:variant ->
+  ?config:Core_config.t ->
   ?proto:Dex_proto.Proto_config.t ->
   ?threads_per_node:int ->
   ?seed:int ->
@@ -64,10 +69,14 @@ val run_app :
   result
 (** Build the rack, run the application body as the process's main thread
     (its return value is the checksum), drive the simulation to completion
-    and collect statistics. [proto] overrides the protocol configuration
-    (e.g. to turn on {!Dex_proto.Proto_config.sharding} or replication);
-    defaults to {!Dex_proto.Proto_config.default}. [threads_per_node]
-    defaults to 8. *)
+    and collect statistics. [config] overrides the node cost model —
+    with {!Core_config.autopilot} set, a {!Dex_sched.Autopilot} is
+    attached to the process before the body runs (ticking every
+    {!Core_config.autopilot_interval}), so any variant converges online
+    with zero application changes. [proto] overrides the protocol
+    configuration (e.g. to turn on {!Dex_proto.Proto_config.sharding} or
+    replication); defaults to {!Dex_proto.Proto_config.default}.
+    [threads_per_node] defaults to 8. *)
 
 val node_of : ctx -> int -> int
 (** Home node of worker [i] under the block distribution the paper uses

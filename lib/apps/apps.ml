@@ -5,6 +5,7 @@ type entry = {
   run :
     nodes:int ->
     variant:App_common.variant ->
+    ?config:Dex_core.Core_config.t ->
     ?proto:Dex_proto.Proto_config.t ->
     unit ->
     App_common.result;
@@ -16,49 +17,49 @@ let all =
       name = "GRP";
       descr = "string match over an NFS-served text corpus";
       conversion = Grp.conversion;
-      run = (fun ~nodes ~variant ?proto () -> Grp.run ~nodes ~variant ?proto ());
+      run = (fun ~nodes ~variant ?config ?proto () -> Grp.run ~nodes ~variant ?config ?proto ());
     };
     {
       name = "KMN";
       descr = "k-means clustering of a 3-D point cloud";
       conversion = Kmn.conversion;
-      run = (fun ~nodes ~variant ?proto () -> Kmn.run ~nodes ~variant ?proto ());
+      run = (fun ~nodes ~variant ?config ?proto () -> Kmn.run ~nodes ~variant ?config ?proto ());
     };
     {
       name = "BT";
       descr = "NPB block-tridiagonal solver";
       conversion = Npb_bt.conversion;
-      run = (fun ~nodes ~variant ?proto () -> Npb_bt.run ~nodes ~variant ?proto ());
+      run = (fun ~nodes ~variant ?config ?proto () -> Npb_bt.run ~nodes ~variant ?config ?proto ());
     };
     {
       name = "EP";
       descr = "NPB embarrassingly parallel kernel";
       conversion = Ep.conversion;
-      run = (fun ~nodes ~variant ?proto () -> Ep.run ~nodes ~variant ?proto ());
+      run = (fun ~nodes ~variant ?config ?proto () -> Ep.run ~nodes ~variant ?config ?proto ());
     };
     {
       name = "FT";
       descr = "NPB 3-D FFT";
       conversion = Npb_ft.conversion;
-      run = (fun ~nodes ~variant ?proto () -> Npb_ft.run ~nodes ~variant ?proto ());
+      run = (fun ~nodes ~variant ?config ?proto () -> Npb_ft.run ~nodes ~variant ?config ?proto ());
     };
     {
       name = "BLK";
       descr = "PARSEC blackscholes option pricing";
       conversion = Blk.conversion;
-      run = (fun ~nodes ~variant ?proto () -> Blk.run ~nodes ~variant ?proto ());
+      run = (fun ~nodes ~variant ?config ?proto () -> Blk.run ~nodes ~variant ?config ?proto ());
     };
     {
       name = "BFS";
       descr = "Polymer breadth-first search on an R-MAT graph";
       conversion = Bfs.conversion;
-      run = (fun ~nodes ~variant ?proto () -> Bfs.run ~nodes ~variant ?proto ());
+      run = (fun ~nodes ~variant ?config ?proto () -> Bfs.run ~nodes ~variant ?config ?proto ());
     };
     {
       name = "BP";
       descr = "Polymer belief propagation";
       conversion = Bp.conversion;
-      run = (fun ~nodes ~variant ?proto () -> Bp.run ~nodes ~variant ?proto ());
+      run = (fun ~nodes ~variant ?config ?proto () -> Bp.run ~nodes ~variant ?config ?proto ());
     };
   ]
 

@@ -7,6 +7,7 @@ type entry = {
   run :
     nodes:int ->
     variant:App_common.variant ->
+    ?config:Dex_core.Core_config.t ->
     ?proto:Dex_proto.Proto_config.t ->
     unit ->
     App_common.result;

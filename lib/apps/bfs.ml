@@ -235,5 +235,5 @@ let body p ctx main =
         plan);
   Int64.of_int (reference_level_sum p ~seed:ctx.A.seed)
 
-let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 31) () =
-  A.run_app ~name:"BFS" ~nodes ~variant ?proto ~seed (body params)
+let run ~nodes ~variant ?config ?proto ?(params = default_params) ?(seed = 31) () =
+  A.run_app ~name:"BFS" ~nodes ~variant ?config ?proto ~seed (body params)

@@ -36,6 +36,7 @@ val reference_level_sum : params -> seed:int -> int
 val run :
   nodes:int ->
   variant:App_common.variant ->
+  ?config:Dex_core.Core_config.t ->
   ?proto:Dex_proto.Proto_config.t ->
   ?params:params ->
   ?seed:int ->

@@ -98,5 +98,5 @@ let body p ctx main =
         done);
   A.checksum_of_float price_sum
 
-let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 19) () =
-  A.run_app ~name:"BLK" ~nodes ~variant ?proto ~seed (body params)
+let run ~nodes ~variant ?config ?proto ?(params = default_params) ?(seed = 19) () =
+  A.run_app ~name:"BLK" ~nodes ~variant ?config ?proto ~seed (body params)

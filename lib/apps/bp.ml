@@ -9,6 +9,7 @@ type params = {
   llc_bytes : int;
   miss_floor : float;
   flag_chunk : int;
+  globals_bytes : int;
 }
 
 let default_params =
@@ -20,6 +21,7 @@ let default_params =
     llc_bytes = 11 * 1024 * 1024;
     miss_floor = 0.42;
     flag_chunk = 1024;
+    globals_bytes = 0;
   }
 
 let conversion =
@@ -86,6 +88,31 @@ let body p ctx main =
     done;
     data_addr + !off
   in
+  (* Master-published globals (scheduling state, the running convergence
+     aggregate) plus the read-only model parameters every worker checks
+     each chunk. The Initial layout packs both into one block — so the
+     master's per-chunk publish invalidates every node's copy of the
+     parameters and the whole cluster re-faults them — while Optimized
+     gives the published word and the parameters their own pages (the
+     paper's "read-only parameters on their own pages" fix) and stages
+     the publish at iteration granularity. *)
+  let globals_addr, globals_len, delta_addr =
+    if p.globals_bytes = 0 then (0, 0, 0)
+    else if p.globals_bytes < 16 then
+      invalid_arg "bp: globals_bytes must be 0 or >= 16"
+    else if aligned then begin
+      let d = Process.memalign main ~align:4096 ~bytes:8 ~tag:"bp.delta" in
+      let prm =
+        Process.memalign main ~align:4096 ~bytes:(p.globals_bytes - 8)
+          ~tag:"bp.params"
+      in
+      (prm, p.globals_bytes - 8, d)
+    end
+    else begin
+      let g = Process.malloc main ~bytes:p.globals_bytes ~tag:"bp.globals" in
+      (g, p.globals_bytes, g)
+    end
+  in
   let flag_addr =
     if aligned then Process.memalign main ~align:4096 ~bytes:8 ~tag:"bp.flag"
     else Process.malloc main ~bytes:8 ~tag:"bp.flag"
@@ -124,20 +151,48 @@ let body p ctx main =
               ~bytes:
                 (int_of_float
                    (float_of_int (n * p.bytes_per_vertex * 2) *. miss_fraction));
+            if p.globals_bytes > 0 then begin
+              (* Check the model parameters and the master's running
+                 aggregate before the next chunk; the master republishes
+                 as it goes. *)
+              Process.read th ~site:"bp.globals_check" globals_addr
+                ~len:globals_len;
+              match ctx.A.variant with
+              | A.Baseline | A.Initial ->
+                  if i = 0 then
+                    Process.store th ~site:"bp.delta_publish" delta_addr 1L
+              | A.Optimized -> ()
+            end;
             (match ctx.A.variant with
             | A.Baseline | A.Initial ->
                 (* The sweep checks and sets the shared convergence flag
-                   as it goes. *)
-                Process.store th ~site:"bp.flag_update" flag_addr 1L
+                   as it goes; with the globals protocol configured,
+                   convergence flows through the master's aggregate and
+                   the flag is only set at iteration end. *)
+                if p.globals_bytes = 0 then
+                  Process.store th ~site:"bp.flag_update" flag_addr 1L
             | A.Optimized -> ());
             pos := !pos + n
           done;
           relax beliefs ~first ~count;
           Process.write th ~site:"bp.sweep_write" my_slab ~len:slab_bytes;
+          (* With the globals protocol, worker convergence flows through
+             the master's aggregate and only the master touches the
+             legacy flag — in every variant. *)
           (match ctx.A.variant with
           | A.Optimized ->
-              ignore (Process.fetch_add th ~site:"bp.flag_update" flag_addr 1L)
-          | A.Baseline | A.Initial -> ());
+              if p.globals_bytes = 0 then
+                ignore
+                  (Process.fetch_add th ~site:"bp.flag_update" flag_addr 1L)
+              else if i = 0 then begin
+                ignore
+                  (Process.fetch_add th ~site:"bp.flag_update" flag_addr 1L);
+                (* Iteration-staged publish onto its own page. *)
+                Process.store th ~site:"bp.delta_publish" delta_addr 1L
+              end
+          | A.Baseline | A.Initial ->
+              if p.globals_bytes > 0 && i = 0 then
+                Process.store th ~site:"bp.flag_update" flag_addr 1L);
           Sync.Barrier.await th barrier
         done
       end
@@ -147,5 +202,5 @@ let body p ctx main =
         done);
   A.checksum_of_float (reference_sum p ~seed:ctx.A.seed)
 
-let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 37) () =
-  A.run_app ~name:"BP" ~nodes ~variant ?proto ~seed (body params)
+let run ~nodes ~variant ?config ?proto ?(params = default_params) ?(seed = 37) () =
+  A.run_app ~name:"BP" ~nodes ~variant ?config ?proto ~seed (body params)

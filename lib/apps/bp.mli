@@ -20,6 +20,16 @@ type params = {
   llc_bytes : int;  (** per-node last-level cache *)
   miss_floor : float;  (** minimum DRAM traffic fraction *)
   flag_chunk : int;  (** Initial: vertices between flag updates *)
+  globals_bytes : int;
+      (** size of the master-published globals + read-only model
+          parameters block, checked by every worker each chunk (0 =
+          disabled, the default). [Initial] packs the published word and
+          the parameters into one malloc'd block, so each publish
+          invalidates every node's parameter copy; [Optimized] gives
+          each its own page and stages the publish per iteration, and
+          the per-chunk flag hammering moves to iteration end in both
+          (convergence flows through the aggregate). Must be 0 or
+          >= 16. *)
 }
 
 val default_params : params
@@ -32,6 +42,7 @@ val reference_sum : params -> seed:int -> float
 val run :
   nodes:int ->
   variant:App_common.variant ->
+  ?config:Dex_core.Core_config.t ->
   ?proto:Dex_proto.Proto_config.t ->
   ?params:params ->
   ?seed:int ->

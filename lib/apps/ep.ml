@@ -117,5 +117,5 @@ let body p ctx main =
   done;
   checksum final
 
-let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 17) () =
-  A.run_app ~name:"EP" ~nodes ~variant ?proto ~seed (body params)
+let run ~nodes ~variant ?config ?proto ?(params = default_params) ?(seed = 17) () =
+  A.run_app ~name:"EP" ~nodes ~variant ?config ?proto ~seed (body params)

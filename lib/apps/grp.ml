@@ -157,6 +157,6 @@ let body p positions ctx main =
       end);
   Process.load main total_addr
 
-let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 11) () =
+let run ~nodes ~variant ?config ?proto ?(params = default_params) ?(seed = 11) () =
   let positions = match_positions params ~seed in
-  A.run_app ~name:"GRP" ~nodes ~variant ?proto ~seed (body params positions)
+  A.run_app ~name:"GRP" ~nodes ~variant ?config ?proto ~seed (body params positions)

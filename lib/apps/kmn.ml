@@ -211,5 +211,5 @@ let body p ctx main =
       done);
   checksum_centers !centers
 
-let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 13) () =
-  A.run_app ~name:"KMN" ~nodes ~variant ?proto ~seed (body params)
+let run ~nodes ~variant ?config ?proto ?(params = default_params) ?(seed = 13) () =
+  A.run_app ~name:"KMN" ~nodes ~variant ?config ?proto ~seed (body params)

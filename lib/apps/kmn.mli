@@ -32,6 +32,7 @@ val reference_centers : params -> seed:int -> float array
 val run :
   nodes:int ->
   variant:App_common.variant ->
+  ?config:Dex_core.Core_config.t ->
   ?proto:Dex_proto.Proto_config.t ->
   ?params:params ->
   ?seed:int ->

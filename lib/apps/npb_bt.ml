@@ -184,5 +184,5 @@ let body p ctx main =
   done;
   A.checksum_of_float !residual
 
-let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 23) () =
-  A.run_app ~name:"BT" ~nodes ~variant ?proto ~seed (body params)
+let run ~nodes ~variant ?config ?proto ?(params = default_params) ?(seed = 23) () =
+  A.run_app ~name:"BT" ~nodes ~variant ?config ?proto ~seed (body params)

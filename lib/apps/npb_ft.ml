@@ -124,5 +124,5 @@ let body p ctx main =
   A.join_all workers;
   A.checksum_of_float (reference_checksum p ~seed:ctx.A.seed)
 
-let run ~nodes ~variant ?proto ?(params = default_params) ?(seed = 29) () =
-  A.run_app ~name:"FT" ~nodes ~variant ?proto ~seed (body params)
+let run ~nodes ~variant ?config ?proto ?(params = default_params) ?(seed = 29) () =
+  A.run_app ~name:"FT" ~nodes ~variant ?config ?proto ~seed (body params)

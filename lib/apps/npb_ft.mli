@@ -25,6 +25,7 @@ val reference_checksum : params -> seed:int -> float
 val run :
   nodes:int ->
   variant:App_common.variant ->
+  ?config:Dex_core.Core_config.t ->
   ?proto:Dex_proto.Proto_config.t ->
   ?params:params ->
   ?seed:int ->

@@ -77,6 +77,10 @@ type t = {
   mutable mig_log : migration_record list;  (* newest first *)
   mutable mmap_next : Page.addr;
   batch : batch_state;  (* delegation batching, per Core_config *)
+  mutable safepoint_hook : (thread -> unit) option;
+      (* run by threads at compute boundaries (cooperative preemption);
+         the placement autopilot's balancer checkpoint hangs here *)
+  mutable stopping : bool;  (* shutdown has drained the threads *)
 }
 
 and thread = {
@@ -590,9 +594,18 @@ let fetch_add th ?(site = "?") addr delta =
 (* ------------------------------------------------------------------ *)
 (* Compute.                                                            *)
 
+(* Compute boundaries are the natural safe points: the thread holds no
+   page lock and no delegated call is in flight, so a hook here may
+   migrate it. *)
+let safepoint th =
+  match th.proc.safepoint_hook with
+  | Some f when not (th.finished || th.crashed) -> f th
+  | _ -> ()
+
 let compute th ~ns =
   if ns < 0 then invalid_arg "Process.compute: negative duration";
-  Resource.Pool.use (Cluster.cores th.proc.cluster ~node:th.location) ns
+  Resource.Pool.use (Cluster.cores th.proc.cluster ~node:th.location) ns;
+  safepoint th
 
 let compute_membound th ~ns ~bytes =
   let pool = Cluster.cores th.proc.cluster ~node:th.location in
@@ -602,7 +615,8 @@ let compute_membound th ~ns ~bytes =
     (fun () ->
       if ns > 0 then Engine.delay (engine th.proc) ns;
       if bytes > 0 then
-        Membw.stream (Cluster.membw th.proc.cluster ~node:th.location) ~bytes)
+        Membw.stream (Cluster.membw th.proc.cluster ~node:th.location) ~bytes);
+  safepoint th
 
 (* ------------------------------------------------------------------ *)
 (* Futex (delegated).                                                  *)
@@ -626,7 +640,10 @@ let futex_wait th ~addr ~expected =
     else begin
       (* Atomic check-and-sleep: the value read below and the enqueue
          happen in the same engine event, so no wakeup can slip in
-         between. The home reads the word locally — its own shard. *)
+         between. The home reads the word locally — its own shard — so
+         the word's page must never be re-homed by the autopilot: pin it
+         (pulls authority back first if a re-home won the race). *)
+      Coherence.pin_page t.coh ~vpn:(Page.page_of_addr addr);
       let v =
         Coherence.load_i64 t.coh
           ~node:(Coherence.shard_home t.coh ~shard)
@@ -1358,6 +1375,8 @@ let create cluster ?(origin = 0) () =
           bpending = Hashtbl.create 32;
           batch_sizes = Histogram.create ();
         };
+      safepoint_hook = None;
+      stopping = false;
     }
   in
   (* Wire the replication logs into the protocol layer before any state is
@@ -1494,6 +1513,27 @@ let spawn t ?name:(thread_name = "worker") f =
 let join th =
   if not th.finished then Waitq.wait (engine th.proc) th.done_q
 
+let set_safepoint_hook t hook = t.safepoint_hook <- hook
+
+let set_periodic t ~interval f =
+  if interval <= 0 then invalid_arg "Process.set_periodic: bad interval";
+  Engine.spawn (engine t) ~label:"periodic" (fun () ->
+      let rec loop () =
+        Engine.delay (engine t) interval;
+        if not t.stopping then begin
+          f ();
+          loop ()
+        end
+      in
+      loop ())
+
+let live_threads t =
+  List.filter_map
+    (fun th ->
+      if th.finished || th.crashed then None else Some (th.tid, th.location))
+    t.threads
+  |> List.sort compare
+
 let shutdown t =
   (* Join every thread, including ones spawned while we were joining. *)
   let rec drain () =
@@ -1504,4 +1544,7 @@ let shutdown t =
     | None -> ()
   in
   drain ();
+  (* Periodic fibers (the autopilot tick) notice on their next wake and
+     exit, so the simulation still quiesces. *)
+  t.stopping <- true;
   broadcast_node_op t M.Process_exit

@@ -246,6 +246,29 @@ val file_close : thread -> fd:int -> unit
 val file_size : t -> string -> int option
 (** Size of a file, if it exists (host-side inspection). *)
 
+(** {1 Scheduler hooks}
+
+    Cooperative-preemption plumbing for an external scheduler (the
+    placement autopilot). Both default to absent/unused; a process that
+    never installs them behaves bit-identically. *)
+
+val set_safepoint_hook : t -> (thread -> unit) option -> unit
+(** Install a hook run by every thread at the end of each {!compute} /
+    {!compute_membound} call — a point where the thread holds no
+    protocol lock and no delegated call is in flight, so the hook may
+    {!migrate} it (the balancer's {!Dex_sched.Balancer.checkpoint}
+    hangs here). *)
+
+val set_periodic : t -> interval:Dex_sim.Time_ns.t -> (unit -> unit) -> unit
+(** Spawn a fiber running [f] every [interval] of simulated time until
+    {!shutdown} drains the process's threads ([f] is not called after
+    that, and the fiber exits — the simulation still quiesces). Raises
+    [Invalid_argument] on a non-positive interval. *)
+
+val live_threads : t -> (int * int) list
+(** [(tid, location)] of every thread still running (not finished, not
+    lost to a crash), sorted by tid. *)
+
 (** {1 Lifecycle} *)
 
 val shutdown : t -> unit

@@ -52,7 +52,9 @@ let contended_pages events =
     (fun page (n, lat_sum) acc ->
       (page, n, float_of_int lat_sum /. float_of_int n) :: acc)
     tbl []
-  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  (* Count descending, page address as the tie-break: ties must not come
+     out in Hashtbl.fold order on a deterministic simulator. *)
+  |> List.sort (fun (pa, a, _) (pb, b, _) -> compare (b, pa) (a, pb))
 
 let sharing_matrix events =
   let tbl = Hashtbl.create 32 in
@@ -67,8 +69,118 @@ let sharing_matrix events =
   Hashtbl.fold
     (fun page nodes acc -> (page, List.sort compare nodes) :: acc)
     tbl []
-  |> List.sort (fun (_, a) (_, b) ->
-         compare (List.length b) (List.length a))
+  |> List.sort (fun (pa, a) (pb, b) ->
+         compare (List.length b, pa) (List.length a, pb))
+
+(* ------------------------------------------------------------------ *)
+(* Windowed per-page traffic for the placement autopilot: who reads,
+   who writes, and how often exclusive ownership flips between nodes. *)
+
+let window ~now ~width events =
+  List.filter (fun e -> e.FE.time > now - width) events
+
+type page_traffic = {
+  pt_addr : Dex_mem.Page.addr;
+  pt_reads : int;
+  pt_writes : int;
+  pt_readers : (int * int) list;
+  pt_writers : (int * int) list;
+  pt_threads : ((int * int) * int) list;
+  pt_flips : int;
+}
+
+type page_class =
+  | Ping_pong of { dominant : int }
+  | False_shared of { nodes : int list }
+  | Read_mostly of { readers : int list }
+  | Quiet
+
+let page_traffic events =
+  let module Tbl = Hashtbl in
+  let tbl = Tbl.create 32 in
+  let bump t k =
+    Tbl.replace t k (1 + Option.value (Tbl.find_opt t k) ~default:0)
+  in
+  let state addr =
+    match Tbl.find_opt tbl addr with
+    | Some s -> s
+    | None ->
+        let s =
+          ( ref 0, ref 0, Tbl.create 4, Tbl.create 4, Tbl.create 8,
+            ref 0, ref (-1) )
+        in
+        Tbl.replace tbl addr s;
+        s
+  in
+  (* Oldest-first order matters: flips count transitions of the faulting
+     writer node over time. *)
+  List.iter
+    (fun e ->
+      if is_fault e then begin
+        let reads, writes, rtbl, wtbl, ttbl, flips, last_writer =
+          state e.FE.addr
+        in
+        bump ttbl (e.FE.node, e.FE.tid);
+        match e.FE.kind with
+        | FE.Write ->
+            incr writes;
+            bump wtbl e.FE.node;
+            if !last_writer >= 0 && !last_writer <> e.FE.node then incr flips;
+            last_writer := e.FE.node
+        | FE.Read ->
+            incr reads;
+            bump rtbl e.FE.node
+        | FE.Invalidation -> ()
+      end)
+    events;
+  Tbl.fold
+    (fun addr (reads, writes, rtbl, wtbl, ttbl, flips, _) acc ->
+      {
+        pt_addr = addr;
+        pt_reads = !reads;
+        pt_writes = !writes;
+        pt_readers =
+          descending (Tbl.fold (fun k v l -> (k, v) :: l) rtbl []);
+        pt_writers =
+          descending (Tbl.fold (fun k v l -> (k, v) :: l) wtbl []);
+        pt_threads =
+          descending (Tbl.fold (fun k v l -> (k, v) :: l) ttbl []);
+        pt_flips = !flips;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         compare
+           (b.pt_reads + b.pt_writes, a.pt_addr)
+           (a.pt_reads + a.pt_writes, b.pt_addr))
+
+let classify ?(min_faults = 8) pt =
+  let faults = pt.pt_reads + pt.pt_writes in
+  if faults < min_faults then Quiet
+  else
+    match pt.pt_writers with
+    | [] | [ _ ] ->
+        (* Only fault leaders emit events: after each write grant, at
+           most one read re-fault per invalidated node shows up (the
+           followers it stalls coalesce silently). So even maximal
+           re-read pressure caps the observable read:write ratio at
+           [reader nodes]:1, and a 4x floor could never fire on small
+           clusters — 2x is the strongest ratio a 3-reader cluster can
+           exhibit while still filtering write-heavy pages out. *)
+        let readers = List.map fst pt.pt_readers in
+        if
+          List.length readers >= 2
+          && pt.pt_writes * 2 <= pt.pt_reads
+        then Read_mostly { readers = List.sort compare readers }
+        else Quiet
+    | (dominant, _) :: _ :: _ as writers ->
+        (* ≥2 writer nodes: a page whose write stream mostly alternates
+           between nodes is ping-ponging its exclusive owner; otherwise
+           it is plain RW false sharing. [pt_writers] is already sorted
+           count-descending with node tie-break, so [dominant] is the
+           heaviest (lowest-numbered on ties) faulting writer. *)
+        if pt.pt_flips * 2 >= pt.pt_writes then Ping_pong { dominant }
+        else False_shared { nodes = List.sort compare (List.map fst writers) }
 
 let mean_latency events =
   let n = ref 0 and sum = ref 0 in

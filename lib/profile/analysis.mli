@@ -41,6 +41,52 @@ val sharing_matrix : event list -> (Dex_mem.Page.addr * int list) list
     (the "contention matrix" of the toolchain). Sorted by sharer count,
     descending. *)
 
+val window :
+  now:Dex_sim.Time_ns.t -> width:Dex_sim.Time_ns.t -> event list -> event list
+(** Events with [time > now - width] — the recent slice a periodic
+    controller analyzes each tick. *)
+
+type page_traffic = {
+  pt_addr : Dex_mem.Page.addr;
+  pt_reads : int;  (** read faults on the page in the window *)
+  pt_writes : int;  (** write faults on the page in the window *)
+  pt_readers : (int * int) list;
+      (** (node, read faults), count descending with node tie-break *)
+  pt_writers : (int * int) list;
+      (** (node, write faults), count descending with node tie-break *)
+  pt_threads : ((int * int) * int) list;
+      (** ((node, tid), faults), count descending with key tie-break *)
+  pt_flips : int;
+      (** write faults whose faulting node differs from the previous
+          write fault's node — the ownership ping-pong count *)
+}
+
+type page_class =
+  | Ping_pong of { dominant : int }
+      (** exclusive ownership alternates between ≥2 writer nodes;
+          [dominant] is the heaviest-faulting writer (lowest node on
+          ties) — the re-homing target *)
+  | False_shared of { nodes : int list }
+      (** written from ≥2 nodes without a strongly alternating owner
+          stream; [nodes] sorted ascending *)
+  | Read_mostly of { readers : int list }
+      (** ≥2 reader nodes and at least 2x more read than write faults;
+          [readers] sorted ascending — the replication candidates. The
+          floor is 2x, not higher, because only fault leaders emit
+          events: each write grant surfaces at most one read re-fault
+          per invalidated node, so observable ratios are capped at
+          [reader nodes]:1 no matter how read-hot the page is *)
+  | Quiet  (** below the fault floor, or single-node traffic *)
+
+val page_traffic : event list -> page_traffic list
+(** Per-page fault traffic over the given events (oldest first), sorted
+    by total faults descending with page-address tie-break.
+    Invalidation events are ignored. *)
+
+val classify : ?min_faults:int -> page_traffic -> page_class
+(** Deterministic signal classification for the autopilot; pages with
+    fewer than [min_faults] (default 8) faults are [Quiet]. *)
+
 val mean_latency : event list -> float
 (** Mean fault-handling latency in nanoseconds (invalidations excluded). *)
 

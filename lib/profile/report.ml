@@ -67,6 +67,27 @@ let pp_crash fmt stats =
       (get "crash.escalations")
       (get "crash.grants_refused")
 
+(* Placement-autopilot digest from the protocol's counters: what the
+   profiling loop observed and did. Silent unless an autopilot ticked. *)
+let pp_autopilot fmt stats =
+  let get = Dex_sim.Stats.get stats in
+  if get "autopilot.ticks" > 0 then
+    Format.fprintf fmt
+      "autopilot: ticks=%d colocations=%d rehomes=%d busy=%d redirects=%d \
+       resteers=%d mirrors=%d fallbacks=%d | replicate: marked=%d pushes=%d \
+       declined=%d@."
+      (get "autopilot.ticks")
+      (get "autopilot.colocations")
+      (get "autopilot.rehomes")
+      (get "autopilot.rehome_busy")
+      (get "autopilot.redirects")
+      (get "autopilot.resteers")
+      (get "autopilot.mirrors")
+      (get "autopilot.fallbacks")
+      (get "autopilot.replicate_marked")
+      (get "autopilot.replica_pushes")
+      (get "autopilot.push_declined")
+
 (* Delegation-batching digest from the process counters: how much of the
    syscall delegation traffic coalesced, how the flushes triggered, and
    the batch-size distribution (plain counts, not latencies). Silent
@@ -175,6 +196,7 @@ let pp_summary ?alloc ?stats ?net fmt events =
   Option.iter (pp_chaos fmt) net;
   Option.iter (pp_crash fmt) stats;
   Option.iter (pp_shard fmt) stats;
+  Option.iter (pp_autopilot fmt) stats;
   pp_ranked fmt "hottest fault sites" s.Analysis.hottest_sites
     (fun fmt k -> Format.pp_print_string fmt k);
   pp_ranked fmt "hottest objects" s.Analysis.hottest_objects (fun fmt k ->

@@ -28,6 +28,14 @@ val pp_crash : Format.formatter -> Dex_sim.Stats.t -> unit
     ({!Dex_proto.Coherence.stats}); prints nothing when no node crashed.
     Included in {!pp_summary} automatically when [stats] is passed. *)
 
+val pp_autopilot : Format.formatter -> Dex_sim.Stats.t -> unit
+(** Placement-autopilot digest from the protocol's [autopilot.*] counters
+    ({!Dex_proto.Coherence.stats}): profiling ticks, thread co-locations,
+    page re-homes (with the busy/redirect/re-steer/mirror/fallback
+    traffic they caused) and replicate-don't-invalidate activity. Prints
+    nothing when no autopilot ticked. Included in {!pp_summary}
+    automatically when [stats] is passed. *)
+
 val pp_delegation :
   ?batch_sizes:Dex_sim.Histogram.t ->
   Format.formatter ->

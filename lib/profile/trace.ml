@@ -1,43 +1,63 @@
 type t = {
   coh : Dex_proto.Coherence.t;
-  mutable events : Dex_proto.Fault_event.t list;  (* newest first *)
-  mutable count : int;
+  capacity : int option;
+  q : Dex_proto.Fault_event.t Queue.t;  (* oldest first *)
+  mutable dropped : int;
 }
 
-let attach coh =
-  let t = { coh; events = []; count = 0 } in
+let attach ?capacity coh =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.attach: capacity must be positive"
+  | _ -> ());
+  let t = { coh; capacity; q = Queue.create (); dropped = 0 } in
   Dex_proto.Coherence.set_tracer coh
     (Some
        (fun e ->
-         t.events <- e :: t.events;
-         t.count <- t.count + 1));
+         (match t.capacity with
+         | Some cap when Queue.length t.q >= cap ->
+             (* Ring semantics: evict the oldest event to admit the new
+                one, so an always-on tracer holds at most [cap] events. *)
+             ignore (Queue.pop t.q);
+             t.dropped <- t.dropped + 1;
+             Dex_sim.Stats.incr (Dex_proto.Coherence.stats coh) "trace.dropped"
+         | _ -> ());
+         Queue.push e t.q));
   t
 
 let detach t = Dex_proto.Coherence.set_tracer t.coh None
 
-let events t = List.rev t.events
+let events t = List.of_seq (Queue.to_seq t.q)
 
-let count t = t.count
+let count t = Queue.length t.q
 
-let clear t =
-  t.events <- [];
-  t.count <- 0
+let dropped t = t.dropped
+
+let clear t = Queue.clear t.q
 
 let kind_name = function
   | Dex_proto.Fault_event.Read -> "R"
   | Dex_proto.Fault_event.Write -> "W"
   | Dex_proto.Fault_event.Invalidation -> "I"
 
+(* RFC-4180 quoting: a field containing a separator, quote or line break
+   is wrapped in double quotes, with embedded quotes doubled. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "time_ns,node,tid,kind,site,addr,latency_ns,retries\n";
-  List.iter
+  Queue.iter
     (fun e ->
       let open Dex_proto.Fault_event in
       Buffer.add_string buf
         (Printf.sprintf "%d,%d,%d,%s,%s,%#x,%d,%d\n" e.time e.node e.tid
-           (kind_name e.kind) e.site e.addr e.latency e.retries))
-    (events t);
+           (kind_name e.kind) (csv_field e.site) e.addr e.latency e.retries))
+    t.q;
   Buffer.contents buf
 
 let save_csv t path =

@@ -66,6 +66,31 @@ type t = {
       (* per-node handler occupancy when [serial_home_service] is on:
          requests at one home queue behind each other instead of
          overlapping (1 "byte" = 1 ns of handler time) *)
+  rehomed : (Page.vpn, int) Hashtbl.t;
+      (* vpn -> the node the autopilot re-homed the page's authority to;
+         absent = the page resolves at its static shard home *)
+  rehome_dirs : Directory.t array;
+      (* node -> directory of the pages re-homed TO that node; entries
+         move here out of the shard directory and back on fallback *)
+  page_view : (Page.vpn, int) Hashtbl.t array;
+      (* per node: where that node steers faults for re-homed pages —
+         the per-page overlay on home_view, taught by the re-home
+         broadcast and corrected in-band by Page_redirect *)
+  mutable rehome_used : bool;
+      (* monotone: set by the first rehome_page. While false,
+         mis-addressed page requests keep their historical failwith, so a
+         build that never re-homes is bit-identical to one without the
+         autopilot. *)
+  replicate_hint : (Page.vpn, unit) Hashtbl.t;
+      (* pages marked replicate-don't-invalidate by the autopilot *)
+  push_subs : (Page.vpn, int list) Hashtbl.t;
+      (* marked page -> readers invalidated by the last write grant, owed
+         an unsolicited copy when the page next returns to Shared *)
+  pinned : (Page.vpn, unit) Hashtbl.t;
+      (* pages that must stay at their static shard home: the futex
+         layer's check-and-sleep is only atomic when the word's home can
+         read it without simulation events, so futex-word pages pin
+         themselves and rehome_page refuses them *)
 }
 
 let shard_of t vpn =
@@ -88,6 +113,29 @@ let shards_homed_at t node =
   done;
   !acc
 
+(* The node a page's protocol operations resolve at right now: the
+   autopilot's re-home target when one is set, the static shard home
+   otherwise. With no re-homes this IS home_of. *)
+let page_home t vpn =
+  match Hashtbl.find_opt t.rehomed vpn with
+  | Some node -> node
+  | None -> t.homes.(shard_of t vpn)
+
+(* The directory entry authoritative for a page: the re-home target's
+   overlay directory for re-homed pages, the shard directory otherwise. *)
+let page_dir t vpn =
+  match Hashtbl.find_opt t.rehomed vpn with
+  | Some node -> t.rehome_dirs.(node)
+  | None -> t.dirs.(shard_of t vpn)
+
+let page_directory = page_dir
+let rehomed_pages t =
+  Hashtbl.fold (fun vpn node acc -> (vpn, node) :: acc) t.rehomed []
+  |> List.sort compare
+
+let replicate_marked t vpn = Hashtbl.mem t.replicate_hint vpn
+let pinned_page t vpn = Hashtbl.mem t.pinned vpn
+
 (* --- fail-stop reclaim ---------------------------------------------- *)
 
 (* Scrub a dead node out of one shard's ownership metadata. Runs
@@ -97,9 +145,7 @@ let shards_homed_at t node =
    re-checks the requester's liveness and filters dead nodes out of the
    membership it installs, so the scrub can never be undone by an
    in-flight grant. *)
-let scrub_shard t ~shard ~node =
-  let dir = t.dirs.(shard) in
-  let home = t.homes.(shard) in
+let scrub_dir t ~dir ~home ~node =
   (* Snapshot first: the scrub mutates the directory while iterating. *)
   let entries = ref [] in
   Directory.iter dir (fun vpn state -> entries := (vpn, state) :: !entries);
@@ -124,6 +170,73 @@ let scrub_shard t ~shard ~node =
           end)
     !entries
 
+let scrub_shard t ~shard ~node =
+  scrub_dir t ~dir:t.dirs.(shard) ~home:t.homes.(shard) ~node
+
+(* Undo every autopilot re-home whose target just died: the authority of
+   each affected page falls back to its static shard home, with the entry
+   rebuilt from the surviving PTEs — a live writer keeps exclusivity, live
+   readers keep a Shared set, and a page nobody else holds reverts to
+   implicit exclusive-at-home (its staging copy was kept fresh by the
+   grant-path mirror, so nothing observed is lost — the same
+   linearizability argument as scrub_dir). Runs synchronously from the
+   failure declaration, before requesters retry. *)
+let rehome_fallback t ~node =
+  let victims =
+    Hashtbl.fold
+      (fun vpn target acc -> if target = node then vpn :: acc else acc)
+      t.rehomed []
+    |> List.sort compare
+  in
+  if victims <> [] then begin
+    (* The dead target's overlay directory is unreachable hardware now,
+       busy flags included — zombie grant fibers there unwind against the
+       discarded object. *)
+    t.rehome_dirs.(node) <- Directory.create ~origin:node;
+    List.iter
+      (fun vpn ->
+        Hashtbl.remove t.rehomed vpn;
+        let dir = t.dirs.(shard_of t vpn) in
+        let writer = ref None in
+        let readers = ref [] in
+        Array.iteri
+          (fun n pt ->
+            if n <> node && not (Fabric.crash_detected t.fabric ~node:n) then
+              match Page_table.get pt vpn with
+              | Some Perm.Write -> writer := Some n
+              | Some Perm.Read -> readers := n :: !readers
+              | None -> ())
+          t.ptables;
+        (match (!writer, !readers) with
+        | Some w, _ -> Directory.set_exclusive dir vpn w
+        | None, (_ :: _ as rs) ->
+            Directory.set_shared dir vpn (Node_set.of_list rs)
+        | None, [] -> ());
+        Stats.incr t.stats "autopilot.fallbacks")
+      victims
+  end;
+  (* Every node's steers towards the dead target are stale now; requests
+     racing this cleanup are corrected in-band (Unreachable / redirect). *)
+  Array.iter
+    (fun view ->
+      let stale =
+        Hashtbl.fold
+          (fun vpn target acc -> if target = node then vpn :: acc else acc)
+          view []
+      in
+      List.iter (Hashtbl.remove view) stale)
+    t.page_view
+
+(* Re-home metadata repair for a dead node: pages re-homed TO it fall
+   back, and it is scrubbed out of every other overlay directory. A no-op
+   (no stats, no events) when the autopilot never re-homed anything. *)
+let scrub_rehomes t ~node =
+  rehome_fallback t ~node;
+  Array.iteri
+    (fun target dir ->
+      if target <> node then scrub_dir t ~dir ~home:target ~node)
+    t.rehome_dirs
+
 let reclaim_node t ~node =
   (match shards_homed_at t node with
   | [] -> ()
@@ -139,6 +252,7 @@ let reclaim_node t ~node =
   for shard = 0 to t.nshards - 1 do
     scrub_shard t ~shard ~node
   done;
+  scrub_rehomes t ~node;
   (* Wholesale amnesia on the dead node's local state: its page tables and
      store are unreachable hardware now. Its fault table is deliberately
      NOT dropped: leader fibers still parked there unwind through the
@@ -159,7 +273,13 @@ let partial_scrub t ~node =
   let homed = shards_homed_at t node in
   for shard = 0 to t.nshards - 1 do
     if not (List.mem shard homed) then scrub_shard t ~shard ~node
-  done
+  done;
+  (* Re-homed pages are NOT replicated (their authority left the shard
+     directory, and the observer with it): pages re-homed to the dead
+     node fall back here even when its homed shards take the promotion
+     path, and pages re-homed elsewhere keep serving through their live
+     overlay directories. *)
+  scrub_rehomes t ~node
 
 let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
     =
@@ -210,6 +330,13 @@ let create ?(cfg = Proto_config.default) ?(seed = 1) ?(pid = 0) fabric ~origin
              (Array.init n (fun _ ->
                   Resource.Server.create engine ~bytes_per_us:1000.0))
          else None);
+      rehomed = Hashtbl.create 16;
+      rehome_dirs = Array.init n (fun node -> Directory.create ~origin:node);
+      page_view = Array.init n (fun _ -> Hashtbl.create 16);
+      rehome_used = false;
+      replicate_hint = Hashtbl.create 16;
+      push_subs = Hashtbl.create 16;
+      pinned = Hashtbl.create 16;
     }
   in
   if nshards > 1 then Stats.add t.stats "shard.homes" nshards;
@@ -367,7 +494,7 @@ let crash_escalate t ~src ~target =
    [want_data] and the target had it materialized. Crash-safe: a target
    already declared dead is skipped, one that dies mid-revocation is
    escalated — either way the revocation counts as acked without data. *)
-let revoke_rpc t ~shard ~target ~vpn ~mode ~want_data =
+let revoke_rpc t ~shard ~home ~target ~vpn ~mode ~want_data =
   if Fabric.crash_detected t.fabric ~node:target then begin
     Stats.incr t.stats "crash.revokes_skipped";
     None
@@ -377,7 +504,7 @@ let revoke_rpc t ~shard ~target ~vpn ~mode ~want_data =
       (match mode with
       | Messages.Invalidate -> "revoke.invalidate"
       | Messages.Downgrade -> "revoke.downgrade");
-    let src = t.homes.(shard) in
+    let src = home in
     match
       Fabric.call t.fabric ~src ~dst:target ~kind:Messages.kind_revoke
         ~size:t.cfg.Proto_config.ctl_msg_size
@@ -395,14 +522,14 @@ let revoke_rpc t ~shard ~target ~vpn ~mode ~want_data =
    at [target] (batched grants would otherwise pay one RPC per (page,
    victim) pair). The victim charges a single invalidate-handler entry for
    the batch — that amortization is the point. *)
-let revoke_batch_rpc t ~shard ~target ~vpns =
+let revoke_batch_rpc t ~shard ~home ~target ~vpns =
   if Fabric.crash_detected t.fabric ~node:target then
     Stats.incr t.stats "crash.revokes_skipped"
   else begin
     Stats.incr t.stats "revoke.batch";
     Stats.add t.stats "revoke.batch_pages" (List.length vpns);
     Stats.add t.stats "revoke.invalidate" (List.length vpns);
-    let src = t.homes.(shard) in
+    let src = home in
     match
       Fabric.call t.fabric ~src ~dst:target
         ~kind:Messages.kind_invalidate_batch
@@ -424,21 +551,40 @@ let revoke_batch_rpc t ~shard ~target ~vpns =
    store is never dropped: it is the staging copy that grants snapshot
    from, and every flow that could leave it stale re-installs fresh data
    (reclaim_from_owner) before the next snapshot. *)
-let revoke_local t ~shard ~vpn ~mode =
+let revoke_local t ~home ~vpn ~mode =
   match mode with
-  | Messages.Invalidate -> Page_table.invalidate t.ptables.(t.homes.(shard)) vpn
-  | Messages.Downgrade -> Page_table.downgrade t.ptables.(t.homes.(shard)) vpn
+  | Messages.Invalidate -> Page_table.invalidate t.ptables.(home) vpn
+  | Messages.Downgrade -> Page_table.downgrade t.ptables.(home) vpn
 
 (* Revoke [vpn] from every node in [targets] in parallel, joining before
    returning. Used to invalidate all readers ahead of a write grant. *)
-let revoke_parallel t ~shard targets ~vpn =
+let revoke_parallel t ~shard ~home targets ~vpn =
   fanout t ~label:"revoke"
     (List.map
        (fun target () ->
          ignore
-           (revoke_rpc t ~shard ~target ~vpn ~mode:Messages.Invalidate
+           (revoke_rpc t ~shard ~home ~target ~vpn ~mode:Messages.Invalidate
               ~want_data:false))
        targets)
+
+(* Ship a re-homed page's current bytes back to its static shard home,
+   keeping the staging copy there fresh: crash fallback rebuilds the entry
+   at the shard home, whose store must cover everything any survivor has
+   observed. Called exactly when the dynamic home externalizes data, so
+   home-local traffic on a re-homed page stays message-free. *)
+let mirror_to_static t ~src ~vpn data =
+  let dst = t.homes.(shard_of t vpn) in
+  if src <> dst && not (Fabric.crash_detected t.fabric ~node:dst) then begin
+    Stats.incr t.stats "autopilot.mirrors";
+    match
+      Fabric.call t.fabric ~src ~dst ~kind:Messages.kind_page_sync
+        ~size:t.cfg.Proto_config.page_msg_size
+        (Messages.Page_sync { pid = t.pid; vpn; data })
+    with
+    | Messages.Page_sync_ack _ -> ()
+    | _ -> failwith "Coherence: unexpected sync reply"
+    | exception Fabric.Unreachable _ -> crash_escalate t ~src ~target:dst
+  end
 
 (* Pull fresh page data back to the home from the current exclusive
    owner, downgrading or invalidating its copy.
@@ -450,34 +596,35 @@ let revoke_parallel t ~shard targets ~vpn =
    un-failover-able window — a home crash in it would roll the page
    back to the last replicated image even in `Sync mode. The page stays
    directory-locked throughout, so no write can sneak into the gap. *)
-let reclaim_from_owner t ~shard ~owner ~vpn ~mode =
-  let home = t.homes.(shard) in
-  if owner = home then revoke_local t ~shard ~vpn ~mode
+let reclaim_from_owner t ~shard ~home ~owner ~vpn ~mode =
+  if owner = home then revoke_local t ~home ~vpn ~mode
   else begin
     let two_phase = t.barrier <> None && mode = Messages.Invalidate in
     let first = if two_phase then Messages.Downgrade else mode in
     let data =
-      revoke_rpc t ~shard ~target:owner ~vpn ~mode:first ~want_data:true
+      revoke_rpc t ~shard ~home ~target:owner ~vpn ~mode:first ~want_data:true
     in
     Option.iter
       (fun d ->
         Page_store.install t.stores.(home) vpn d;
+        (* Re-homed page: refresh the static staging copy before the HA
+           hook snapshots it, so the log never ships stale bytes. *)
+        if home <> t.homes.(shard) then mirror_to_static t ~src:home ~vpn d;
         origin_store_mutated t vpn)
       data;
     if two_phase then begin
       Stats.incr t.stats "ha.two_phase_reclaims";
       commit_fence t ~shard;
       ignore
-        (revoke_rpc t ~shard ~target:owner ~vpn ~mode:Messages.Invalidate
+        (revoke_rpc t ~shard ~home ~target:owner ~vpn ~mode:Messages.Invalidate
            ~want_data:false)
     end
   end
 
-(* The core ownership transition. Must run at the shard's home; may block
-   on revocations. Returns [`Nack] when the page is busy. *)
-let requester_gone t ~shard ~requester =
-  requester <> t.homes.(shard)
-  && Fabric.crash_detected t.fabric ~node:requester
+(* The core ownership transition. Must run at the page's serving home; may
+   block on revocations. Returns [`Nack] when the page is busy. *)
+let requester_gone t ~home ~requester =
+  requester <> home && Fabric.crash_detected t.fabric ~node:requester
 
 (* Drop freshly-declared-dead nodes from a membership about to be
    installed: a revocation inside the current fan-out may have escalated
@@ -488,18 +635,90 @@ let live_set t nodes =
 
 (* Per-shard load accounting, live only when sharding is on: grants served
    at the home for requesters co-located with it vs remote ones. *)
-let note_shard_grant t ~shard ~requester =
+let note_shard_grant t ~shard ~home ~requester =
   if t.nshards > 1 then begin
     t.shard_grants.(shard) <- t.shard_grants.(shard) + 1;
     Stats.incr t.stats
-      (if requester = t.homes.(shard) then "shard.local_grants"
+      (if requester = home then "shard.local_grants"
        else "shard.remote_grants")
   end
 
-let origin_grant t ~shard ~requester ~vpn ~access =
-  let dir = t.dirs.(shard) in
-  let home = t.homes.(shard) in
-  if requester_gone t ~shard ~requester then begin
+(* Subscriber bookkeeping for replicate-marked pages: remember the readers
+   a write grant just invalidated, so the next read grant can push copies
+   back instead of letting each one re-fault. One Hashtbl probe on the
+   unmarked path. *)
+let note_push_subs t ~vpn nodes =
+  if nodes <> [] && Hashtbl.mem t.replicate_hint vpn then begin
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.push_subs vpn) in
+    Hashtbl.replace t.push_subs vpn (List.sort_uniq compare (nodes @ prev))
+  end
+
+(* Push unsolicited read copies of a replicate-marked page to the readers
+   its last write grant displaced. Runs under the page's directory lock,
+   right after a read grant returned the page to [Shared] — the home's
+   staging copy is fresh at exactly that point. Victims may decline (local
+   fault in flight, in-flight batch, stale epoch); the accepted ones join
+   the Shared set so the next write revokes them normally. *)
+let push_replicas t ~shard ~home ~dir ~vpn ~requester =
+  match Hashtbl.find_opt t.push_subs vpn with
+  | None -> ()
+  | Some subs -> (
+      Hashtbl.remove t.push_subs vpn;
+      match Directory.state dir vpn with
+      | Directory.Exclusive _ -> ()
+      | Directory.Shared readers ->
+          let targets =
+            List.filter
+              (fun n ->
+                n <> home && n <> requester
+                && (not (Node_set.mem readers n))
+                && not (Fabric.crash_detected t.fabric ~node:n))
+              subs
+          in
+          if targets <> [] then begin
+            let data = snapshot_if_materialized t.stores.(home) vpn in
+            let accepted = ref [] in
+            fanout t ~label:"push"
+              (List.map
+                 (fun target () ->
+                   match
+                     Fabric.call t.fabric ~src:home ~dst:target
+                       ~kind:Messages.kind_page_push
+                       ~size:t.cfg.Proto_config.page_msg_size
+                       (Messages.Page_push
+                          {
+                            pid = t.pid;
+                            vpn;
+                            data;
+                            epoch = t.epochs.(shard);
+                          })
+                   with
+                   | Messages.Page_push_ack { accepted = ok; _ } ->
+                       if ok then accepted := target :: !accepted
+                       else Stats.incr t.stats "autopilot.push_declined"
+                   | _ -> failwith "Coherence: unexpected push reply"
+                   | exception Fabric.Unreachable _ ->
+                       (* Best-effort: a push is only a hint, never worth
+                          an escalation. *)
+                       Stats.incr t.stats "autopilot.push_declined")
+                 targets);
+            let live =
+              List.filter
+                (fun n -> not (Fabric.crash_detected t.fabric ~node:n))
+                !accepted
+            in
+            if live <> [] then begin
+              Stats.add t.stats "autopilot.replica_pushes" (List.length live);
+              match Directory.state dir vpn with
+              | Directory.Shared rs ->
+                  Directory.set_shared dir vpn
+                    (Node_set.of_list (live @ Node_set.to_list rs))
+              | Directory.Exclusive _ -> ()
+            end
+          end)
+
+let origin_grant t ~shard ~home ~dir ~requester ~vpn ~access =
+  if requester_gone t ~home ~requester then begin
     (* The requester died between sending the request and being serviced:
        granting would hand a page to a ghost and leave it dangling in the
        directory forever. *)
@@ -507,6 +726,15 @@ let origin_grant t ~shard ~requester ~vpn ~access =
     `Nack
   end
   else if not (Directory.try_lock dir vpn) then begin
+    Stats.incr t.stats "grant.nack";
+    `Nack
+  end
+  else if page_dir t vpn != dir then begin
+    (* The page's authority moved (re-home or fallback) between dispatch
+       and lock: this directory no longer speaks for it, and the lock just
+       taken may even have auto-created a fresh entry here. Drop the bogus
+       entry wholesale and NACK — the requester's retry re-steers. *)
+    Directory.forget dir vpn;
     Stats.incr t.stats "grant.nack";
     `Nack
   end
@@ -526,7 +754,8 @@ let origin_grant t ~shard ~requester ~vpn ~access =
         (match (access, Directory.state dir vpn) with
         | Perm.Read, Directory.Exclusive owner when owner = requester -> ()
         | Perm.Read, Directory.Exclusive owner ->
-            reclaim_from_owner t ~shard ~owner ~vpn ~mode:Messages.Downgrade;
+            reclaim_from_owner t ~shard ~home ~owner ~vpn
+              ~mode:Messages.Downgrade;
             (* The home mediated the transfer, so it now holds a valid
                copy alongside the old owner and the requester. *)
             Directory.set_shared dir vpn
@@ -535,7 +764,9 @@ let origin_grant t ~shard ~requester ~vpn ~access =
             Directory.add_reader dir vpn requester
         | Perm.Write, Directory.Exclusive owner when owner = requester -> ()
         | Perm.Write, Directory.Exclusive owner ->
-            reclaim_from_owner t ~shard ~owner ~vpn ~mode:Messages.Invalidate;
+            reclaim_from_owner t ~shard ~home ~owner ~vpn
+              ~mode:Messages.Invalidate;
+            note_push_subs t ~vpn [ owner ];
             Directory.set_exclusive dir vpn requester
         | Perm.Write, Directory.Shared readers ->
             let victims =
@@ -543,11 +774,26 @@ let origin_grant t ~shard ~requester ~vpn ~access =
                 (fun n -> n <> requester && n <> home)
                 (Node_set.to_list readers)
             in
-            revoke_parallel t ~shard victims ~vpn;
+            revoke_parallel t ~shard ~home victims ~vpn;
             if Node_set.mem readers home && requester <> home then
-              revoke_local t ~shard ~vpn ~mode:Messages.Invalidate;
+              revoke_local t ~home ~vpn ~mode:Messages.Invalidate;
+            note_push_subs t ~vpn victims;
             Directory.set_exclusive dir vpn requester);
-        if requester_gone t ~shard ~requester then begin
+        let wire_data =
+          ((not had_copy) || not t.cfg.Proto_config.grant_without_data)
+          && requester <> home
+        in
+        let data =
+          if wire_data then snapshot_if_materialized t.stores.(home) vpn
+          else None
+        in
+        (* Both extras below can block; they run before the ghost re-check
+           so a requester dying under them is still caught. *)
+        if home <> t.homes.(shard) then
+          Option.iter (fun d -> mirror_to_static t ~src:home ~vpn d) data;
+        if access = Perm.Read then
+          push_replicas t ~shard ~home ~dir ~vpn ~requester;
+        if requester_gone t ~home ~requester then begin
           (* The requester's failure was declared while we were blocked in
              the fan-out, i.e. after the reclaim pass already scrubbed the
              directory; the transition just applied may have reintroduced
@@ -564,17 +810,9 @@ let origin_grant t ~shard ~requester ~vpn ~access =
           `Nack
         end
         else begin
-          let wire_data =
-            ((not had_copy) || not t.cfg.Proto_config.grant_without_data)
-            && requester <> home
-          in
-          let data =
-            if wire_data then snapshot_if_materialized t.stores.(home) vpn
-            else None
-          in
           Stats.incr t.stats
             (if wire_data then "grant.data" else "grant.nodata");
-          note_shard_grant t ~shard ~requester;
+          note_shard_grant t ~shard ~home ~requester;
           `Grant (data, wire_data)
         end)
 
@@ -596,7 +834,7 @@ let origin_grant t ~shard ~requester ~vpn ~access =
 let origin_grant_batch t ~shard ~requester ~vpns ~access =
   let dir = t.dirs.(shard) in
   let home = t.homes.(shard) in
-  if requester_gone t ~shard ~requester then begin
+  if requester_gone t ~home ~requester then begin
     Stats.incr t.stats "crash.grants_refused";
     List.map (fun vpn -> (vpn, `Nack)) vpns
   end
@@ -624,7 +862,15 @@ let origin_grant_batch t ~shard ~requester ~vpns ~access =
         let decided =
           List.map
             (fun vpn ->
-              if not (Directory.try_lock dir vpn) then begin
+              if Hashtbl.mem t.rehomed vpn then begin
+                (* The shard home no longer speaks for a re-homed page;
+                   batches always target the static home, so the page is
+                   NACKed out of the batch and the retry (a single
+                   request) follows the steer. *)
+                Stats.incr t.stats "grant.nack";
+                (vpn, `Nack)
+              end
+              else if not (Directory.try_lock dir vpn) then begin
                 Stats.incr t.stats "grant.nack";
                 (vpn, `Nack)
               end
@@ -651,16 +897,20 @@ let origin_grant_batch t ~shard ~requester ~vpns ~access =
                   | Perm.Write, Directory.Exclusive owner ->
                       reclaims :=
                         (vpn, owner, Messages.Invalidate) :: !reclaims;
+                      note_push_subs t ~vpn [ owner ];
                       fun () -> Directory.set_exclusive dir vpn requester
                   | Perm.Write, Directory.Shared readers ->
-                      List.iter
-                        (fun n ->
-                          if n <> requester && n <> home then add_victim n vpn)
-                        (Node_set.to_list readers);
+                      let victims =
+                        List.filter
+                          (fun n -> n <> requester && n <> home)
+                          (Node_set.to_list readers)
+                      in
+                      List.iter (fun n -> add_victim n vpn) victims;
+                      note_push_subs t ~vpn victims;
                       let origin_reader = Node_set.mem readers home in
                       fun () ->
                         if origin_reader && requester <> home then
-                          revoke_local t ~shard ~vpn ~mode:Messages.Invalidate;
+                          revoke_local t ~home ~vpn ~mode:Messages.Invalidate;
                         Directory.set_exclusive dir vpn requester
                 in
                 (vpn, `Locked (had_copy, apply))
@@ -671,20 +921,21 @@ let origin_grant_batch t ~shard ~requester ~vpns ~access =
         let jobs =
           List.rev_map
             (fun (vpn, owner, mode) () ->
-              reclaim_from_owner t ~shard ~owner ~vpn ~mode)
+              reclaim_from_owner t ~shard ~home ~owner ~vpn ~mode)
             !reclaims
           @ Hashtbl.fold
               (fun target cell acc ->
                 if t.cfg.Proto_config.batch_revoke then
                   (fun () ->
-                    revoke_batch_rpc t ~shard ~target ~vpns:(List.rev !cell))
+                    revoke_batch_rpc t ~shard ~home ~target
+                      ~vpns:(List.rev !cell))
                   :: acc
                 else
                   List.fold_left
                     (fun acc vpn ->
                       (fun () ->
                         ignore
-                          (revoke_rpc t ~shard ~target ~vpn
+                          (revoke_rpc t ~shard ~home ~target ~vpn
                              ~mode:Messages.Invalidate ~want_data:false))
                       :: acc)
                     acc !cell)
@@ -695,7 +946,7 @@ let origin_grant_batch t ~shard ~requester ~vpns ~access =
            was blocked, the reclaim pass has already repaired the
            directory; applying the decided transitions would reintroduce
            the ghost, so the whole batch degrades to NACKs instead. *)
-        let ghost = requester_gone t ~shard ~requester in
+        let ghost = requester_gone t ~home ~requester in
         if ghost then Stats.incr t.stats "crash.grants_refused";
         List.map
           (fun (vpn, d) ->
@@ -718,7 +969,7 @@ let origin_grant_batch t ~shard ~requester ~vpns ~access =
                 unlock_one vpn;
                 Stats.incr t.stats
                   (if wire_data then "grant.data" else "grant.nodata");
-                note_shard_grant t ~shard ~requester;
+                note_shard_grant t ~shard ~home ~requester;
                 (vpn, `Grant (data, wire_data)))
           decided)
   end
@@ -749,8 +1000,11 @@ let backoff t ~node ~attempt =
    {!batch_record}. *)
 let claim_prefetch t ~node ~tid ~vpn ~access =
   let shard = shard_of t vpn in
-  if (not t.cfg.Proto_config.prefetch_enabled) || node = t.homes.(shard) then
-    []
+  if
+    (not t.cfg.Proto_config.prefetch_enabled)
+    || node = t.homes.(shard)
+    || Hashtbl.mem t.page_view.(node) vpn
+  then []
   else
     Prefetch.record t.pf ~node ~tid ~vpn
       ~depth:t.cfg.Proto_config.prefetch_depth
@@ -759,7 +1013,10 @@ let claim_prefetch t ~node ~tid ~vpn ~access =
            && shard_of t p = shard
            && (not (Page_table.allows t.ptables.(node) p access))
            && (not (Fault_table.has t.ftables.(node) ~vpn:p))
-           && not (inflight_covers t ~node ~vpn:p))
+           && (not (inflight_covers t ~node ~vpn:p))
+           (* Steered pages resolve at their re-home target, not at the
+              shard home a batch would address. *)
+           && not (Hashtbl.mem t.page_view.(node) p))
 
 (* One protocol attempt as the fault leader. [prefetch] is the run of
    predicted pages to resolve in the same round-trip (remote nodes only;
@@ -777,8 +1034,25 @@ let claim_prefetch t ~node ~tid ~vpn ~access =
    crash), then stall in the resolver until the standby is promoted,
    adopt the new home address, and retry there — the thread sees a
    long fault, never an abort. *)
-let request_failure t ~node ~shard ~dst =
+let request_failure t ~node ~shard ~dst ~steered =
   if Fabric.crashed t.fabric ~node then `Reraise
+  else if steered then begin
+    (* The re-home target is unreachable. Escalate an undeclared crash —
+       exhausting the budget IS the failure detector here too — so the
+       fallback pass runs, the page's authority returns to its shard home
+       and every stale steer (including ours) is dropped; the retry then
+       resolves at the shard home. A live-but-slow target keeps the steer
+       and is simply retried. *)
+    if
+      Fabric.crashed t.fabric ~node:dst
+      && not (Fabric.crash_detected t.fabric ~node:dst)
+    then begin
+      Stats.incr t.stats "crash.escalations";
+      Fabric.declare_dead t.fabric ~node:dst
+    end;
+    Stats.incr t.stats "crash.requester_retries";
+    `Nack
+  end
   else begin
     (match t.resolver with
     | Some _
@@ -805,9 +1079,12 @@ let request_failure t ~node ~shard ~dst =
 
 let request_once t ~node ~vpn ~access ~prefetch =
   let shard = shard_of t vpn in
-  if node = t.homes.(shard) then begin
+  if node = page_home t vpn then begin
     Engine.delay t.engine t.cfg.Proto_config.local_op;
-    match origin_grant t ~shard ~requester:node ~vpn ~access with
+    match
+      origin_grant t ~shard ~home:node ~dir:(page_dir t vpn) ~requester:node
+        ~vpn ~access
+    with
     | `Nack -> `Nack
     | `Grant _ ->
         Page_table.set t.ptables.(node) vpn access;
@@ -821,7 +1098,15 @@ let request_once t ~node ~vpn ~access ~prefetch =
              { src = node; dst = node; kind = Messages.kind_revoke })
   end
   else if prefetch = [] then begin
-    let dst = t.home_view.(node).(shard) in
+    let steer = Hashtbl.find_opt t.page_view.(node) vpn in
+    let dst =
+      match steer with
+      | Some d when d <> node -> d
+      | _ -> t.home_view.(node).(shard)
+    in
+    (* Backstop against a view pointing at ourselves (we just stopped
+       being the page's home): resolve the live authority directly. *)
+    let dst = if dst = node then page_home t vpn else dst in
     match
       Fabric.call t.fabric ~src:node ~dst
         ~kind:Messages.kind_page_request ~size:t.cfg.Proto_config.ctl_msg_size
@@ -835,13 +1120,24 @@ let request_once t ~node ~vpn ~access ~prefetch =
            answered. *)
         t.epoch_view.(node).(shard) <- epoch;
         `Nack
+    | Messages.Page_redirect { home; _ } ->
+        (* Stale steer: the page's authority moved. Adopt the answer (or
+           drop the per-page overlay when it folds back into the shard
+           view) and retry there. *)
+        Stats.incr t.stats "autopilot.resteers";
+        if home = t.home_view.(node).(shard) then
+          Hashtbl.remove t.page_view.(node) vpn
+        else Hashtbl.replace t.page_view.(node) vpn home;
+        `Nack
     | Messages.Page_grant { data; _ } ->
         Option.iter (Page_store.install t.stores.(node) vpn) data;
         Page_table.set t.ptables.(node) vpn access;
         `Granted
     | _ -> failwith "Coherence: unexpected page reply"
     | exception (Fabric.Unreachable _ as e) -> (
-        match request_failure t ~node ~shard ~dst with
+        match
+          request_failure t ~node ~shard ~dst ~steered:(steer = Some dst)
+        with
         | `Nack -> `Nack
         | `Reraise -> raise e)
   end
@@ -868,7 +1164,7 @@ let request_once t ~node ~vpn ~access ~prefetch =
       | Fabric.Unreachable _ as e -> (
           t.inflight.(node) <-
             List.filter (fun r -> r != record) t.inflight.(node);
-          match request_failure t ~node ~shard ~dst with
+          match request_failure t ~node ~shard ~dst ~steered:false with
           | `Nack -> `Timeout
           | `Reraise -> raise e)
       | e ->
@@ -946,8 +1242,7 @@ let ensure t ~node ~tid ~site ~vpn ~access =
     let rec loop () =
       if Page_table.allows pt vpn access then ()
       else if
-        node = t.homes.(shard)
-        && not (Directory.is_tracked t.dirs.(shard) vpn)
+        node = page_home t vpn && not (Directory.is_tracked (page_dir t vpn) vpn)
       then begin
         (* Cold anonymous page at its home: plain minor fault, the
            protocol is not involved. *)
@@ -968,8 +1263,13 @@ let ensure t ~node ~tid ~site ~vpn ~access =
                description of stock Linux — the prepared page is simply
                discarded because the PTE changed under it. *)
             Stats.incr t.stats "fault.duplicate";
-            if node <> t.homes.(shard) then (
-              let dst = t.home_view.(node).(shard) in
+            if node <> page_home t vpn then (
+              let steer = Hashtbl.find_opt t.page_view.(node) vpn in
+              let dst =
+                match steer with
+                | Some d when d <> node -> d
+                | _ -> t.home_view.(node).(shard)
+              in
               try
                 ignore
                   (Fabric.call t.fabric ~src:node ~dst
@@ -986,7 +1286,10 @@ let ensure t ~node ~tid ~site ~vpn ~access =
                 (* The duplicate's result is discarded anyway; a timeout
                    toward the live home is not worth aborting for, and a
                    dead home just means waiting out the failover. *)
-                match request_failure t ~node ~shard ~dst with
+                match
+                  request_failure t ~node ~shard ~dst
+                    ~steered:(steer = Some dst)
+                with
                 | `Nack -> ()
                 | `Reraise -> raise e))
             else Engine.delay t.engine t.cfg.Proto_config.local_op;
@@ -1160,6 +1463,141 @@ let forget_range t ~first ~last =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Placement autopilot primitives.                                     *)
+
+(* Move a page's protocol authority to [node]: its directory entry leaves
+   the current serving directory for the target's overlay directory (or
+   back into the shard directory when re-homing to the static home), the
+   staging copy ships over, and every node's per-page view is re-steered.
+   Faults from [node] then resolve locally — the win for ping-ponged pages
+   whose dominant faulter is remote from the shard home. The entry move is
+   guarded by the page's busy flag, so it serializes against grants like
+   any other protocol operation ([`Busy] = try again next tick). *)
+let rehome_page t ~vpn ~node =
+  check_node t node "rehome_page";
+  let shard = shard_of t vpn in
+  if Fabric.crash_detected t.fabric ~node then `Dead_target
+  else begin
+    let cur = page_home t vpn in
+    if cur = node then `Noop
+    else if Hashtbl.mem t.pinned vpn && node <> t.homes.(shard) then
+      (* Pinned pages (futex words) only ever move BACK to their static
+         home — the futex check-and-sleep needs home-local reads. *)
+      `Noop
+    else begin
+      let dir = page_dir t vpn in
+      if not (Directory.try_lock dir vpn) then begin
+        Stats.incr t.stats "autopilot.rehome_busy";
+        `Busy
+      end
+      else begin
+        t.rehome_used <- true;
+        let state = Directory.state dir vpn in
+        (* The staging snapshot only serves a target with no current copy.
+           A target already holding the page has bytes at least as fresh —
+           and the exclusive owner's dirty copy is STRICTLY fresher, so
+           overwriting its store would serve time-travelled reads and
+           lose the owner's updates on the next externalization. *)
+        let target_holds =
+          match state with
+          | Directory.Exclusive owner -> owner = node
+          | Directory.Shared readers -> Node_set.mem readers node
+        in
+        let ship () =
+          if target_holds then ()
+          else
+            match snapshot_if_materialized t.stores.(cur) vpn with
+          | None -> ()
+          | Some data -> (
+              match
+                Fabric.call t.fabric ~src:cur ~dst:node
+                  ~kind:Messages.kind_page_sync
+                  ~size:t.cfg.Proto_config.page_msg_size
+                  (Messages.Page_sync { pid = t.pid; vpn; data })
+              with
+              | Messages.Page_sync_ack _ -> ()
+              | _ -> failwith "Coherence: unexpected sync reply")
+        in
+        match ship () with
+        | exception Fabric.Unreachable _ ->
+            Directory.unlock dir vpn;
+            (* The target died undetected: the shipment exhausting its
+               budget is the failure detector, same as a revoke. *)
+            Stats.incr t.stats "crash.escalations";
+            if not (Fabric.crashed t.fabric ~node) then
+              Fabric.crash t.fabric ~node;
+            Fabric.declare_dead t.fabric ~node;
+            `Dead_target
+        | () ->
+            (* Release the busy flag, then move the entry and flip the
+               routing state — no simulation event intervenes, so the
+               whole move is atomic in simulated time. *)
+            Directory.unlock dir vpn;
+            Directory.forget dir vpn;
+            let ndir =
+              if node = t.homes.(shard) then t.dirs.(shard)
+              else t.rehome_dirs.(node)
+            in
+            (match state with
+            | Directory.Exclusive owner -> Directory.set_exclusive ndir vpn owner
+            | Directory.Shared readers -> Directory.set_shared ndir vpn readers);
+            if node = t.homes.(shard) then Hashtbl.remove t.rehomed vpn
+            else Hashtbl.replace t.rehomed vpn node;
+            (* The autopilot broadcasts its decision: every node's next
+               fault on the page goes straight to the new home (stale
+               views left behind are corrected in-band by redirects). *)
+            for peer = 0 to node_count t - 1 do
+              if node = t.homes.(shard) then
+                Hashtbl.remove t.page_view.(peer) vpn
+              else Hashtbl.replace t.page_view.(peer) vpn node
+            done;
+            Stats.incr t.stats "autopilot.rehomes";
+            `Rehomed
+      end
+    end
+  end
+
+(* Pin a page to its static shard home. The futex layer calls this for
+   every word it serves: its check-and-sleep is only atomic because the
+   home reads the word without simulation events, and a re-homed page
+   turns that read into a remote fault — a wake can then land in the
+   grant-reply flight and be lost (barrier deadlock). Real kernels pin
+   futex pages for the same reason. If the autopilot already moved the
+   page, authority is pulled back here, retrying while a grant holds the
+   entry busy. With no re-homes this is a hash lookup and an insert —
+   no simulation events, so a run that never re-homes is unaffected. *)
+let pin_page t ~vpn =
+  if not (Hashtbl.mem t.pinned vpn) then begin
+    Hashtbl.replace t.pinned vpn ();
+    if Hashtbl.mem t.rehomed vpn then begin
+      let home = t.homes.(shard_of t vpn) in
+      let attempt = ref 0 in
+      let rec pull () =
+        match rehome_page t ~vpn ~node:home with
+        | `Busy ->
+            Engine.delay t.engine (backoff_delay t ~node:home ~attempt:!attempt);
+            incr attempt;
+            pull ()
+        | `Rehomed -> Stats.incr t.stats "autopilot.pin_reverts"
+        | `Noop | `Dead_target -> ()
+      in
+      pull ()
+    end
+  end
+
+(* Mark a page range replicate-don't-invalidate: readers displaced by a
+   write grant are remembered and pushed fresh copies when the page next
+   returns to [Shared], instead of each re-faulting. *)
+let mark_replicate t ~first ~last =
+  if last < first then invalid_arg "Coherence.mark_replicate: bad range";
+  for vpn = first to last do
+    if not (Hashtbl.mem t.replicate_hint vpn) then begin
+      Hashtbl.replace t.replicate_hint vpn ();
+      Stats.incr t.stats "autopilot.replicate_marked"
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Message handler.                                                    *)
 
 let apply_invalidation t ~node ~vpn ~mode =
@@ -1201,29 +1639,45 @@ let handler_unguarded t (env : Fabric.env) =
   match msg.Msg.payload with
   | Messages.Page_request { pid; vpn; access; epoch } when pid = t.pid ->
       let shard = shard_of t vpn in
-      if msg.Msg.dst <> t.homes.(shard) then
-        failwith "Coherence: page request addressed to a non-home node";
-      home_service t ~node:msg.Msg.dst t.cfg.Proto_config.origin_handler;
-      if epoch <> t.epochs.(shard) then begin
-        Stats.incr t.stats "ha.stale_epoch_nacks";
+      let home = page_home t vpn in
+      if msg.Msg.dst <> home then begin
+        if not t.rehome_used then
+          failwith "Coherence: page request addressed to a non-home node";
+        (* The requester's steer is stale — the page's authority moved
+           (re-home, fallback, or a fresh re-home after a fallback).
+           Answer with the live address; the retry resolves there. *)
+        home_service t ~node:msg.Msg.dst t.cfg.Proto_config.local_op;
+        Stats.incr t.stats "autopilot.redirects";
         env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
-          (Messages.Page_stale { pid = t.pid; epoch = t.epochs.(shard) })
+          (Messages.Page_redirect { pid = t.pid; vpn; home })
       end
-      else
-        (match origin_grant t ~shard ~requester:msg.Msg.src ~vpn ~access with
-        | `Nack ->
-            env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
-              (Messages.Page_nack { pid = t.pid; vpn })
-        | `Grant (data, wire_data) ->
-            (* Replicate before externalize: the ownership transition must
-               be on the standby before the requester can observe it. *)
-            commit_fence t ~shard;
-            let size =
-              if wire_data then t.cfg.Proto_config.page_msg_size
-              else t.cfg.Proto_config.ctl_msg_size
-            in
-            env.Fabric.respond ~size
-              (Messages.Page_grant { pid = t.pid; vpn; data }));
+      else begin
+        home_service t ~node:msg.Msg.dst t.cfg.Proto_config.origin_handler;
+        if epoch <> t.epochs.(shard) then begin
+          Stats.incr t.stats "ha.stale_epoch_nacks";
+          env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+            (Messages.Page_stale { pid = t.pid; epoch = t.epochs.(shard) })
+        end
+        else
+          match
+            origin_grant t ~shard ~home ~dir:(page_dir t vpn)
+              ~requester:msg.Msg.src ~vpn ~access
+          with
+          | `Nack ->
+              env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+                (Messages.Page_nack { pid = t.pid; vpn })
+          | `Grant (data, wire_data) ->
+              (* Replicate before externalize: the ownership transition
+                 must be on the standby before the requester can observe
+                 it. *)
+              commit_fence t ~shard;
+              let size =
+                if wire_data then t.cfg.Proto_config.page_msg_size
+                else t.cfg.Proto_config.ctl_msg_size
+              in
+              env.Fabric.respond ~size
+                (Messages.Page_grant { pid = t.pid; vpn; data })
+      end;
       true
   | Messages.Page_request_batch { pid; vpns; access; epoch } when pid = t.pid
     ->
@@ -1345,8 +1799,11 @@ let handler_unguarded t (env : Fabric.env) =
          the dead home and drain through the resolver — a grant from the
          new home is authoritative over anything zapped here. *)
       let entries = ref [] in
+      (* Re-homed pages are vouched for by their live overlay directory,
+         not the promoted replica — the fence must not zap them. *)
       Page_table.iter t.ptables.(node) (fun vpn access ->
-          if shard_of t vpn = shard then entries := (vpn, access) :: !entries);
+          if shard_of t vpn = shard && not (Hashtbl.mem t.rehomed vpn) then
+            entries := (vpn, access) :: !entries);
       let zapped = ref 0 in
       List.iter
         (fun (vpn, access) ->
@@ -1385,6 +1842,40 @@ let handler_unguarded t (env : Fabric.env) =
       env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
         (Messages.Epoch_fence_ack { pid = t.pid; zapped = !zapped; missing });
       true
+  | Messages.Page_sync { pid; vpn; data } when pid = t.pid ->
+      (* Page-content shipment outside the grant path: install into the
+         destination's store; at the static shard home this refreshes the
+         staging copy and feeds the HA log. *)
+      let node = msg.Msg.dst in
+      Engine.delay t.engine t.cfg.Proto_config.local_op;
+      Page_store.install t.stores.(node) vpn data;
+      if node = t.homes.(shard_of t vpn) then origin_store_mutated t vpn;
+      env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+        (Messages.Page_sync_ack { pid = t.pid });
+      true
+  | Messages.Page_push { pid; vpn; data; epoch } when pid = t.pid ->
+      let node = msg.Msg.dst in
+      let shard = shard_of t vpn in
+      (* A plain in-flight fault is NOT a reason to decline: the pusher
+         holds the page's directory lock, so that fault can only be in
+         its NACK-retry loop — and the retry re-validates local
+         permissions, so installing here retires it without another
+         grant round trip. (That is the push's whole payoff when a write
+         storm displaces every reader at once.) An in-flight BATCH is
+         different: its grants install atomically later and would
+         clobber this PTE, so those still decline. *)
+      let accepted =
+        (not (stale_origin_traffic t ~node ~shard ~src:msg.Msg.src ~epoch))
+        && not (inflight_covers t ~node ~vpn)
+      in
+      if accepted then begin
+        Engine.delay t.engine t.cfg.Proto_config.pte_update;
+        Option.iter (Page_store.install t.stores.(node) vpn) data;
+        Page_table.set t.ptables.(node) vpn Perm.Read
+      end;
+      env.Fabric.respond ~size:t.cfg.Proto_config.ctl_msg_size
+        (Messages.Page_push_ack { pid = t.pid; accepted });
+      true
   | _ -> false
 
 (* The home died under this handler mid-operation (see {!Origin_dead}):
@@ -1412,6 +1903,13 @@ let promote t ~shard ~new_origin ~dir_entries ~page_data =
   if Fabric.crashed t.fabric ~node:new_origin then
     invalid_arg "Coherence.promote: standby is dead";
   let dir = Directory.create ~origin:new_origin in
+  (* A page re-homed to a live overlay directory keeps its authority
+     there; under [`Async] replication the Dir_forget of its move may sit
+     in the lost log suffix, so the replica image can still carry the
+     entry — resurrecting it here would fork the page's authority. *)
+  let dir_entries =
+    List.filter (fun (vpn, _) -> not (Hashtbl.mem t.rehomed vpn)) dir_entries
+  in
   (* Which pages the standby already held a valid copy of, per the
      replicated image: for those, its local store is at least as fresh as
      the logged home staging copy and must not be overwritten. *)
@@ -1545,6 +2043,41 @@ let fence_survivors t ~shard =
 (* ------------------------------------------------------------------ *)
 (* Invariant checking (tests).                                         *)
 
+let check_entry_invariants t vpn state =
+  match state with
+  | Directory.Exclusive owner ->
+      Array.iteri
+        (fun node pt ->
+          match Page_table.get pt vpn with
+          | Some Perm.Write when node <> owner ->
+              failwith
+                (Printf.sprintf
+                   "Coherence: node %d has Write PTE on page %d owned by %d"
+                   node vpn owner)
+          | Some Perm.Read when node <> owner ->
+              failwith
+                (Printf.sprintf
+                   "Coherence: node %d has Read PTE on page %d exclusively \
+                    owned by %d"
+                   node vpn owner)
+          | _ -> ())
+        t.ptables
+  | Directory.Shared readers ->
+      Array.iteri
+        (fun node pt ->
+          match Page_table.get pt vpn with
+          | Some Perm.Write ->
+              failwith
+                (Printf.sprintf
+                   "Coherence: node %d has Write PTE on shared page %d" node
+                   vpn)
+          | Some Perm.Read when not (Node_set.mem readers node) ->
+              failwith
+                (Printf.sprintf
+                   "Coherence: node %d has stale Read PTE on page %d" node vpn)
+          | _ -> ())
+        t.ptables
+
 let check_invariants t =
   Array.iteri
     (fun shard dir ->
@@ -1556,39 +2089,34 @@ let check_invariants t =
                  "Coherence: page %d tracked by shard %d but homed in shard \
                   %d"
                  vpn shard (shard_of t vpn));
-          match state with
-          | Directory.Exclusive owner ->
-              Array.iteri
-                (fun node pt ->
-                  match Page_table.get pt vpn with
-                  | Some Perm.Write when node <> owner ->
-                      failwith
-                        (Printf.sprintf
-                           "Coherence: node %d has Write PTE on page %d owned \
-                            by %d"
-                           node vpn owner)
-                  | Some Perm.Read when node <> owner ->
-                      failwith
-                        (Printf.sprintf
-                           "Coherence: node %d has Read PTE on page %d \
-                            exclusively owned by %d"
-                           node vpn owner)
-                  | _ -> ())
-                t.ptables
-          | Directory.Shared readers ->
-              Array.iteri
-                (fun node pt ->
-                  match Page_table.get pt vpn with
-                  | Some Perm.Write ->
-                      failwith
-                        (Printf.sprintf
-                           "Coherence: node %d has Write PTE on shared page %d"
-                           node vpn)
-                  | Some Perm.Read when not (Node_set.mem readers node) ->
-                      failwith
-                        (Printf.sprintf
-                           "Coherence: node %d has stale Read PTE on page %d"
-                           node vpn)
-                  | _ -> ())
-                t.ptables))
-    t.dirs
+          if Hashtbl.mem t.rehomed vpn then
+            failwith
+              (Printf.sprintf
+                 "Coherence: re-homed page %d still tracked by its shard \
+                  directory"
+                 vpn);
+          check_entry_invariants t vpn state))
+    t.dirs;
+  (* Re-home overlay state: a re-homed page is tracked at its target (and
+     nowhere else), every overlay entry is accounted for in the re-home
+     table, and overlay entries obey the same PTE discipline. *)
+  Hashtbl.iter
+    (fun vpn target ->
+      if not (Directory.is_tracked t.rehome_dirs.(target) vpn) then
+        failwith
+          (Printf.sprintf
+             "Coherence: page %d re-homed to node %d but not tracked there"
+             vpn target))
+    t.rehomed;
+  Array.iteri
+    (fun target dir ->
+      Directory.check_invariants dir;
+      Directory.iter dir (fun vpn state ->
+          if Hashtbl.find_opt t.rehomed vpn <> Some target then
+            failwith
+              (Printf.sprintf
+                 "Coherence: node %d's overlay directory tracks page %d \
+                  without a re-home record"
+                 target vpn);
+          check_entry_invariants t vpn state))
+    t.rehome_dirs

@@ -135,6 +135,15 @@ val shard_epoch : t -> shard:int -> int
 val shard_directory : t -> shard:int -> Dex_mem.Directory.t
 (** [shard]'s ownership directory (replaced wholesale by {!promote}). *)
 
+val page_home : t -> Dex_mem.Page.vpn -> int
+(** The node currently {e serving} a page: its re-home target when the
+    placement autopilot has moved it ({!rehome_page}), else
+    {!home_of}. *)
+
+val page_directory : t -> Dex_mem.Page.vpn -> Dex_mem.Directory.t
+(** The directory tracking a page right now: the re-home target's overlay
+    directory for re-homed pages, else the page's shard directory. *)
+
 val shard_load : t -> int array
 (** Per-shard count of grants served, a snapshot of the load vector
     behind [shard.local_grants]/[shard.remote_grants]. All zeros when
@@ -226,6 +235,72 @@ val forget_range : t -> first:Dex_mem.Page.vpn -> last:Dex_mem.Page.vpn -> unit
 (** Clear directory tracking for an unmapped range, each page in its own
     shard's directory. Call only after every node's page-table entries in
     the range have been zapped. *)
+
+(** {2 Placement autopilot primitives}
+
+    Online placement actions driven by the profiling loop
+    ({!Dex_sched.Autopilot} when the scheduler library is linked). Both
+    are no-ops on the wire until first used: a process that never calls
+    them is bit-identical to one built without the autopilot. *)
+
+val rehome_page :
+  t ->
+  vpn:Dex_mem.Page.vpn ->
+  node:int ->
+  [ `Rehomed | `Noop | `Busy | `Dead_target ]
+(** Move a page's serving authority to [node] without touching any copy a
+    node already holds: the directory entry migrates from the page's
+    current home into [node]'s overlay directory (or back into the shard
+    directory when [node] {e is} the static shard home), the staging copy
+    ships along when materialized, and every node's per-page steer table
+    is re-pointed — in-flight requesters racing the move are re-steered
+    in-band with [Page_redirect]. Fresh bytes later externalized from the
+    dynamic home are mirrored back to the static shard home
+    ([autopilot.mirrors]), so if the re-home target crashes the page
+    falls back to its shard home with the last-externalized contents and
+    live PTE holders re-registered ([autopilot.fallbacks]) — re-homed
+    entries are deliberately {e not} replicated by the HA layer.
+    [`Busy] if the page's directory entry is locked by an in-flight
+    grant (retry later), [`Noop] if already served at [node],
+    [`Dead_target] if [node] is (or is discovered to be) crashed.
+    Raises [Invalid_argument] on a bad [node]. *)
+
+val rehomed_pages : t -> (Dex_mem.Page.vpn * int) list
+(** Every page currently re-homed away from its static shard home, with
+    its dynamic home, sorted by page. *)
+
+val pin_page : t -> vpn:Dex_mem.Page.vpn -> unit
+(** Pin a page to its static shard home: {!rehome_page} refuses it from
+    now on ([`Noop]), and if the autopilot already moved it, authority is
+    pulled back (blocking through [`Busy] retries;
+    [autopilot.pin_reverts] counts actual pull-backs). The futex layer
+    pins every page holding a futex word — its atomic check-and-sleep
+    depends on the word's home reading it without simulation events, and
+    a re-homed word would open a lost-wake window in the grant-reply
+    flight. Idempotent; free of simulation events when the page was
+    never re-homed. *)
+
+val mark_replicate : t -> first:Dex_mem.Page.vpn -> last:Dex_mem.Page.vpn -> unit
+(** Mark a read-mostly range replicate-don't-invalidate: when a marked
+    page's writer retires (the page next returns to [Shared] by a read
+    grant), the home pushes unsolicited read copies ([Page_push],
+    [autopilot.replica_pushes]) to the readers the write invalidated,
+    instead of letting each fault the page back in. A victim whose own
+    fault on the page is mid NACK-retry {e accepts} the push — the
+    retry loop re-validates local permissions, so the push retires the
+    fault without another grant round trip; only a stale epoch or an
+    in-flight prefetch batch covering the page declines
+    ([autopilot.push_declined]). Idempotent per page
+    ([autopilot.replicate_marked] counts first marks). *)
+
+val replicate_marked : t -> Dex_mem.Page.vpn -> bool
+(** Whether {!mark_replicate} covers the page. *)
+
+val pinned_page : t -> Dex_mem.Page.vpn -> bool
+(** Whether {!pin_page} holds the page at its static home (futex-word
+    pages). The autopilot also skips these for replication: their reads
+    are the futex layer's delegated home-local checks, so pushed copies
+    would only be churn. *)
 
 val set_tracer : t -> (Fault_event.t -> unit) option -> unit
 (** Install the page-fault profiler hook; leaders emit one event per
@@ -333,7 +408,14 @@ val stats : t -> Dex_sim.Stats.t
     [shard.*] family — [shard.homes] (the shard count, set once),
     [shard.local_grants]/[shard.remote_grants] (grants served to
     requesters co-located with / remote from the shard's home) and
-    [shard.promotions]. *)
+    [shard.promotions]; once the autopilot acts the [autopilot.*] family
+    — [autopilot.rehomes], [autopilot.rehome_busy],
+    [autopilot.redirects] (mis-addressed requests answered with
+    [Page_redirect]), [autopilot.resteers] (requester-side steer
+    adoptions), [autopilot.mirrors], [autopilot.fallbacks],
+    [autopilot.replicate_marked], [autopilot.replica_pushes],
+    [autopilot.push_declined], plus [autopilot.ticks] and
+    [autopilot.colocations] contributed by {!Dex_sched.Autopilot}. *)
 
 val fault_latencies : t -> Dex_sim.Histogram.t
 (** Latency of every protocol fault (leaders only), home-local and
@@ -343,5 +425,7 @@ val check_invariants : t -> unit
 (** Directory/page-table consistency, per shard: at most one exclusive
     owner; a node has a Write PTE iff the shard directory says it is the
     exclusive owner; Read PTEs only on shared readers or the exclusive
-    owner; every tracked page belongs to the directory's own shard. Call
-    only when the simulation is quiescent. *)
+    owner; every tracked page belongs to the directory's own shard. The
+    re-home overlay is checked too: a re-homed page is tracked exactly
+    once, at its dynamic home's overlay directory, under the same PTE
+    discipline. Call only when the simulation is quiescent. *)

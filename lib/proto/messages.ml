@@ -48,9 +48,28 @@ type Dex_net.Msg.payload +=
       zapped : int;
       missing : Dex_mem.Page.vpn list;
     }
+  | Page_redirect of { pid : int; vpn : Dex_mem.Page.vpn; home : int }
+      (* the page's authority moved (autopilot re-home or fallback);
+         retry at [home] *)
+  | Page_sync of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes }
+      (* ship a re-homed page's bytes: staging copy to the new home at
+         re-home time, and mirrored back to the static shard home on
+         every externalizing grant *)
+  | Page_sync_ack of { pid : int }
+  | Page_push of {
+      pid : int;
+      vpn : Dex_mem.Page.vpn;
+      data : bytes option;
+      epoch : int;
+    }
+      (* unsolicited read copy for a replicate-marked page; the victim
+         may decline *)
+  | Page_push_ack of { pid : int; accepted : bool }
 
 let kind_page_request = "page_req"
 let kind_page_request_batch = "page_req_batch"
 let kind_revoke = "revoke"
 let kind_invalidate_batch = "revoke_batch"
 let kind_epoch_fence = "epoch_fence"
+let kind_page_sync = "page_sync"
+let kind_page_push = "page_push"

@@ -101,6 +101,34 @@ type Dex_net.Msg.payload +=
           exactly what the lost grant carried), so the survivor's retried
           fault is served with data instead of a dangling
           grant-without-data. *)
+  | Page_redirect of { pid : int; vpn : Dex_mem.Page.vpn; home : int }
+      (** serving node → requester: the page's authority is not here — it
+          was re-homed by the placement autopilot (or fell back to its
+          shard home after the re-home target crashed). The requester
+          re-steers its per-page view to [home] and retries; never sent
+          unless {!Coherence.rehome_page} has run (mis-addressed requests
+          otherwise keep their historical [failwith]). *)
+  | Page_sync of { pid : int; vpn : Dex_mem.Page.vpn; data : bytes }
+      (** page-content shipment outside the grant path: the staging copy
+          travels to a page's new dynamic home at re-home time, and fresh
+          bytes are mirrored back to the static shard home whenever an
+          externalizing grant leaves the dynamic home — what keeps the
+          crash-fallback copy coherent. *)
+  | Page_sync_ack of { pid : int }
+  | Page_push of {
+      pid : int;
+      vpn : Dex_mem.Page.vpn;
+      data : bytes option;
+      epoch : int;
+    }
+      (** home → former reader, for replicate-marked pages: an unsolicited
+          read copy pushed when the page returns to [Shared], instead of
+          waiting for the reader to fault it back in. *)
+  | Page_push_ack of { pid : int; accepted : bool }
+      (** reader → home: [accepted = false] declines the push (a local
+          fault or in-flight batch covers the page, or the sender's epoch
+          is stale); the home then leaves the reader out of the Shared
+          set. *)
 
 val kind_page_request : string
 (** Statistics class of {!Page_request} messages. *)
@@ -116,3 +144,9 @@ val kind_invalidate_batch : string
 
 val kind_epoch_fence : string
 (** Statistics class of {!Epoch_fence} messages. *)
+
+val kind_page_sync : string
+(** Statistics class of {!Page_sync} messages. *)
+
+val kind_page_push : string
+(** Statistics class of {!Page_push} messages. *)

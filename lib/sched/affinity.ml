@@ -9,11 +9,11 @@ let owned_pages coh ~ranges =
       if len > 0 then begin
         let first, last = Page.pages_of_range addr ~len in
         for vpn = first to last do
-          (* Each page's entry lives in its shard's directory (shard 0
-             holds everything when sharding is off). *)
-          let dir =
-            Coherence.shard_directory coh ~shard:(Coherence.shard_of coh vpn)
-          in
+          (* Each page's entry lives wherever it is served right now:
+             its shard's directory (shard 0 holds everything when
+             sharding is off), or the overlay directory of its re-home
+             target once the autopilot has moved it. *)
+          let dir = Coherence.page_directory coh vpn in
           match Directory.state dir vpn with
           | Directory.Exclusive owner -> counts.(owner) <- counts.(owner) + 1
           | Directory.Shared readers ->

@@ -1,0 +1,89 @@
+(** The placement autopilot: §IV's profiling loop, closed online.
+
+    The paper's workflow is offline — run once, dump the fault trace,
+    eyeball the analysis, edit the application (align allocations,
+    co-locate threads), run again. The autopilot runs the same loop
+    inside the process with {e zero} application changes: a bounded
+    {!Dex_profile.Trace} stays attached to the coherence layer, a
+    periodic tick classifies the window's hottest pages
+    ({!Dex_profile.Analysis.classify}) and acts through three levers:
+
+    - {b co-location} — the minority faulters of a ping-ponged or
+      false-shared page are steered to its dominant node through
+      {!Balancer.request}, honoured at each thread's next compute-boundary
+      safe point ({!Dex_core.Process.set_safepoint_hook});
+    - {b re-homing} — the page's directory authority follows them via
+      {!Dex_proto.Coherence.rehome_page}, so the survivors' faults
+      resolve home-locally;
+    - {b replication} — read-mostly pages are marked
+      replicate-don't-invalidate
+      ({!Dex_proto.Coherence.mark_replicate}), so a rare write pushes
+      fresh copies back instead of leaving every reader to re-fault.
+
+    Actions are budgeted per tick and rate-limited per page/thread
+    (cooldowns), so one noisy window cannot thrash placement. Enable it
+    with {!Dex_core.Core_config.autopilot}; converging Initial-variant
+    applications toward their hand-Optimized twins is the acceptance
+    test ([bench/main.exe autopilot]). *)
+
+type config = {
+  interval : Dex_sim.Time_ns.t;
+      (** tick period (default 250 µs) *)
+  window_ticks : int;
+      (** profiling-window length in ticks — each tick analyzes the
+          trailing [window_ticks × interval] slice of the trace ring
+          (default 8) *)
+  trace_capacity : int;
+      (** fault-trace ring size; bounds profiling memory (default 4096) *)
+  min_faults : int;
+      (** per-page classification floor per window (default 4) *)
+  colocate_min_faults : int;
+      (** extra evidence floor for the co-location lever (default 32):
+          migrating a thread re-faults its whole working set at the new
+          node, so a page must carry real traffic before it justifies
+          moves — re-homing and replication stay on the cheaper
+          [min_faults] floor *)
+  max_actions_per_tick : int;
+      (** pages acted on per tick (default 4) *)
+  cooldown_ticks : int;
+      (** ticks before the same page/thread may be acted on again; keep
+          ≥ [window_ticks] or stale window contents re-trigger (default
+          8) *)
+  overcommit : int;
+      (** threads allowed on a node beyond its core count before
+          co-location stops targeting it (default 0 — migrating into a
+          saturated node stretches the critical path more than locality
+          saves). Co-location is all-or-nothing per page: it fires only
+          when {e every} minority faulter fits on the dominant node, since
+          a partial move leaves the ping-pong intact. *)
+  colocate : bool;
+  rehome : bool;
+  replicate : bool;
+}
+
+val default : config
+
+type t
+
+val attach : ?config:config -> Dex_core.Process.t -> t
+(** Attach the autopilot to a process: installs the bounded trace, the
+    safe-point hook (replacing any previous one) and the periodic tick
+    fiber. Call before spawning worker threads so no safe point is
+    missed. Raises [Invalid_argument] on a non-positive trace capacity
+    or action budget. *)
+
+val stop : t -> unit
+(** Detach the trace and safe-point hook and disable future ticks (the
+    tick fiber itself winds down at the process's next interval).
+    Idempotent. *)
+
+val ticks : t -> int
+(** Profiling windows processed so far (also [autopilot.ticks] in
+    {!Dex_proto.Coherence.stats}). *)
+
+val balancer : t -> Balancer.t
+(** The autopilot's migration balancer ([Least_loaded]), exposed for
+    tests and for applications that want to post their own requests. *)
+
+val trace : t -> Dex_profile.Trace.t
+(** The attached bounded trace (drained every tick). *)

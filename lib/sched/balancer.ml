@@ -26,13 +26,21 @@ let request t ~tid ~node =
 let rebalance t ~tids =
   let cluster = Process.cluster t.proc in
   let total = List.length tids in
+  (* Pool occupancy only changes when a thread reaches its safe point and
+     actually migrates, so decisions made earlier in this same pass must
+     be accounted for explicitly — otherwise Least_loaded sends the whole
+     batch to one node (the herd bug). *)
+  let pending = Array.make (Cluster.nodes cluster) 0 in
   List.iteri
     (fun index tid ->
       let node =
-        Placement.choose t.policy cluster ~rng:t.rng ~index ~total
+        Placement.choose ~pending t.policy cluster ~rng:t.rng ~index ~total
       in
+      pending.(node) <- pending.(node) + 1;
       request t ~tid ~node)
     tids
+
+let requested t ~tid = Hashtbl.find_opt t.requests tid
 
 let checkpoint t th =
   let tid = Process.tid th in

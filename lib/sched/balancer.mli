@@ -27,3 +27,6 @@ val checkpoint : t -> Dex_core.Process.thread -> bool
 
 val pending : t -> int
 (** Requests not yet honoured. *)
+
+val requested : t -> tid:int -> int option
+(** The pending target node for [tid], if any. *)

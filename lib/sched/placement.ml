@@ -2,8 +2,12 @@ open Dex_core
 
 type t = Round_robin | Least_loaded | Random | Pin of int
 
-let choose t cluster ~rng ~index ~total =
+let choose ?pending t cluster ~rng ~index ~total =
   let nodes = Cluster.nodes cluster in
+  (match pending with
+  | Some p when Array.length p <> nodes ->
+      invalid_arg "Placement.choose: pending array must have one slot per node"
+  | _ -> ());
   match t with
   | Round_robin ->
       if total <= 0 then invalid_arg "Placement.choose: total";
@@ -12,8 +16,13 @@ let choose t cluster ~rng ~index ~total =
       let best = ref 0 and best_idle = ref min_int in
       for node = 0 to nodes - 1 do
         let pool = Cluster.cores cluster ~node in
+        let planned =
+          match pending with None -> 0 | Some p -> p.(node)
+        in
         let idle =
-          Dex_sim.Resource.Pool.capacity pool - Dex_sim.Resource.Pool.in_use pool
+          Dex_sim.Resource.Pool.capacity pool
+          - Dex_sim.Resource.Pool.in_use pool
+          - planned
         in
         if idle > !best_idle then begin
           best := node;

@@ -14,7 +14,16 @@ type t =
   | Pin of int  (** everything to one node *)
 
 val choose :
+  ?pending:int array ->
   t -> Dex_core.Cluster.t -> rng:Dex_sim.Rng.t -> index:int -> total:int -> int
-(** Pick a destination node for worker [index] of [total]. *)
+(** Pick a destination node for worker [index] of [total].
+
+    [pending] (one slot per node) counts placements already decided but
+    not yet executed — threads migrate only at their next safe point, so
+    pool occupancy alone is stale while a batch of decisions is being
+    made. [Least_loaded] subtracts it from each node's idle-core count;
+    without it, every decision in a batch sees the same "least loaded"
+    node and the batch herds there. Raises [Invalid_argument] when the
+    array length does not match the cluster's node count. *)
 
 val pp : Format.formatter -> t -> unit

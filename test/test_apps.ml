@@ -193,6 +193,7 @@ let bp_small =
     llc_bytes = 64 * 1024;
     miss_floor = 0.4;
     flag_chunk = 256;
+    globals_bytes = 0;
   }
 
 let test_bp () =

@@ -182,6 +182,212 @@ let test_csv_export () =
   Sys.remove path;
   check_int "file written" (String.length csv) size
 
+(* --- bounded trace ring ------------------------------------------------- *)
+
+(* An always-on tracer must hold at most [capacity] events, evicting the
+   oldest and accounting every eviction — both on the trace itself and as
+   a [trace.dropped] counter the autopilot digest can surface. *)
+let test_trace_ring_bounded () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let seen = ref 0 in
+  let dropped_stat = ref 0 in
+  let trace = ref None in
+  ignore
+    (Dex.run cl (fun proc main ->
+         Alcotest.check_raises "zero capacity refused"
+           (Invalid_argument "Trace.attach: capacity must be positive")
+           (fun () ->
+             ignore (Trace.attach ~capacity:0 (Process.coherence proc)));
+         let t = Trace.attach ~capacity:8 (Process.coherence proc) in
+         trace := Some t;
+         let cell = Process.malloc main ~bytes:8 ~tag:"cell" in
+         Process.store main cell 0L;
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               for i = 1 to 60 do
+                 Process.store th ~site:"pingpong" cell (Int64.of_int i);
+                 Process.compute th ~ns:(Time_ns.us 25)
+               done)
+         in
+         for i = 1 to 60 do
+           Process.store main ~site:"pingpong" cell (Int64.of_int (100 + i));
+           Process.compute main ~ns:(Time_ns.us 25)
+         done;
+         Process.join th;
+         seen := Trace.count t + Trace.dropped t;
+         dropped_stat :=
+           Dex_sim.Stats.get
+             (Dex_proto.Coherence.stats (Process.coherence proc))
+             "trace.dropped"));
+  let t = Option.get !trace in
+  check_bool "workload overflowed the ring" true (!seen > 8);
+  check_int "ring holds exactly its capacity" 8 (Trace.count t);
+  check_int "every eviction accounted" (!seen - 8) (Trace.dropped t);
+  check_int "trace.dropped stat matches" (Trace.dropped t) !dropped_stat;
+  (* Eviction keeps the newest events: the survivors span one tight
+     late-run window, not the whole ping-pong. *)
+  let times = List.map (fun e -> e.FE.time) (Trace.events t) in
+  let min_t = List.fold_left min max_int times
+  and max_t = List.fold_left max 0 times in
+  check_bool "retained events are the newest window" true
+    (max_t - min_t < Time_ns.us 500)
+
+(* --- RFC-4180 CSV escaping ---------------------------------------------- *)
+
+(* Site tags are user strings: a comma, quote or newline in one must not
+   shear the CSV row. *)
+let test_csv_escapes_sites () =
+  let cl = Dex.cluster ~nodes:2 () in
+  let trace = ref None in
+  ignore
+    (Dex.run cl (fun proc main ->
+         trace := Some (Trace.attach (Process.coherence proc));
+         (* One page per site: each access is that page's first from the
+            remote node, so each site tag lands in exactly one record. *)
+         let page tag = Process.memalign main ~align:4096 ~bytes:8 ~tag in
+         let a = page "a" and b = page "b" and c = page "c" and d = page "d" in
+         Process.store main a 1L;
+         let th =
+           Process.spawn proc (fun th ->
+               Process.migrate th 1;
+               ignore (Process.load th ~site:"f(a, b)" a);
+               Process.store th ~site:"say \"hi\"" b 2L;
+               Process.store th ~site:"line\nbreak" c 3L;
+               Process.store th ~site:"plain_site" d 4L)
+         in
+         Process.join th));
+  let csv = Trace.to_csv (Option.get !trace) in
+  check_bool "comma field quoted" true (contains csv ",\"f(a, b)\",");
+  check_bool "embedded quotes doubled" true
+    (contains csv ",\"say \"\"hi\"\"\",");
+  check_bool "newline field quoted" true (contains csv ",\"line\nbreak\",");
+  check_bool "plain field left bare" true (contains csv ",plain_site,");
+  (* Un-shearing check: parsing quote-aware yields one record per event,
+     while a naive line count would now overcount. *)
+  let rows = ref 0 and in_quotes = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then in_quotes := not !in_quotes
+      else if c = '\n' && not !in_quotes then incr rows)
+    csv;
+  check_int "quote-aware row count = header + events"
+    (Trace.count (Option.get !trace) + 1)
+    !rows
+
+(* --- deterministic analysis orderings ----------------------------------- *)
+
+let ev ?(kind = FE.Write) ?(node = 0) ?(tid = 0) ?(site = "s") ~time addr =
+  { FE.time; node; tid; kind; site; addr; latency = 100; retries = 0 }
+
+(* Equal counts must order by key, not by Hashtbl fold order — the
+   autopilot acts on "the hottest page first", so ties must be stable
+   run-to-run. *)
+let test_analysis_tie_determinism () =
+  let events =
+    [
+      ev ~time:1 0x2000; ev ~time:2 0x1000; ev ~time:3 0x3000;
+      ev ~time:4 0x3000; ev ~time:5 0x1000; ev ~time:6 0x2000;
+    ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "by_page ties break on ascending page"
+    [ (0x1000, 2); (0x2000, 2); (0x3000, 2) ]
+    (Analysis.by_page events);
+  let traffic = Analysis.page_traffic events in
+  Alcotest.(check (list int))
+    "page_traffic ties break on ascending page"
+    [ 0x1000; 0x2000; 0x3000 ]
+    (List.map (fun pt -> pt.Analysis.pt_addr) traffic);
+  let sites =
+    Analysis.by_site
+      [ ev ~site:"b" ~time:1 0x1000; ev ~site:"a" ~time:2 0x1000 ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "by_site ties break on ascending site"
+    [ ("a", 1); ("b", 1) ] sites
+
+(* Directed classification table: the four classes from synthetic windows. *)
+let test_classify_directed () =
+  let mk events = List.hd (Analysis.page_traffic events) in
+  let classify pt = Analysis.classify ~min_faults:4 pt in
+  (* Single writer node, two reader nodes, reads >= 2x writes. *)
+  let read_mostly =
+    mk
+      [
+        ev ~time:1 0x1000 ~kind:FE.Write ~node:0;
+        ev ~time:2 0x1000 ~kind:FE.Read ~node:1;
+        ev ~time:3 0x1000 ~kind:FE.Read ~node:2;
+        ev ~time:4 0x1000 ~kind:FE.Read ~node:1;
+        ev ~time:5 0x1000 ~kind:FE.Read ~node:2;
+      ]
+  in
+  (match classify read_mostly with
+  | Analysis.Read_mostly { readers } ->
+      Alcotest.(check (list int)) "reader nodes listed" [ 1; 2 ] readers
+  | _ -> Alcotest.fail "expected Read_mostly");
+  (* Same shape but write-heavy: ratio filter keeps it quiet. *)
+  let write_heavy =
+    mk
+      [
+        ev ~time:1 0x1000 ~kind:FE.Write ~node:0;
+        ev ~time:2 0x1000 ~kind:FE.Write ~node:0;
+        ev ~time:3 0x1000 ~kind:FE.Read ~node:1;
+        ev ~time:4 0x1000 ~kind:FE.Read ~node:2;
+        ev ~time:5 0x1000 ~kind:FE.Read ~node:1;
+      ]
+  in
+  (match classify write_heavy with
+  | Analysis.Quiet -> ()
+  | _ -> Alcotest.fail "2 writes x 3 reads must stay Quiet (needs 2x)");
+  (* Two writer nodes alternating every write: ping-pong, dominant =
+     heaviest writer (lowest node on a tie). *)
+  let ping_pong =
+    mk
+      [
+        ev ~time:1 0x1000 ~kind:FE.Write ~node:0;
+        ev ~time:2 0x1000 ~kind:FE.Write ~node:1;
+        ev ~time:3 0x1000 ~kind:FE.Write ~node:0;
+        ev ~time:4 0x1000 ~kind:FE.Write ~node:1;
+      ]
+  in
+  (match classify ping_pong with
+  | Analysis.Ping_pong { dominant } -> check_int "dominant writer" 0 dominant
+  | _ -> Alcotest.fail "expected Ping_pong");
+  (* Two writers, but one long run each (1 flip over 6 writes): false
+     sharing, not ping-pong. *)
+  let false_shared =
+    mk
+      [
+        ev ~time:1 0x1000 ~kind:FE.Write ~node:1;
+        ev ~time:2 0x1000 ~kind:FE.Write ~node:1;
+        ev ~time:3 0x1000 ~kind:FE.Write ~node:1;
+        ev ~time:4 0x1000 ~kind:FE.Write ~node:0;
+        ev ~time:5 0x1000 ~kind:FE.Write ~node:0;
+        ev ~time:6 0x1000 ~kind:FE.Write ~node:0;
+      ]
+  in
+  (match classify false_shared with
+  | Analysis.False_shared { nodes } ->
+      Alcotest.(check (list int)) "both writer nodes" [ 0; 1 ] nodes
+  | _ -> Alcotest.fail "expected False_shared");
+  (* Below the fault floor: quiet regardless of shape. *)
+  (match
+     classify
+       (mk [ ev ~time:1 0x1000 ~kind:FE.Write ~node:0;
+             ev ~time:2 0x1000 ~kind:FE.Write ~node:1 ])
+   with
+  | Analysis.Quiet -> ()
+  | _ -> Alcotest.fail "below min_faults must be Quiet")
+
+let test_window_filters_old_events () =
+  let events = [ ev ~time:100 0x1000; ev ~time:200 0x2000; ev ~time:300 0x3000 ] in
+  Alcotest.(check (list int))
+    "only events newer than now - width survive" [ 0x2000; 0x3000 ]
+    (List.map
+       (fun e -> e.FE.addr)
+       (Analysis.window ~now:300 ~width:150 events))
+
 let () =
   Alcotest.run "dex_profile"
     [
@@ -199,5 +405,14 @@ let () =
           Alcotest.test_case "detach" `Quick test_detach_stops_collection;
           Alcotest.test_case "CSV export" `Quick test_csv_export;
           Alcotest.test_case "sharing matrix" `Quick test_sharing_matrix;
+          Alcotest.test_case "bounded trace ring" `Quick test_trace_ring_bounded;
+          Alcotest.test_case "CSV escaping (RFC 4180)" `Quick
+            test_csv_escapes_sites;
+          Alcotest.test_case "deterministic tie ordering" `Quick
+            test_analysis_tie_determinism;
+          Alcotest.test_case "directed page classification" `Quick
+            test_classify_directed;
+          Alcotest.test_case "window filter" `Quick
+            test_window_filters_old_events;
         ] );
     ]

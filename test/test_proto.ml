@@ -774,6 +774,222 @@ let test_chaos_fault_paths_exercised () =
   check_bool "the transient partition discarded traffic" true
     (!chaos_partition_drops > 0)
 
+(* --- placement autopilot primitives ------------------------------------ *)
+
+(* Re-homing moves a page's serving authority without touching data: SC
+   holds across the move for accessors on every node, the overlay lists
+   exactly the moved pages, and moving back to the static home clears it. *)
+let test_rehome_moves_authority () =
+  let engine, coh = setup ~nodes:4 () in
+  let vpn = Page.page_of_addr addr0 in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 7L;
+      check_int "static home serves the page" 0 (Coherence.page_home coh vpn);
+      (match Coherence.rehome_page coh ~vpn ~node:2 with
+      | `Rehomed -> ()
+      | _ -> Alcotest.fail "re-home to node 2 must succeed");
+      check_int "dynamic home serves the page" 2 (Coherence.page_home coh vpn);
+      Alcotest.(check (list (pair int int)))
+        "overlay lists the moved page" [ (vpn, 2) ]
+        (Coherence.rehomed_pages coh);
+      (* SC across the move: a write from one node, reads from all. *)
+      Coherence.store_i64 coh ~node:1 ~tid:1 addr0 8L;
+      for node = 0 to 3 do
+        check_i64 "every node reads through the dynamic home" 8L
+          (Coherence.load_i64 coh ~node ~tid:node addr0)
+      done;
+      (match Coherence.rehome_page coh ~vpn ~node:2 with
+      | `Noop -> ()
+      | _ -> Alcotest.fail "re-home to the current home is a no-op");
+      (match Coherence.rehome_page coh ~vpn ~node:0 with
+      | `Rehomed -> ()
+      | _ -> Alcotest.fail "re-home back to the static home must succeed");
+      Alcotest.(check (list (pair int int)))
+        "overlay cleared on the way back" [] (Coherence.rehomed_pages coh));
+  check_int "both moves counted" 2
+    (Stats.get (Coherence.stats coh) "autopilot.rehomes");
+  check_bool "out-of-range target rejected" true
+    (match Coherence.rehome_page coh ~vpn ~node:7 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Coherence.check_invariants coh
+
+let test_rehome_refuses_dead_target () =
+  let engine, coh, fabric =
+    setup_with_fabric ~nodes:3 ~net:(crash_net ~nodes:3 ()) ()
+  in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 7L;
+      Dex_net.Fabric.crash fabric ~node:2;
+      Dex_net.Fabric.declare_dead fabric ~node:2;
+      match Coherence.rehome_page coh ~vpn:(Page.page_of_addr addr0) ~node:2 with
+      | `Dead_target -> ()
+      | _ -> Alcotest.fail "re-home onto a declared-dead node must refuse");
+  Coherence.check_invariants coh
+
+(* Pinning pulls a re-homed page back to its static shard home and holds
+   it there: later re-home attempts become no-ops (the futex layer relies
+   on this to keep its check-and-sleep home-local). *)
+let test_pin_page_reverts_and_holds () =
+  let engine, coh = setup ~nodes:4 () in
+  let vpn = Page.page_of_addr addr0 in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 7L;
+      (match Coherence.rehome_page coh ~vpn ~node:3 with
+      | `Rehomed -> ()
+      | _ -> Alcotest.fail "setup re-home must succeed");
+      Coherence.pin_page coh ~vpn;
+      check_int "pin pulled authority back to the static home" 0
+        (Coherence.page_home coh vpn);
+      check_bool "page reports pinned" true (Coherence.pinned_page coh vpn);
+      check_int "the pull-back is counted" 1
+        (Stats.get (Coherence.stats coh) "autopilot.pin_reverts");
+      (match Coherence.rehome_page coh ~vpn ~node:2 with
+      | `Noop -> ()
+      | _ -> Alcotest.fail "re-homing a pinned page must refuse");
+      check_int "refused re-home leaves authority put" 0
+        (Coherence.page_home coh vpn);
+      (* Idempotent: pinning an already-pinned, already-home page moves
+         nothing. *)
+      Coherence.pin_page coh ~vpn;
+      check_int "re-pinning reverts nothing" 1
+        (Stats.get (Coherence.stats coh) "autopilot.pin_reverts"));
+  Coherence.check_invariants coh
+
+(* The replicate-don't-invalidate path end to end: after a marked page's
+   write cycle retires, the first read grant makes the home push copies to
+   the displaced readers — their next reads hit locally, with no faults. *)
+let test_mark_replicate_pushes_copies () =
+  let engine, coh = setup ~nodes:4 () in
+  let vpn = Page.page_of_addr addr0 in
+  let st = Coherence.stats coh in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 1L;
+      for node = 1 to 3 do
+        ignore (Coherence.load_i64 coh ~node ~tid:node addr0)
+      done;
+      Coherence.mark_replicate coh ~first:vpn ~last:vpn;
+      check_bool "mark recorded" true (Coherence.replicate_marked coh vpn);
+      (* The write revokes readers 1..3 and records them as push
+         subscribers; node 1's read grant returns the page to Shared and
+         triggers unsolicited pushes to nodes 2 and 3. *)
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 2L;
+      ignore (Coherence.load_i64 coh ~node:1 ~tid:1 addr0));
+  run_fiber engine (fun () ->
+      (* Quiescence above joined the pushes; 2 and 3 now read locally. *)
+      let faults_before = Stats.get st "fault.read" in
+      check_i64 "pushed copy holds the new value (node 2)" 2L
+        (Coherence.load_i64 coh ~node:2 ~tid:2 addr0);
+      check_i64 "pushed copy holds the new value (node 3)" 2L
+        (Coherence.load_i64 coh ~node:3 ~tid:3 addr0);
+      check_int "displaced readers re-read without faulting" faults_before
+        (Stats.get st "fault.read"));
+  check_bool "pushes counted" true
+    (Stats.get st "autopilot.replica_pushes" >= 2);
+  check_int "no victim declined" 0 (Stats.get st "autopilot.push_declined");
+  Coherence.check_invariants coh
+
+(* A re-homed page whose dynamic home crashes must fall back to its static
+   shard home with the last-externalized bytes, and surviving copy holders
+   keep working — re-homed entries are deliberately not HA-replicated, so
+   this fallback IS their crash story. *)
+let test_rehomed_home_crash_falls_back () =
+  let engine, coh, fabric =
+    setup_with_fabric ~nodes:3 ~net:(crash_net ~nodes:3 ()) ()
+  in
+  let vpn = Page.page_of_addr addr0 in
+  run_fiber engine (fun () ->
+      Coherence.store_i64 coh ~node:0 ~tid:0 addr0 7L;
+      (match Coherence.rehome_page coh ~vpn ~node:1 with
+      | `Rehomed -> ()
+      | _ -> Alcotest.fail "setup re-home must succeed");
+      (* A write served by the dynamic home, then a read that forces the
+         writer to externalize its bytes — which the dynamic home mirrors
+         back to the static shard home. *)
+      Coherence.store_i64 coh ~node:2 ~tid:2 addr0 9L;
+      ignore (Coherence.load_i64 coh ~node:0 ~tid:0 addr0);
+      check_bool "externalized bytes mirrored to the static home" true
+        (Stats.get (Coherence.stats coh) "autopilot.mirrors" > 0));
+  run_fiber engine (fun () ->
+      Dex_net.Fabric.crash fabric ~node:1;
+      Dex_net.Fabric.declare_dead fabric ~node:1);
+  check_int "authority fell back to the static shard home" 0
+    (Coherence.page_home coh vpn);
+  check_bool "fallback counted" true
+    (Stats.get (Coherence.stats coh) "autopilot.fallbacks" > 0);
+  Alcotest.(check (list (pair int int)))
+    "overlay no longer lists the page" [] (Coherence.rehomed_pages coh);
+  let v = ref 0L in
+  run_fiber engine (fun () ->
+      v := Coherence.load_i64 coh ~node:2 ~tid:2 addr0);
+  check_i64 "the externalized write survives the crash" 9L !v;
+  Coherence.check_invariants coh
+
+(* The SC acceptance property for this PR: single-writer monotonicity must
+   survive an adversary driving the autopilot's levers mid-run — re-homes
+   to random nodes, replicate marks and pins on exactly the hot pages —
+   on a chaotic fabric with sharded homes AND synchronous HA replication
+   underneath. *)
+let prop_monotonic_under_autopilot_actions ~name () =
+  QCheck.Test.make ~name ~count:15
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, n_addrs) ->
+      let cfg =
+        {
+          Proto_config.default with
+          sharding = `Hash 4;
+          replication = `Sync;
+          standby_count = 1;
+        }
+      in
+      let engine, coh, fabric =
+        setup_with_fabric ~nodes:4 ~seed ~cfg ~net:(chaos_net ~nodes:4) ()
+      in
+      let addr_of k = addr0 + (k * 192) in
+      for k = 0 to n_addrs - 1 do
+        Engine.spawn engine (fun () ->
+            for i = 1 to 12 do
+              Coherence.store_i64 coh ~node:(k mod 4) ~tid:k (addr_of k)
+                (Int64.of_int i);
+              Engine.delay engine (Time_ns.us 17)
+            done)
+      done;
+      let ok = ref true in
+      for node = 0 to 3 do
+        Engine.spawn engine (fun () ->
+            let prev = Array.make n_addrs 0L in
+            for _ = 1 to 25 do
+              for k = 0 to n_addrs - 1 do
+                let v =
+                  Coherence.load_i64 coh ~node ~tid:(100 + node) (addr_of k)
+                in
+                if v < prev.(k) then ok := false;
+                prev.(k) <- v
+              done;
+              Engine.delay engine (Time_ns.us 9)
+            done)
+      done;
+      (* The adversary: autopilot actions against the pages under test. *)
+      Engine.spawn engine (fun () ->
+          let rng = Random.State.make [| seed; 0x9e37 |] in
+          for _ = 1 to 20 do
+            let vpn =
+              Page.page_of_addr (addr_of (Random.State.int rng n_addrs))
+            in
+            (match Random.State.int rng 4 with
+            | 0 | 1 ->
+                ignore
+                  (Coherence.rehome_page coh ~vpn
+                     ~node:(Random.State.int rng 4))
+            | 2 -> Coherence.mark_replicate coh ~first:vpn ~last:vpn
+            | _ -> Coherence.pin_page coh ~vpn);
+            Engine.delay engine (Time_ns.us 13)
+          done);
+      Engine.run_until_quiescent engine;
+      Coherence.check_invariants coh;
+      harvest_chaos fabric;
+      !ok)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -884,5 +1100,25 @@ let () =
               prop_invariants_with_crash
                 ~name:"invariants + ghost-free directory under mid-run crash"
                 ();
+            ] );
+      ( "autopilot",
+        [
+          Alcotest.test_case "re-home moves serving authority" `Quick
+            test_rehome_moves_authority;
+          Alcotest.test_case "re-home refuses dead targets" `Quick
+            test_rehome_refuses_dead_target;
+          Alcotest.test_case "pin pulls a page back and holds it" `Quick
+            test_pin_page_reverts_and_holds;
+          Alcotest.test_case "replicate mark pushes read copies" `Quick
+            test_mark_replicate_pushes_copies;
+          Alcotest.test_case "re-homed page survives its home crashing" `Quick
+            test_rehomed_home_crash_falls_back;
+        ]
+        @ qsuite
+            [
+              prop_monotonic_under_autopilot_actions
+                ~name:
+                  "single-writer monotonicity with live re-home/pin/replicate \
+                   under chaos (sharded + replicated)" ();
             ] );
     ]
