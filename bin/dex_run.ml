@@ -5,7 +5,10 @@
      run                run one application (app x variant x nodes)
      sweep              run one application across node counts
      profile            run with the page-fault profiler attached
-     chaos              run the demo workload on a lossy (chaos) fabric *)
+     chaos              run the demo workload on a lossy (chaos) fabric
+     crash              fail-stop a worker node mid-run and report recovery
+     failover           fail-stop the origin mid-run (standby promotion)
+     serve              host multi-tenant open-loop traffic on one cluster *)
 
 open Cmdliner
 module A = Dex_apps.App_common
@@ -583,10 +586,205 @@ let failover_cmd =
       const run $ nodes_arg $ mode_arg $ lag_arg $ crash_at_arg $ rounds_arg
       $ standbys_arg $ double_crash_arg)
 
+let serve_cmd =
+  let module SC = Dex_serve.Serve_config in
+  let module S = Dex_serve.Serve in
+  let tenants_arg =
+    let doc = "Number of tenants sharing the cluster." in
+    Arg.(value & opt int 4 & info [ "t"; "tenants" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Per-tenant mean arrival rate, requests per millisecond." in
+    Arg.(value & opt float 2.0 & info [ "r"; "rate" ] ~docv:"R" ~doc)
+  in
+  let duration_arg =
+    let doc = "Arrival window, milliseconds (admitted work then drains)." in
+    Arg.(value & opt float 6.0 & info [ "d"; "duration" ] ~docv:"MS" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Master seed: every tenant's arrival and workload stream is split \
+       from it (same seed, same request streams)."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let shed_arg =
+    let doc =
+      "Shed queued requests that waited past $(b,--shed-after-us) instead \
+       of serving them (bounds the admitted sojourn tail under overload)."
+    in
+    Arg.(value & flag & info [ "shed" ] ~doc)
+  in
+  let shed_after_arg =
+    let doc = "Maximum queue wait before a request is shed, microseconds." in
+    Arg.(value & opt int 2000 & info [ "shed-after-us" ] ~docv:"US" ~doc)
+  in
+  let fifo_arg =
+    let doc =
+      "Use one FIFO ingress gate instead of weighted per-tenant fair \
+       sharing (exposes noisy neighbours)."
+    in
+    Arg.(value & flag & info [ "fifo" ] ~doc)
+  in
+  let mmpp_arg =
+    let doc =
+      "Bursty arrivals: a two-state MMPP dwelling between the calm rate \
+       $(b,--rate) and a 4x burst, instead of a plain Poisson stream."
+    in
+    Arg.(value & flag & info [ "mmpp" ] ~doc)
+  in
+  let ha_arg =
+    let doc =
+      "High-availability placement: per-tenant thread-free service origins \
+       with synchronous replication onto a reserved standby, so a \
+       mid-serve origin crash is lossless."
+    in
+    Arg.(value & flag & info [ "ha" ] ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Serve over a lossy fabric (drops, duplicates, reordering, jitter) \
+       riding on the reliable transport."
+    in
+    Arg.(value & flag & info [ "chaos" ] ~doc)
+  in
+  let crash_at_arg =
+    let doc =
+      "Fail-stop one of tenant 0's nodes at $(docv) (its service origin \
+       with $(b,--ha), a worker node otherwise) to demonstrate cross-tenant \
+       fault isolation. 0 disables the crash."
+    in
+    Arg.(value & opt int 0 & info [ "crash-at-us" ] ~docv:"US" ~doc)
+  in
+  let run tenants rate duration seed shed shed_after_us fifo mmpp ha chaos
+      crash_at_us =
+    if tenants < 1 || rate <= 0.0 || duration <= 0.0 then begin
+      Format.eprintf "serve: need --tenants >= 1, --rate > 0, --duration > 0@.";
+      exit 2
+    end;
+    let arrival =
+      if mmpp then
+        SC.Mmpp
+          {
+            calm = rate;
+            burst = 4.0 *. rate;
+            dwell_calm_ms = 1.0;
+            dwell_burst_ms = 0.5;
+          }
+      else SC.Poisson rate
+    in
+    let cfg =
+      {
+        SC.default with
+        SC.tenants =
+          List.init tenants (fun i ->
+              {
+                SC.default_tenant with
+                SC.t_name = Printf.sprintf "t%02d" i;
+                t_arrival = arrival;
+              });
+        seed;
+        duration = Dex_sim.Time_ns.us (int_of_float (1000.0 *. duration));
+        shed;
+        shed_after = Dex_sim.Time_ns.us shed_after_us;
+        fair = not fifo;
+        ha;
+      }
+    in
+    let nodes = S.required_nodes cfg in
+    (* Crashes need the reliable (chaos) transport for failure detection;
+       --chaos additionally injects faults on the wire. *)
+    let net =
+      if chaos || crash_at_us > 0 then
+        let c =
+          {
+            Dex_net.Net_config.chaos_default with
+            Dex_net.Net_config.chaos_seed = seed;
+            rto = Dex_sim.Time_ns.us 20;
+            rto_cap = Dex_sim.Time_ns.us 100;
+            max_retransmits = 4;
+          }
+        in
+        let c =
+          if chaos then
+            {
+              c with
+              Dex_net.Net_config.drop_prob = 0.02;
+              dup_prob = 0.01;
+              reorder_prob = 0.01;
+              delay_jitter_ns = 500;
+            }
+          else c
+        in
+        Some
+          {
+            (Dex_net.Net_config.default ~nodes ()) with
+            Dex_net.Net_config.chaos = Some c;
+          }
+      else None
+    in
+    let events =
+      if crash_at_us = 0 then None
+      else
+        let victim = if ha then 0 else 1 in
+        Some
+          [
+            ( Dex_sim.Time_ns.us crash_at_us,
+              fun cl -> Dex_core.Cluster.crash_node cl ~node:victim );
+          ]
+    in
+    let r = S.run ?net ?events cfg in
+    Format.printf
+      "serve: %d tenants x %.1f req/ms (%s arrivals) on %d nodes, %.1fms \
+       window%s%s%s@."
+      tenants rate
+      (if mmpp then "bursty MMPP" else "Poisson")
+      r.S.r_nodes duration
+      (if ha then ", ha" else "")
+      (if chaos then ", lossy fabric" else "")
+      (match events with
+      | Some _ ->
+          Printf.sprintf ", node %d dies @%dus"
+            (if ha then 0 else 1)
+            crash_at_us
+      | None -> "");
+    Dex_profile.Report.pp_serve
+      ~tenants:
+        (List.map
+           (fun (tr : S.tenant_result) -> (tr.S.tr_name, tr.S.tr_sojourn))
+           r.S.r_tenants)
+      Format.std_formatter r.S.r_stats;
+    Format.printf "sim time: %.2fms@."
+      (Dex_sim.Time_ns.to_ms_f r.S.r_sim_time);
+    let corrupted =
+      List.fold_left
+        (fun acc (tr : S.tenant_result) -> acc + tr.S.tr_corrupted)
+        0 r.S.r_tenants
+    in
+    if corrupted > 0 then begin
+      Format.printf "CORRUPTED: %d completed requests failed their checksum@."
+        corrupted;
+      1
+    end
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host many tenants' open-loop traffic on one shared cluster and \
+          report per-tenant admission counters and sojourn-latency tails")
+    Term.(
+      const run $ tenants_arg $ rate_arg $ duration_arg $ seed_arg $ shed_arg
+      $ shed_after_arg $ fifo_arg $ mmpp_arg $ ha_arg $ chaos_arg
+      $ crash_at_arg)
+
 let main =
   let doc = "DeX: scaling applications beyond machine boundaries (simulated)" in
   Cmd.group
     (Cmd.info "dex_run" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; sweep_cmd; profile_cmd; chaos_cmd; crash_cmd; failover_cmd ]
+    [
+      list_cmd; run_cmd; sweep_cmd; profile_cmd; chaos_cmd; crash_cmd;
+      failover_cmd; serve_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -43,6 +43,7 @@ type ctx = {
   nodes : int;
   threads : int;
   seed : int;
+  nodemap : int -> int;
 }
 
 let run_app ~name ~nodes ~variant ?config ?proto ?(threads_per_node = 8)
@@ -67,7 +68,15 @@ let run_app ~name ~nodes ~variant ?config ?proto ?(threads_per_node = 8)
                  }
                proc);
         let ctx =
-          { proc; cl; variant; nodes; threads = threads_per_node * nodes; seed }
+          {
+            proc;
+            cl;
+            variant;
+            nodes;
+            threads = threads_per_node * nodes;
+            seed;
+            nodemap = Fun.id;
+          }
         in
         ctx_out := Some ctx;
         checksum := body ctx main)
@@ -88,7 +97,7 @@ let run_app ~name ~nodes ~variant ?config ?proto ?(threads_per_node = 8)
     stats;
   }
 
-let node_of ctx i = i * ctx.nodes / ctx.threads
+let node_of ctx i = ctx.nodemap (i * ctx.nodes / ctx.threads)
 
 let worker_pool ctx f =
   List.init ctx.threads (fun i ->

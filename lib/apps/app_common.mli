@@ -55,6 +55,12 @@ type ctx = {
   nodes : int;
   threads : int;
   seed : int;
+  nodemap : int -> int;
+      (** Maps the body's virtual node ids [0 .. nodes-1] to physical
+          cluster nodes. {!run_app} uses the identity (the process owns
+          the whole rack); the serving layer confines each tenant's runs
+          to a placement subset with this. [nodemap 0] must be the node
+          the main thread starts on. *)
 }
 
 val run_app :
@@ -80,7 +86,8 @@ val run_app :
 
 val node_of : ctx -> int -> int
 (** Home node of worker [i] under the block distribution the paper uses
-    (threads spread evenly, worker 0 on the origin). *)
+    (threads spread evenly, worker 0 on the origin), routed through
+    [ctx.nodemap]. *)
 
 val parallel_region : ctx -> (int -> Process.thread -> unit) -> unit
 (** Run one parallel region: spawn [ctx.threads] workers; unless the

@@ -50,6 +50,8 @@ let checksum tallies =
     tallies;
   !acc
 
+let reference_checksum p ~seed = checksum (reference_tallies p ~seed)
+
 let body p ctx main =
   let threads = ctx.A.threads in
   let nbatches = batches p in

@@ -25,6 +25,15 @@ val conversion : App_common.conversion
 val reference_tallies : params -> seed:int -> int array
 (** Ground truth annulus counts from a sequential host run. *)
 
+val reference_checksum : params -> seed:int -> int64
+(** The checksum a correct run returns — {!reference_tallies} folded the
+    same way {!body} folds its final tallies. *)
+
+val body : params -> App_common.ctx -> Dex_core.Process.thread -> int64
+(** The application body, for callers that build their own process on a
+    shared cluster (the serving layer); returns the run's checksum.
+    {!run} wraps it in a fresh single-process rack. *)
+
 val run :
   nodes:int ->
   variant:App_common.variant ->

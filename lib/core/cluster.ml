@@ -9,7 +9,8 @@ type t = {
   membw : Membw.t array;
   storage : Resource.Server.t;
   rng : Rng.t;
-  mutable routers : (Dex_net.Fabric.env -> bool) list;
+  mutable routers : (int * (Dex_net.Fabric.env -> bool)) list;
+  mutable next_router_id : int;
   mutable next_pid : int;
 }
 
@@ -42,6 +43,7 @@ let create ?(config = Core_config.default) ?net
           ~bytes_per_us:config.Core_config.storage_bytes_per_us;
       rng = Rng.create ~seed;
       routers = [];
+      next_router_id = 0;
       next_pid = 1;
     }
   in
@@ -52,7 +54,7 @@ let create ?(config = Core_config.default) ?net
               failwith
                 (Format.asprintf "Cluster: unrouted message %a" Dex_net.Msg.pp
                    env.Dex_net.Fabric.msg)
-          | r :: rest -> if r env then () else route rest
+          | (_, r) :: rest -> if r env then () else route rest
         in
         route t.routers)
   done;
@@ -73,7 +75,15 @@ let fresh_pid t =
   t.next_pid <- pid + 1;
   pid
 
-let add_router t r = t.routers <- t.routers @ [ r ]
+let add_removable_router t r =
+  let id = t.next_router_id in
+  t.next_router_id <- id + 1;
+  t.routers <- t.routers @ [ (id, r) ];
+  fun () -> t.routers <- List.filter (fun (i, _) -> i <> id) t.routers
+
+let add_router t r =
+  let (_ : unit -> unit) = add_removable_router t r in
+  ()
 
 let crash_node t ~node =
   if node < 0 || node >= nodes t then

@@ -42,6 +42,13 @@ val add_router : t -> (Dex_net.Fabric.env -> bool) -> unit
     and the first returning [true] wins. An unrouted message is an
     error. *)
 
+val add_removable_router :
+  t -> (Dex_net.Fabric.env -> bool) -> unit -> unit
+(** Like {!add_router} but returns an unregister thunk (idempotent).
+    A long-lived cluster that hosts many short-lived processes (the
+    serving layer) prunes exited processes' routers with this, keeping
+    message dispatch from scanning every consumer that ever lived. *)
+
 val crash_node : t -> node:int -> unit
 (** Fail-stop [node] at the current simulation time: it stops servicing
     fabric messages instantly and is declared dead once survivors notice

@@ -7,12 +7,17 @@ module Futex = Futex
 
 let cluster = Cluster.create
 
-let run ?origin cl f =
+let attach ?origin ?(on_exit = fun _ -> ()) cl f =
   let proc = Process.create cl ?origin () in
   let main = Process.spawn proc ~name:"main" (fun th -> f proc th) in
   Dex_sim.Engine.spawn (Cluster.engine cl) ~label:"supervisor" (fun () ->
       Process.join main;
-      Process.shutdown proc);
+      Process.shutdown proc;
+      on_exit proc);
+  proc
+
+let run ?origin cl f =
+  let proc = attach ?origin cl f in
   Cluster.run cl;
   proc
 

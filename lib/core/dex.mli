@@ -44,5 +44,18 @@ val run :
     to completion. Returns the finished process for inspection (statistics,
     migration log, fault traces). *)
 
+val attach :
+  ?origin:int ->
+  ?on_exit:(Process.t -> unit) ->
+  Cluster.t ->
+  (Process.t -> Process.thread -> unit) ->
+  Process.t
+(** Like {!run}, but does {e not} drive the simulation: the process and
+    its supervisor are planted into the engine's event queue and run
+    whenever the caller (or an enclosing {!Cluster.run}) pumps it.
+    [on_exit] fires in the supervisor fiber after the last thread joined
+    and teardown finished. This is how the serving layer hosts many
+    concurrent short-lived processes on one shared cluster. *)
+
 val elapsed : Cluster.t -> Dex_sim.Time_ns.t
 (** Simulated time consumed so far — the "wall clock" of the experiment. *)

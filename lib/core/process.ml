@@ -81,6 +81,10 @@ type t = {
       (* run by threads at compute boundaries (cooperative preemption);
          the placement autopilot's balancer checkpoint hangs here *)
   mutable stopping : bool;  (* shutdown has drained the threads *)
+  mutable unroute : unit -> unit;
+      (* unregisters the coherence router at shutdown, so a long-lived
+         cluster serving many short-lived processes doesn't scan every
+         dead process's router on each message *)
 }
 
 and thread = {
@@ -1001,12 +1005,25 @@ and migrate_send th target =
     end
   end
 
+(* The thread this migration is shipping is still parked waiting for the
+   destination [node] to rebuild it. False for a context that outlived its
+   sender's fail-stop: crash recovery already woke the thread and applied
+   the crash policy, so a late-arriving copy must be dropped — acting on
+   it would clobber the thread's recovered location and build a remote
+   worker that no teardown broadcast will ever reach. *)
+let migration_current th ~node =
+  match th.mig_park with
+  | Some (_, dst, _) -> dst = node
+  | None -> false
+
 (* Destination-side reconstruction of a migrated thread. Runs in the
    fabric handler fiber at the destination node. *)
 let handle_migrate t ~node ~tid ~origin_ns resume =
   let eng = engine t in
   let c = cfg t in
   let th = find_thread t tid in
+  if not (migration_current th ~node) then resume ()
+  else
   let t0 = Engine.now eng in
   let breakdown = ref [] in
   let charge label d =
@@ -1014,10 +1031,15 @@ let handle_migrate t ~node ~tid ~origin_ns resume =
     breakdown := (label, d) :: !breakdown
   in
   (* Reconstruction takes hundreds of microseconds; the node can fail-stop
-     under it. Check the ground truth at every point that would publish
-     state (worker slot, thread location) — the crash teardown has already
-     reset whatever we were building, and must not be undone. *)
-  let gone () = Fabric.crashed (fabric t) ~node in
+     under it, and the {e source} can too — crash recovery then wakes the
+     parked thread and applies the policy, cancelling the migration while
+     this fiber is mid-rebuild. Check the ground truth at every point that
+     would publish state (worker slot, thread location) — the teardown or
+     the cancellation has already reset whatever we were building, and a
+     worker spawned after the decision would outlive every exit broadcast. *)
+  let gone () =
+    Fabric.crashed (fabric t) ~node || not (migration_current th ~node)
+  in
   let built_worker =
     match t.workers.(node) with
     | Absent ->
@@ -1034,7 +1056,10 @@ let handle_migrate t ~node ~tid ~origin_ns resume =
           let queue =
             { ops = Queue.create (); signal = Waitq.create (); dead = false }
           in
-          Engine.spawn eng ~label:"remote-worker" (worker_loop t node queue);
+          Engine.spawn eng
+            ~label:
+              (Printf.sprintf "remote-worker:pid%d:node%d" t.pid node)
+            (worker_loop t node queue);
           t.workers.(node) <- Ready queue;
           ignore (Waitq.wake_all creation_q ());
           (* The first remote thread is forked as part of building the
@@ -1080,12 +1105,16 @@ let handle_migrate t ~node ~tid ~origin_ns resume =
   resume ()
   end
 
-let handle_migrate_back t ~tid ~remote_ns resume =
+let handle_migrate_back t ~node ~tid ~remote_ns resume =
   let eng = engine t in
   let c = cfg t in
   let th = find_thread t tid in
+  if not (migration_current th ~node) then resume ()
+  else
   let t0 = Engine.now eng in
   Engine.delay eng c.Core_config.backward_update;
+  if not (migration_current th ~node) then resume ()
+  else begin
   th.location <- t.origin;
   t.mig_log <-
     {
@@ -1099,6 +1128,7 @@ let handle_migrate_back t ~tid ~remote_ns resume =
     }
     :: t.mig_log;
   resume ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fail-stop crash recovery.                                           *)
@@ -1204,7 +1234,7 @@ let router t (env : Fabric.env) =
         handle_migrate t ~node:msg.Msg.dst ~tid ~origin_ns resume;
         true
     | M.Migrate_back { pid; tid; remote_ns; resume } when pid = t.pid ->
-        handle_migrate_back t ~tid ~remote_ns resume;
+        handle_migrate_back t ~node:msg.Msg.dst ~tid ~remote_ns resume;
         true
     | M.Delegate { pid; resp_size; run; _ } when pid = t.pid ->
         Engine.delay (engine t) (cfg t).Core_config.delegation_dispatch;
@@ -1377,6 +1407,7 @@ let create cluster ?(origin = 0) () =
         };
       safepoint_hook = None;
       stopping = false;
+      unroute = Fun.id;
     }
   in
   (* Wire the replication logs into the protocol layer before any state is
@@ -1463,7 +1494,7 @@ let create cluster ?(origin = 0) () =
     ~perm:Perm.rw ~tag:"globals";
   layout_vma ~start:Layout.heap_base ~len:Layout.heap_size ~perm:Perm.rw
     ~tag:"heap";
-  Cluster.add_router cluster (router t);
+  t.unroute <- Cluster.add_removable_router cluster (router t);
   (* Subscriber priorities spell out the recovery order: directory reclaim
      (0, in Coherence.create), standby promotion (10, in Ha.arm), then
      thread/worker recovery here. *)
@@ -1547,4 +1578,13 @@ let shutdown t =
   (* Periodic fibers (the autopilot tick) notice on their next wake and
      exit, so the simulation still quiesces. *)
   t.stopping <- true;
-  broadcast_node_op t M.Process_exit
+  broadcast_node_op t M.Process_exit;
+  (* Every thread is joined and every remote worker has acked teardown
+     (in chaos mode a send only returns once acked, and duplicate copies
+     are filtered at the fabric's dedup layer before routing), so no
+     coherence message addressed to this pid can arrive anymore — unless
+     replication is armed: a standby still holding this process's log can
+     promote on a later origin crash and broadcast epoch fences that the
+     coherence handler must ack, so replicated processes keep their router
+     registered (the pre-pruning behaviour). *)
+  if Array.for_all Option.is_none t.has then t.unroute ()

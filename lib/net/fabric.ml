@@ -93,6 +93,9 @@ let crash_detected t ~node =
   check_node t node "crash_detected";
   t.detected.(node)
 
+let live_nodes t =
+  List.filter (fun n -> not t.dead.(n)) (List.init (Array.length t.dead) Fun.id)
+
 let on_crash ?(priority = 0) t f =
   let seq = t.crash_sub_seq in
   t.crash_sub_seq <- seq + 1;

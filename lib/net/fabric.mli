@@ -127,6 +127,11 @@ val crash_detected : t -> node:int -> bool
 (** Has the failure of [node] been declared to the {!on_crash}
     subscribers? Always implies [crashed]. *)
 
+val live_nodes : t -> int list
+(** Ascending ids of every node that has not fail-stopped — the candidate
+    set for placing new work (the serving layer steers admissions around
+    dead nodes with this). All nodes when chaos is off. *)
+
 val declare_dead : t -> node:int -> unit
 (** Declare a crashed node's failure: runs every {!on_crash} subscriber
     (in priority order), exactly once per node. Called by recovery

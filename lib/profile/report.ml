@@ -166,6 +166,42 @@ let pp_ha ?coh fmt stats =
       Format.fprintf fmt "ha: replica set lost - replication disabled@."
   end
 
+(* Serving digest: fleet admission counters plus per-tenant sojourn
+   latency tails. Tenants are plain (name, histogram) pairs so the
+   profiler stays independent of the serving layer (which sits above
+   it); the fleet row is the merge of every tenant's samples. Silent
+   when no traffic was offered. *)
+let pp_serve ?(tenants = []) fmt stats =
+  let get = Dex_sim.Stats.get stats in
+  if get "serve.offered" > 0 then begin
+    Format.fprintf fmt
+      "serve: offered=%d admitted=%d rejected=%d shed=%d completed=%d \
+       corrupted=%d retried=%d no_capacity=%d@."
+      (get "serve.offered") (get "serve.admitted") (get "serve.rejected")
+      (get "serve.shed") (get "serve.completed")
+      (get "serve.corrupted")
+      (get "serve.retried")
+      (get "serve.no_capacity");
+    let row name h =
+      if Dex_sim.Histogram.count h > 0 then
+        let p q = float_of_int (Dex_sim.Histogram.percentile h q) /. 1000.0 in
+        Format.fprintf fmt
+          "  %-8s n=%-5d sojourn_us: p50=%.1f p99=%.1f p999=%.1f max=%.1f@."
+          name
+          (Dex_sim.Histogram.count h)
+          (p 50.0) (p 99.0) (p 99.9)
+          (float_of_int (Dex_sim.Histogram.max_value h) /. 1000.0)
+    in
+    List.iter (fun (name, h) -> row name h) tenants;
+    match tenants with
+    | [] | [ _ ] -> ()
+    | (_, h0) :: rest ->
+        row "fleet"
+          (List.fold_left
+             (fun acc (_, h) -> Dex_sim.Histogram.merge acc h)
+             h0 rest)
+  end
+
 (* Sharded-home digest from the protocol's [shard.*] counters. Locality is
    local grants over all grants: the fraction of faults served by a node
    that was also the page's home. Silent when sharding is off (the

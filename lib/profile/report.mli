@@ -62,6 +62,19 @@ val pp_ha : ?coh:Dex_sim.Stats.t -> Format.formatter -> Dex_sim.Stats.t -> unit
     {!Dex_proto.Coherence.stats}). Prints nothing when replication was
     off. *)
 
+val pp_serve :
+  ?tenants:(string * Dex_sim.Histogram.t) list ->
+  Format.formatter ->
+  Dex_sim.Stats.t ->
+  unit
+(** Serving digest from the serving layer's [serve.*] counters: fleet
+    admission totals (offered/admitted/rejected/shed/completed plus
+    corruption, retry and no-capacity counts) and, per tenant passed in
+    [tenants] as a [(name, sojourn histogram)] pair, the p50/p99/p999/max
+    sojourn latency in µs — capped off by a [fleet] row merging every
+    tenant's samples ({!Dex_sim.Histogram.merge}) when there is more than
+    one. Prints nothing when no traffic was offered. *)
+
 val pp_shard : Format.formatter -> Dex_sim.Stats.t -> unit
 (** Sharded-home digest from the protocol's [shard.*] counters
     ({!Dex_proto.Coherence.stats}): shard count, grants served by a

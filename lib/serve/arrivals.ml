@@ -1,0 +1,55 @@
+open Dex_sim
+
+type state = Calm | Burst
+
+type t = {
+  rng : Rng.t;
+  spec : Serve_config.arrival;
+  mutable state : state;
+  mutable dwell_left : float;  (* ns remaining in the current state *)
+}
+
+(* Inverse-CDF exponential draw with mean [mean_ns]. 1 - u > 0 because
+   Rng.float draws from [0, bound). *)
+let exp_ns rng ~mean_ns = -.mean_ns *. log (1.0 -. Rng.float rng 1.0)
+
+let ns_per_req rate_per_ms = 1_000_000.0 /. rate_per_ms
+
+let create ~rng spec =
+  let dwell_left =
+    match spec with
+    | Serve_config.Poisson _ -> infinity
+    | Serve_config.Mmpp m -> exp_ns rng ~mean_ns:(m.dwell_calm_ms *. 1e6)
+  in
+  { rng; spec; state = Calm; dwell_left }
+
+let next_gap t =
+  let gap_ns =
+    match t.spec with
+    | Serve_config.Poisson rate -> exp_ns t.rng ~mean_ns:(ns_per_req rate)
+    | Serve_config.Mmpp m ->
+        (* Walk calm/burst dwells until a candidate inter-arrival falls
+           inside its state's remaining dwell; the elapsed dwell time of
+           the states we crossed still counts towards the gap. *)
+        let elapsed = ref 0.0 in
+        let rec draw () =
+          let rate, dwell_mean_ms, next =
+            match t.state with
+            | Calm -> (m.calm, m.dwell_burst_ms, Burst)
+            | Burst -> (m.burst, m.dwell_calm_ms, Calm)
+          in
+          let candidate = exp_ns t.rng ~mean_ns:(ns_per_req rate) in
+          if candidate <= t.dwell_left then begin
+            t.dwell_left <- t.dwell_left -. candidate;
+            !elapsed +. candidate
+          end
+          else begin
+            elapsed := !elapsed +. t.dwell_left;
+            t.state <- next;
+            t.dwell_left <- exp_ns t.rng ~mean_ns:(dwell_mean_ms *. 1e6);
+            draw ()
+          end
+        in
+        draw ()
+  in
+  max 1 (int_of_float gap_ns)

@@ -1,0 +1,21 @@
+(** Seeded open-loop arrival processes.
+
+    One instance per tenant, driven by the tenant's own RNG stream
+    (derived via {!Dex_sim.Rng.split}), so a tenant's arrival sequence is
+    a pure function of the master seed and its creation rank — adding or
+    removing other tenants, or any change in event interleaving, leaves
+    it untouched. *)
+
+type t
+
+val create : rng:Dex_sim.Rng.t -> Serve_config.arrival -> t
+(** [create ~rng spec] takes ownership of [rng] (callers pass a freshly
+    split stream). An MMPP process starts in its calm state. *)
+
+val next_gap : t -> Dex_sim.Time_ns.t
+(** Draw the time until the next arrival, advancing the process. Poisson:
+    one exponential draw at the configured rate. MMPP: exponential draws
+    at the current state's rate, advancing through exponentially-dwelled
+    calm/burst states until one lands inside its state's remaining dwell
+    (the standard thinning-free MMPP simulation). Gaps are at least
+    1 ns — two requests never share an arrival instant. *)

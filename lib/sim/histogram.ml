@@ -49,9 +49,12 @@ let percentile t p =
   if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: out of range";
   let a = sorted t in
   (* Classic nearest-rank definition: smallest value with at least p% of the
-     samples at or below it. *)
+     samples at or below it. The epsilon absorbs binary-fraction noise at
+     exact rank boundaries — e.g. 99.9/100*1000 evaluates to 999.0000...01,
+     and a bare ceil would skip from the 999th sample to the 1000th. *)
   let rank =
-    max 0 (int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) - 1)
+    max 0
+      (int_of_float (ceil ((p /. 100.0 *. float_of_int t.size) -. 1e-9)) - 1)
   in
   a.(rank)
 
@@ -66,6 +69,13 @@ let stddev t =
     done;
     sqrt (!sum /. float_of_int t.size)
   end
+
+let merge a b =
+  let t = { data = Array.make (max 16 (a.size + b.size)) 0; size = 0 } in
+  Array.blit a.data 0 t.data 0 a.size;
+  Array.blit b.data 0 t.data a.size b.size;
+  t.size <- a.size + b.size;
+  t
 
 let to_list t = Array.to_list (Array.sub t.data 0 t.size)
 

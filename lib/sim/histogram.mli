@@ -27,6 +27,11 @@ val percentile : t -> float -> int
 
 val stddev : t -> float
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding both sample sets ([a]'s
+    samples, then [b]'s); the inputs are unchanged and may be empty.
+    Used to aggregate per-tenant latency digests into a fleet-wide one. *)
+
 val to_list : t -> int list
 (** Samples in insertion order. *)
 

@@ -1,0 +1,17 @@
+The top-level help enumerates every subcommand, so the source header and
+the binary cannot drift apart silently:
+
+  $ ../../bin/dex_run.exe --help=plain | sed -n '/^COMMANDS/,/^COMMON OPTIONS/p' | grep -E '^       [a-z]+ ' | awk '{print $1}'
+  chaos
+  crash
+  failover
+  list
+  profile
+  run
+  serve
+  sweep
+
+An unknown subcommand names the real ones:
+
+  $ ../../bin/dex_run.exe frobnicate 2>&1 | head -1
+  dex_run: unknown command 'frobnicate', must be one of 'chaos', 'crash', 'failover', 'list', 'profile', 'run', 'serve' or 'sweep'.

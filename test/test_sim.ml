@@ -251,6 +251,51 @@ let test_histogram_buckets_negative () =
     [ (-20, 1); (-10, 1); (0, 1) ]
     b
 
+(* merge is a fresh accumulator: inputs keep their own samples, empty
+   sides are absorbed, and the merged percentiles see both sets. *)
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 10; 20 ];
+  List.iter (Histogram.add b) [ 30; 40; 50 ];
+  let m = Histogram.merge a b in
+  check_int "merged count" 5 (Histogram.count m);
+  check_int "merged min" 10 (Histogram.min_value m);
+  check_int "merged max" 50 (Histogram.max_value m);
+  check_int "merged median" 30 (Histogram.percentile m 50.0);
+  (* The inputs are unchanged... *)
+  check_int "left intact" 2 (Histogram.count a);
+  check_int "right intact" 3 (Histogram.count b);
+  (* ...and the result is independent of them. *)
+  Histogram.add m 60;
+  check_int "merge is fresh" 6 (Histogram.count m);
+  check_int "left still intact" 2 (Histogram.count a);
+  let e = Histogram.create () in
+  check_int "empty left" 3 (Histogram.count (Histogram.merge e b));
+  check_int "empty right" 3 (Histogram.count (Histogram.merge b e));
+  check_int "empty both" 0 (Histogram.count (Histogram.merge e e))
+
+(* Nearest-rank p999 on few samples: any p > (n-1)/n * 100 is the max,
+   and the tail percentiles are monotone in p. *)
+let test_histogram_p999 () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3 ];
+  check_int "p999 of 3 samples is the max" 3 (Histogram.percentile h 99.9);
+  check_int "p99 of 3 samples is the max" 3 (Histogram.percentile h 99.0);
+  let one = Histogram.create () in
+  Histogram.add one 7;
+  check_int "p999 of a single sample" 7 (Histogram.percentile one 99.9);
+  check_int "p0 of a single sample" 7 (Histogram.percentile one 0.0);
+  (* 1000 samples: p99.9 is the 999th-largest, distinct from the max. *)
+  let big = Histogram.create () in
+  for v = 1 to 1000 do
+    Histogram.add big v
+  done;
+  check_int "p999 of 1..1000" 999 (Histogram.percentile big 99.9);
+  check_int "p100 of 1..1000" 1000 (Histogram.percentile big 100.0);
+  Alcotest.check_raises "percentile of empty"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Histogram.percentile (Histogram.create ()) 99.9))
+
 let prop_histogram_mean_bounded =
   QCheck.Test.make ~name:"histogram mean within [min,max]" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (int_bound 100_000))
@@ -382,6 +427,8 @@ let () =
             test_histogram_buckets_bimodal;
           Alcotest.test_case "negative buckets" `Quick
             test_histogram_buckets_negative;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "p999 edge cases" `Quick test_histogram_p999;
         ]
         @ qsuite [ prop_histogram_mean_bounded ] );
       ("stats", [ Alcotest.test_case "counters" `Quick test_stats_counters ]);
